@@ -1,0 +1,191 @@
+package edgeis
+
+import (
+	"testing"
+
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/experiments"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/segmodel"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (Section VI). Each reports the headline quantities through
+// b.ReportMetric so `go test -bench` output doubles as the reproduction
+// record; cmd/edgeis-bench prints the full paper-vs-measured tables.
+//
+// Workloads are sized so the full suite completes in minutes; pass
+// DefaultClipFrames-scale inputs through cmd/edgeis-bench for longer runs.
+
+const benchSeed = 42
+
+// benchFrames keeps per-iteration cost manageable; experiments interpret 0
+// as their default, so an explicit small value is passed everywhere.
+const benchFrames = 150
+
+// BenchmarkFig2bModelTradeoff regenerates the motivation study: per-model
+// IoU and inference latency on the reference edge device.
+func BenchmarkFig2bModelTradeoff(b *testing.B) {
+	cam := experiments.EvalCamera()
+	clip := dataset.KITTI(benchSeed, 30)[0]
+	frames := clip.World.RenderSequence(cam, clip.Traj, 10)
+	for _, kind := range []segmodel.Kind{segmodel.YOLOv3, segmodel.MaskRCNN, segmodel.YOLACT} {
+		b.Run(kind.String(), func(b *testing.B) {
+			model := segmodel.New(kind)
+			var msSum, iouSum float64
+			var n int
+			for i := 0; i < b.N; i++ {
+				f := frames[i%len(frames)]
+				in := segmodel.Input{
+					Width: cam.Width, Height: cam.Height, Seed: int64(i),
+				}
+				for _, gt := range f.Objects {
+					in.Objects = append(in.Objects, segmodel.ObjectTruth{
+						ObjectID: gt.ObjectID, Label: int(gt.Class),
+						Visible: gt.Visible, Box: gt.Box,
+					})
+				}
+				res := model.Run(in, nil)
+				msSum += res.TotalMs()
+				for _, d := range res.Detections {
+					iouSum += d.TrueIoU
+					n++
+				}
+			}
+			b.ReportMetric(msSum/float64(b.N), "simMs/frame")
+			if n > 0 {
+				b.ReportMetric(iouSum/float64(n), "IoU")
+			}
+		})
+	}
+}
+
+// benchSystem runs one system over a clip set and reports the Fig. 9
+// metrics.
+func benchSystem(b *testing.B, kind experiments.SystemKind, clips []dataset.Clip, medium netsim.Medium) {
+	b.Helper()
+	var iou, falseRate float64
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunClips(kind, clips, medium, device.IPhone11, benchSeed+int64(i))
+		iou = out.Acc.MeanIoU()
+		falseRate = out.Acc.FalseRate(metrics.StrictThreshold)
+	}
+	b.ReportMetric(iou, "IoU")
+	b.ReportMetric(100*falseRate, "false%")
+}
+
+// BenchmarkFig9Overall regenerates the overall comparison across datasets.
+func BenchmarkFig9Overall(b *testing.B) {
+	clips := dataset.All(benchSeed, benchFrames)
+	for _, kind := range []experiments.SystemKind{
+		experiments.SysEdgeIS, experiments.SysEAAR, experiments.SysEdgeDuet,
+		experiments.SysBestEffort, experiments.SysMobileOnly,
+	} {
+		b.Run(kind.String(), func(b *testing.B) { benchSystem(b, kind, clips, netsim.WiFi5) })
+	}
+}
+
+// BenchmarkFig10Networks regenerates the network-sensitivity study.
+func BenchmarkFig10Networks(b *testing.B) {
+	clips := dataset.KITTI(benchSeed, benchFrames)
+	for _, medium := range []netsim.Medium{netsim.WiFi24, netsim.WiFi5} {
+		b.Run(medium.String(), func(b *testing.B) {
+			benchSystem(b, experiments.SysEdgeIS, clips, medium)
+		})
+	}
+}
+
+// BenchmarkFig11Latency regenerates the mobile-side latency comparison.
+func BenchmarkFig11Latency(b *testing.B) {
+	clips := dataset.KITTI(benchSeed, benchFrames)
+	for _, kind := range []experiments.SystemKind{
+		experiments.SysEdgeIS, experiments.SysEAAR, experiments.SysEdgeDuet,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				out := experiments.RunClips(kind, clips, netsim.WiFi5, device.IPhone11, benchSeed)
+				lat = out.Acc.MeanLatencyMs()
+			}
+			b.ReportMetric(lat, "mobileMs/frame")
+		})
+	}
+}
+
+// BenchmarkFig12Motion regenerates the camera-motion robustness study.
+func BenchmarkFig12Motion(b *testing.B) {
+	for _, clip := range dataset.GaitClips(benchSeed, benchFrames) {
+		b.Run(clip.Name, func(b *testing.B) {
+			benchSystem(b, experiments.SysEdgeIS, []dataset.Clip{clip}, netsim.WiFi5)
+		})
+	}
+}
+
+// BenchmarkFig13Complexity regenerates the scene-complexity study.
+func BenchmarkFig13Complexity(b *testing.B) {
+	for _, clip := range dataset.ComplexityClips(benchSeed, benchFrames) {
+		b.Run(clip.Name, func(b *testing.B) {
+			benchSystem(b, experiments.SysEdgeIS, []dataset.Clip{clip}, netsim.WiFi5)
+		})
+	}
+}
+
+// BenchmarkFig14Acceleration regenerates the CIIA latency ablation.
+func BenchmarkFig14Acceleration(b *testing.B) {
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14(benchSeed)
+	}
+	_ = r
+}
+
+// BenchmarkFig15Resource regenerates the mobile resource study.
+func BenchmarkFig15Resource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig15(benchSeed, 600)
+	}
+}
+
+// BenchmarkFig16Ablation regenerates the per-module ablation.
+func BenchmarkFig16Ablation(b *testing.B) {
+	clips := dataset.KITTI(benchSeed, benchFrames)
+	for _, kind := range []experiments.SystemKind{
+		experiments.SysBestEffort, experiments.SysBaseCFRS, experiments.SysBaseCIIA,
+		experiments.SysEdgeISMAMTOnly, experiments.SysEdgeIS,
+	} {
+		b.Run(kind.String(), func(b *testing.B) { benchSystem(b, kind, clips, netsim.WiFi5) })
+	}
+}
+
+// BenchmarkFig17FieldStudy regenerates the oil-field case study.
+func BenchmarkFig17FieldStudy(b *testing.B) {
+	clip := dataset.FieldClip(benchSeed, benchFrames)
+	for _, medium := range []netsim.Medium{netsim.WiFi5, netsim.LTE} {
+		b.Run(medium.String(), func(b *testing.B) {
+			benchSystem(b, experiments.SysEdgeIS, []dataset.Clip{clip}, medium)
+		})
+	}
+}
+
+// BenchmarkPowerConsumption regenerates the battery-drain study.
+func BenchmarkPowerConsumption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PowerStudy(benchSeed)
+	}
+}
+
+// BenchmarkAblationContourK regenerates the contour-depth k sweep.
+func BenchmarkAblationContourK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationContourK(benchSeed, 120)
+	}
+}
+
+// BenchmarkAblationOffloadThreshold regenerates the CFRS threshold sweep.
+func BenchmarkAblationOffloadThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationOffloadThreshold(benchSeed, 120)
+	}
+}

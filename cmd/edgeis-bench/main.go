@@ -1,0 +1,77 @@
+// Command edgeis-bench reproduces the paper's evaluation: it runs every
+// table and figure of Section VI (or a selected one) and prints
+// paper-vs-measured report blocks.
+//
+// Usage:
+//
+//	edgeis-bench [-seed N] [-frames N] [-fig fig9|fig14|...|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"edgeis/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		seed   = flag.Int64("seed", 42, "experiment seed")
+		frames = flag.Int("frames", 0, "frames per clip (0 = experiment default)")
+		fig    = flag.String("fig", "all", "figure to run: fig2b,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,fig17,power,ablk,ablt,ablbw or all")
+	)
+	flag.Parse()
+
+	runners := map[string]func() *experiments.Result{
+		"fig2b": func() *experiments.Result { return experiments.Fig2b(*seed) },
+		"fig9":  func() *experiments.Result { return experiments.Fig9(*seed, *frames) },
+		"fig10": func() *experiments.Result { return experiments.Fig10(*seed, *frames) },
+		"fig11": func() *experiments.Result { return experiments.Fig11(*seed, *frames) },
+		"fig12": func() *experiments.Result { return experiments.Fig12(*seed, *frames) },
+		"fig13": func() *experiments.Result { return experiments.Fig13(*seed, *frames) },
+		"fig14": func() *experiments.Result { return experiments.Fig14(*seed) },
+		"fig15": func() *experiments.Result { return experiments.Fig15(*seed, 0) },
+		"fig16": func() *experiments.Result { return experiments.Fig16(*seed, *frames) },
+		"fig17": func() *experiments.Result { return experiments.Fig17(*seed, 0) },
+		"power": func() *experiments.Result { return experiments.PowerStudy(*seed) },
+		"ablk":  func() *experiments.Result { return experiments.AblationContourK(*seed, *frames) },
+		"ablt":  func() *experiments.Result { return experiments.AblationOffloadThreshold(*seed, *frames) },
+		"ablbw": func() *experiments.Result { return experiments.AblationCompressionBudget(*seed, *frames) },
+	}
+
+	order := []string{
+		"fig2b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "power", "ablk", "ablt", "ablbw",
+	}
+
+	name := strings.ToLower(*fig)
+	if name == "all" {
+		start := time.Now()
+		for _, k := range order {
+			fmt.Println(runners[k]().Render())
+		}
+		fmt.Printf("total runtime: %v\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+	runner, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; available:", name)
+		for k := range runners {
+			fmt.Fprintf(os.Stderr, " %s", k)
+		}
+		fmt.Fprintln(os.Stderr)
+		return fmt.Errorf("unknown figure %q", name)
+	}
+	fmt.Println(runner().Render())
+	return nil
+}

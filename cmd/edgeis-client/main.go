@@ -1,0 +1,84 @@
+// Command edgeis-client runs the mobile side against a live edgeis-server:
+// a synthetic camera feeds the full edgeIS mobile pipeline (VO, mask
+// transfer, CFRS), offloads travel over real TCP, and results flow back
+// into the tracker. Per-frame accuracy against ground truth is reported at
+// the end.
+//
+// Usage:
+//
+//	edgeis-client [-addr 127.0.0.1:7465] [-clip street|indoor|industrial] [-frames 300] [-realtime]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/live"
+	"edgeis/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7465", "edge server address")
+		clipName = flag.String("clip", "street", "scenario: street, indoor or industrial")
+		frames   = flag.Int("frames", 300, "frames to run")
+		seed     = flag.Int64("seed", 7, "scenario seed")
+		realtime = flag.Bool("realtime", false, "pace frames at 30 fps wall clock")
+	)
+	flag.Parse()
+
+	var clip dataset.Clip
+	switch *clipName {
+	case "street":
+		clip = dataset.KITTI(*seed, *frames)[0]
+	case "indoor":
+		clip = dataset.SelfRecorded(*seed, *frames)[0]
+	case "industrial":
+		clip = dataset.FieldClip(*seed, *frames)
+	default:
+		return fmt.Errorf("unknown clip %q", *clipName)
+	}
+	clip.Frames = *frames
+
+	client, err := transport.Dial(*addr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := client.Close(); cerr != nil {
+			log.Printf("close: %v", cerr)
+		}
+	}()
+
+	cam := geom.StandardCamera(320, 240)
+	sys := core.NewSystem(core.Config{Camera: cam, Device: device.IPhone11, Seed: *seed})
+	driver := live.NewDriver(sys, client, clip, cam, *seed)
+	driver.Realtime = *realtime
+	driver.Progress = func(frame int, iou float64) {
+		log.Printf("frame %d: mean IoU so far %.3f", frame, iou)
+	}
+
+	log.Printf("running %s against %s (%d frames)", clip, *addr, clip.Frames)
+	out, err := driver.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(out.Acc.Row())
+	fmt.Printf("session: init attempts %d (failures %d), losses %d, edge results %d, sent %d, skipped %d\n",
+		out.Session.InitAttempts, out.Session.InitFailures, out.Session.LostEvents,
+		out.Session.EdgeResults, out.Sent, out.Skipped)
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command edgeis-server runs the edge node: a TCP server that accepts
+// offloaded frames from edgeis-client instances, runs the (optionally
+// CIIA-guided) segmentation backend, and streams contour-encoded results
+// back. The deployable counterpart of the paper's Jetson TX2 server.
+//
+// Usage:
+//
+//	edgeis-server [-addr :7465] [-model mask-rcnn|yolact|yolov3] [-device tx2|xavier]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgeis/internal/device"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7465", "listen address")
+		modelName = flag.String("model", "mask-rcnn", "backend model: mask-rcnn, yolact or yolov3")
+		devName   = flag.String("device", "tx2", "edge device profile: tx2 or xavier")
+		statsSecs = flag.Int("stats", 10, "stats print interval in seconds (0 = off)")
+	)
+	flag.Parse()
+
+	var kind segmodel.Kind
+	switch *modelName {
+	case "mask-rcnn":
+		kind = segmodel.MaskRCNN
+	case "yolact":
+		kind = segmodel.YOLACT
+	case "yolov3":
+		kind = segmodel.YOLOv3
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	var dev device.Profile
+	switch *devName {
+	case "tx2":
+		dev = device.JetsonTX2
+	case "xavier":
+		dev = device.JetsonXavier
+	default:
+		return fmt.Errorf("unknown device %q", *devName)
+	}
+
+	srv := transport.NewServer(segmodel.New(kind),
+		transport.WithInferScale(dev.InferScale),
+		transport.WithLogger(log.Printf),
+	)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("edgeIS edge server: %s backend on %s (device %s)", kind, bound, dev.Name)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *statsSecs > 0 {
+		ticker := time.NewTicker(time.Duration(*statsSecs) * time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				served, mean := srv.Stats()
+				log.Printf("served %d frames, mean simulated inference %.1f ms", served, mean)
+			}
+		}()
+	}
+
+	<-stop
+	log.Printf("shutting down")
+	return srv.Close()
+}

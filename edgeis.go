@@ -1,0 +1,224 @@
+// Package edgeis is a full reproduction of "Edge Assisted Real-time
+// Instance Segmentation on Mobile Devices" (ICDCS 2022) as a Go library.
+//
+// The paper replaces the classical edge-assisted "track+detect" paradigm
+// with "transfer+infer": the mobile device runs visual odometry to track
+// its own pose and each object's pose, transfers cached segmentation masks
+// to every camera frame by reprojecting mask contours through the estimated
+// geometry, and in return instructs the edge server's Mask R-CNN with the
+// transferred masks so the model skips anchors and RoIs it provably does
+// not need.
+//
+// This package is the public facade. The three subsystems and every
+// substrate (visual odometry, simulated DL backends, tile codec, network
+// simulation, TCP transport, device models, datasets and the experiment
+// harness) live in internal packages and are re-exported here as needed.
+//
+// Quick start:
+//
+//	cam := edgeis.StandardCamera(320, 240)
+//	sys := edgeis.NewSystem(edgeis.SystemConfig{Camera: cam, Device: edgeis.IPhone11})
+//	engine := edgeis.NewEngine(edgeis.EngineConfig{
+//		World:      edgeis.StreetScene(edgeis.ScenePreset{Seed: 1, ObjectCount: 3}),
+//		Camera:     cam,
+//		Trajectory: edgeis.InspectionRoute(edgeis.WalkSpeed),
+//		Frames:     300,
+//		Medium:     edgeis.WiFi5,
+//	}, sys)
+//	evals, stats := engine.Run()
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// reproduction results of every figure in the paper.
+package edgeis
+
+import (
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/experiments"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+)
+
+// Core system types.
+type (
+	// System is the edgeIS mobile runtime (MAMT + CFRS + CIIA wiring).
+	System = core.System
+	// SystemConfig assembles a System.
+	SystemConfig = core.Config
+	// SessionStats counts session events (init attempts, losses, results).
+	SessionStats = core.SessionStats
+)
+
+// NewSystem builds the edgeIS mobile runtime.
+func NewSystem(cfg SystemConfig) *System { return core.NewSystem(cfg) }
+
+// Geometry and camera.
+type (
+	// Camera is the pinhole camera model.
+	Camera = geom.Camera
+	// Pose is a rigid-body SE(3) transform.
+	Pose = geom.Pose
+)
+
+// StandardCamera returns a ~60 degree FOV camera at the given resolution.
+func StandardCamera(w, h int) Camera { return geom.StandardCamera(w, h) }
+
+// Scenes and datasets.
+type (
+	// World is a synthetic 3-D scene with labeled objects.
+	World = scene.World
+	// ScenePreset parameterizes the procedural scene builders.
+	ScenePreset = scene.PresetConfig
+	// Trajectory produces camera poses over time.
+	Trajectory = scene.Trajectory
+	// Clip is one evaluation sequence (world + trajectory).
+	Clip = dataset.Clip
+)
+
+// Scene builders and trajectories.
+var (
+	// StreetScene builds a KITTI-like outdoor scene.
+	StreetScene = scene.StreetScene
+	// IndoorScene builds a DAVIS-like indoor scene.
+	IndoorScene = scene.IndoorScene
+	// IndustrialScene builds the oil-field equipment scene.
+	IndustrialScene = scene.IndustrialScene
+	// InspectionRoute returns the standard camera route at a gait speed.
+	InspectionRoute = scene.InspectionRoute
+)
+
+// Gait speeds (m/s) of the robustness study.
+const (
+	WalkSpeed   = scene.WalkSpeed
+	StrideSpeed = scene.StrideSpeed
+	JogSpeed    = scene.JogSpeed
+)
+
+// Dataset corpora mirroring the paper's evaluation data.
+var (
+	// DAVISClips returns the DAVIS-style indoor clips.
+	DAVISClips = dataset.DAVIS
+	// KITTIClips returns the KITTI-style street clips.
+	KITTIClips = dataset.KITTI
+	// XiphClips returns the Xiph-style mixed clips.
+	XiphClips = dataset.Xiph
+	// SelfRecordedClips returns the paper's self-recorded AR clips.
+	SelfRecordedClips = dataset.SelfRecorded
+	// AllClips returns the full corpus.
+	AllClips = dataset.All
+)
+
+// Simulation pipeline.
+type (
+	// Engine drives a strategy through a scenario on a simulated clock.
+	Engine = pipeline.Engine
+	// EngineConfig assembles a simulation run.
+	EngineConfig = pipeline.Config
+	// Strategy is a mobile-side system under test.
+	Strategy = pipeline.Strategy
+	// FrameEval is the per-frame outcome.
+	FrameEval = pipeline.FrameEval
+	// RunStats aggregates engine accounting.
+	RunStats = pipeline.RunStats
+	// Accumulator gathers IoU and latency statistics.
+	Accumulator = metrics.Accumulator
+)
+
+// NewEngine prepares a simulation run.
+func NewEngine(cfg EngineConfig, s Strategy) *Engine { return pipeline.NewEngine(cfg, s) }
+
+// Evaluate folds per-frame evals into an accumulator, skipping warmup.
+func Evaluate(name string, evals []FrameEval, warmup int) *Accumulator {
+	return pipeline.EvaluateFrom(name, evals, warmup)
+}
+
+// Network media.
+const (
+	// WiFi24 is 2.4 GHz WiFi.
+	WiFi24 = netsim.WiFi24
+	// WiFi5 is 5 GHz WiFi.
+	WiFi5 = netsim.WiFi5
+	// LTE is the cellular link of the field study.
+	LTE = netsim.LTE
+)
+
+// Device profiles.
+var (
+	// JetsonTX2 is the reference edge server.
+	JetsonTX2 = device.JetsonTX2
+	// JetsonXavier is the field-deployment edge node.
+	JetsonXavier = device.JetsonXavier
+	// IPhone11 is the primary mobile device.
+	IPhone11 = device.IPhone11
+	// GalaxyS10 is the secondary mobile device.
+	GalaxyS10 = device.GalaxyS10
+	// DreamGlass is the AR headset of the field study.
+	DreamGlass = device.DreamGlass
+)
+
+// Simulated DL backends.
+type (
+	// Model is a simulated segmentation/detection network.
+	Model = segmodel.Model
+	// ModelKind selects Mask R-CNN, YOLACT or YOLOv3.
+	ModelKind = segmodel.Kind
+)
+
+// Model kinds.
+const (
+	// MaskRCNN is the two-stage segmenter CIIA accelerates.
+	MaskRCNN = segmodel.MaskRCNN
+	// YOLACT is the one-stage segmenter baseline.
+	YOLACT = segmodel.YOLACT
+	// YOLOv3 is the detector used in the motivation study.
+	YOLOv3 = segmodel.YOLOv3
+)
+
+// NewModel builds a simulated network with its calibrated profile.
+func NewModel(kind ModelKind) *Model { return segmodel.New(kind) }
+
+// Real TCP transport (the deployable mobile/edge wire protocol).
+type (
+	// EdgeServer serves segmentation over TCP.
+	EdgeServer = transport.Server
+	// EdgeClient is the mobile side of the wire protocol.
+	EdgeClient = transport.Client
+)
+
+// NewEdgeServer builds a TCP edge server around a model.
+func NewEdgeServer(model *Model, opts ...transport.ServerOption) *EdgeServer {
+	return transport.NewServer(model, opts...)
+}
+
+// DialEdge connects to an edge server.
+var DialEdge = transport.Dial
+
+// Experiments: the per-figure reproduction harness.
+type (
+	// ExperimentResult is one reproduced table/figure.
+	ExperimentResult = experiments.Result
+)
+
+// Experiment entry points (see DESIGN.md for the index).
+var (
+	// RunAllExperiments reproduces every figure of the evaluation.
+	RunAllExperiments = experiments.All
+	// Fig2b .. Fig17 reproduce individual figures.
+	Fig2b      = experiments.Fig2b
+	Fig9       = experiments.Fig9
+	Fig10      = experiments.Fig10
+	Fig11      = experiments.Fig11
+	Fig12      = experiments.Fig12
+	Fig13      = experiments.Fig13
+	Fig14      = experiments.Fig14
+	Fig15      = experiments.Fig15
+	Fig16      = experiments.Fig16
+	Fig17      = experiments.Fig17
+	PowerStudy = experiments.PowerStudy
+)

@@ -1,0 +1,88 @@
+// Dynamicscene: a scene where objects start moving mid-run. The example
+// shows the per-object pose machinery of Section III-B at work: the VO
+// flags the moving instance, the CFRS triggers mask-correction offloads,
+// and the per-object pose keeps the transferred masks on target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgeis"
+	"edgeis/internal/core"
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/roisel"
+	"edgeis/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cam := edgeis.StandardCamera(320, 240)
+
+	// One car that starts driving at t = 3 s, one static bystander.
+	world := scene.NewWorld(scene.WorldConfig{Seed: 5}, []*scene.Object{
+		{Class: scene.Car, Center: geom.V3(-2, 1, 9), Half: geom.V3(1.6, 1, 1),
+			Motion: scene.Motion{Velocity: geom.V3(0.8, 0, 0), StartAt: 3.0}},
+		{Class: scene.Person, Center: geom.V3(3, 0.95, 7), Half: geom.V3(0.35, 0.95, 0.3)},
+	})
+	traj := scene.WaypointPath{
+		Waypoints: []geom.Vec3{geom.V3(-2, 1.6, -2), geom.V3(3, 1.6, -1)},
+		Target:    geom.V3(0, 1, 9),
+		Speed:     edgeis.WalkSpeed,
+	}
+
+	sys := core.NewSystem(core.Config{Camera: cam, Device: edgeis.IPhone11, Seed: 5})
+	engine := pipeline.NewEngine(pipeline.Config{
+		World: world, Camera: cam, Trajectory: traj,
+		Frames: 360, CameraSpeed: edgeis.WalkSpeed,
+		Medium: edgeis.WiFi5, Seed: 5,
+	}, sys)
+
+	evals, _ := engine.Run()
+
+	fmt.Println("=== dynamic scene: car starts moving at t=3s (frame 90) ===")
+	before := metrics.NewAccumulator("static phase")
+	after := metrics.NewAccumulator("dynamic phase")
+	for _, ev := range evals {
+		switch {
+		case ev.Index >= 60 && ev.Index < 90:
+			before.AddFrame(ev.IoUs, ev.LatencyMs)
+		case ev.Index >= 120: // skip the detection transient
+			after.AddFrame(ev.IoUs, ev.LatencyMs)
+		}
+	}
+	fmt.Printf("before motion:  IoU %.3f, false@0.75 %.1f%%\n",
+		before.MeanIoU(), 100*before.FalseRate(0.75))
+	fmt.Printf("during motion:  IoU %.3f, false@0.75 %.1f%%\n",
+		after.MeanIoU(), 100*after.FalseRate(0.75))
+
+	fmt.Println("\ntracked instances:")
+	for _, inst := range sys.VO().Instances() {
+		state := "static"
+		if inst.Moving {
+			state = "MOVING"
+		}
+		fmt.Printf("  instance %d (class %d): %s, fit RMSE %.1f px, static-hypothesis RMSE %.1f px\n",
+			inst.ID, inst.Label, state, inst.FitRMSE, inst.StaticRMSE)
+	}
+
+	counts := sys.Selector().ReasonCounts()
+	fmt.Println("\noffload reasons:")
+	for _, r := range []roisel.Reason{
+		roisel.ReasonNewContent, roisel.ReasonObjectMotion, roisel.ReasonKeyframe, roisel.ReasonLost,
+	} {
+		if counts[r] > 0 {
+			fmt.Printf("  %-14s %d\n", r, counts[r])
+		}
+	}
+	_ = feature.Config{}
+	return nil
+}

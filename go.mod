@@ -1,0 +1,3 @@
+module edgeis
+
+go 1.22

@@ -1,0 +1,248 @@
+// Package accel implements edgeIS's Contour Instructed edge Inference
+// Acceleration (CIIA, Section IV). A Plan built from the mobile device's
+// transferred masks (surrounding boxes + expected classes) and the frame's
+// newly-seen areas instructs the simulated two-stage model:
+//
+//   - Dynamic anchor placement (IV-A): the RPN evaluates anchors only
+//     inside the instructed areas, each at the FPN level its size selects,
+//     instead of sliding over the whole pyramid.
+//   - RoI pruning (IV-B): within each known area, RoIs sorted by class
+//     confidence are discarded when another RoI has both a higher
+//     confidence on the expected class and a higher IoU with the area's
+//     initial box. RoIs from unknown areas fall back to Fast NMS.
+package accel
+
+import (
+	"sort"
+
+	"edgeis/internal/mask"
+	"edgeis/internal/segmodel"
+)
+
+// Area is one instructed region of the frame.
+type Area struct {
+	// Box is the surrounding box computed from a transferred mask
+	// (expanded by a margin) or a newly-seen region.
+	Box mask.Box
+	// Label is the expected class for a known object area; 0 for new
+	// areas with no prior.
+	Label int
+	// Known marks areas backed by a transferred mask (with class prior)
+	// as opposed to newly-captured content.
+	Known bool
+}
+
+// Plan is a per-frame CIIA instruction set. It implements
+// segmodel.Guidance.
+type Plan struct {
+	Areas []Area
+	// Margin is the expansion applied to mask boxes when building areas.
+	Margin int
+	// DisablePruning turns the dominance rule off: every proposal takes
+	// the Fast NMS path. Used by the Fig. 14 ablation to isolate dynamic
+	// anchor placement from RoI pruning.
+	DisablePruning bool
+}
+
+var _ segmodel.Guidance = (*Plan)(nil)
+
+// ObjectPrior is a transferred-mask summary handed to the plan builder.
+type ObjectPrior struct {
+	Box   mask.Box
+	Label int
+}
+
+// BuildPlan constructs the frame's instruction set from transferred-mask
+// priors and new-area boxes. margin is the surrounding-box expansion in
+// pixels (Section IV-A computes "a surrounding box ... from the mask of
+// each object"); 0 selects the default of 16.
+func BuildPlan(priors []ObjectPrior, newAreas []mask.Box, width, height, margin int) *Plan {
+	if margin == 0 {
+		margin = 16
+	}
+	p := &Plan{Margin: margin}
+	for _, pr := range priors {
+		if pr.Box.Empty() {
+			continue
+		}
+		p.Areas = append(p.Areas, Area{
+			Box:   pr.Box.Expand(margin, width, height),
+			Label: pr.Label,
+			Known: true,
+		})
+	}
+	for _, b := range newAreas {
+		if b.Empty() {
+			continue
+		}
+		p.Areas = append(p.Areas, Area{Box: b, Known: false})
+	}
+	return p
+}
+
+// AnchorBudget implements segmodel.Guidance: anchors are evaluated only in
+// the instructed areas, at the FPN level each area's size selects.
+func (p *Plan) AnchorBudget(width, height int) int {
+	total := 0
+	for _, a := range p.Areas {
+		total += segmodel.AnchorsInBox(a.Box)
+	}
+	full := segmodel.FullGridAnchors(width, height)
+	if total > full {
+		return full
+	}
+	return total
+}
+
+// Classify implements segmodel.Guidance: the index and label of the first
+// instructed area containing the box center.
+func (p *Plan) Classify(b mask.Box) (int, int) {
+	c := b.Center()
+	x, y := int(c.X), int(c.Y)
+	best, bestArea := -1, 1<<62
+	for i, a := range p.Areas {
+		if !a.Box.Contains(x, y) {
+			continue
+		}
+		// The smallest containing area wins: a tracked object nested
+		// inside a larger object's surrounding box belongs to its own
+		// queue, not the larger object's.
+		if sz := a.Box.Area(); sz < bestArea {
+			best, bestArea = i, sz
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, p.Areas[best].Label
+}
+
+// CoversObjects implements segmodel.Guidance: proposals can only originate
+// where anchors were placed.
+func (p *Plan) CoversObjects(b mask.Box) bool {
+	c := b.Center()
+	x, y := int(c.X), int(c.Y)
+	for _, a := range p.Areas {
+		if a.Box.Contains(x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectRoIs implements segmodel.Guidance: RoI pruning for known areas and
+// Fast NMS for the rest (Section IV-B).
+func (p *Plan) SelectRoIs(props []segmodel.Proposal) []segmodel.Proposal {
+	byArea := make(map[int][]segmodel.Proposal)
+	var unknown []segmodel.Proposal
+	for _, pr := range props {
+		inArea := !p.DisablePruning &&
+			pr.AreaID >= 0 && pr.AreaID < len(p.Areas) && p.Areas[pr.AreaID].Known
+		// A proposal that barely overlaps the area's initial box is not a
+		// competing hypothesis for that object — it is different content
+		// that happens to sit inside the surrounding box (e.g. a small
+		// object in front of a large one). Pruning it against the big
+		// object's candidates would delete it, so it takes the Fast NMS
+		// path instead.
+		if inArea && pr.Box.IoU(p.Areas[pr.AreaID].Box) < 0.1 {
+			inArea = false
+		}
+		if inArea {
+			byArea[pr.AreaID] = append(byArea[pr.AreaID], pr)
+		} else {
+			unknown = append(unknown, pr)
+		}
+	}
+
+	out := make([]segmodel.Proposal, 0, len(props)/2)
+	for areaID, group := range byArea {
+		out = append(out, p.pruneArea(p.Areas[areaID], group)...)
+	}
+	out = append(out, FastNMS(unknown, 0.7, 100)...)
+	// Deterministic order: by descending score then box position.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Box.MinX != out[j].Box.MinX {
+			return out[i].Box.MinX < out[j].Box.MinX
+		}
+		return out[i].Box.MinY < out[j].Box.MinY
+	})
+	return out
+}
+
+// pruneArea applies the dominance rule of Fig. 7: within a known area, an
+// RoI is pruned when some other RoI has BOTH a higher confidence score on
+// the area's class AND a higher IoU with the area's initial box. Surviving
+// RoIs are the Pareto front of (class confidence, prior-box IoU).
+func (p *Plan) pruneArea(a Area, group []segmodel.Proposal) []segmodel.Proposal {
+	type scored struct {
+		prop segmodel.Proposal
+		conf float64 // confidence on the area's expected class
+		iou  float64 // IoU with the area's initial box
+	}
+	ss := make([]scored, 0, len(group))
+	for _, pr := range group {
+		conf := pr.Score
+		if a.Label != 0 && pr.Label != a.Label {
+			// Confidence ON CLASS c: off-class proposals score low.
+			conf *= 0.25
+		}
+		ss = append(ss, scored{prop: pr, conf: conf, iou: pr.Box.IoU(a.Box)})
+	}
+	// Sort by confidence descending (the "sorted queue" of IV-B), then a
+	// single sweep keeps the Pareto-optimal set: an element survives iff no
+	// earlier (higher-confidence) element also has a strictly higher IoU.
+	sort.Slice(ss, func(i, j int) bool { return ss[i].conf > ss[j].conf })
+	out := make([]segmodel.Proposal, 0, 4)
+	bestIoU := -1.0
+	for _, s := range ss {
+		if s.iou > bestIoU {
+			pr := s.prop
+			// The surviving RoI carries its confidence ON THE AREA'S CLASS:
+			// the prior re-scores off-class proposals down, so the second
+			// stage prefers class-consistent candidates.
+			pr.Score = s.conf
+			out = append(out, pr)
+			bestIoU = s.iou
+		}
+	}
+	return out
+}
+
+// FastNMS is the relaxed parallel NMS of YOLACT the paper adopts for
+// unknown-content areas: every proposal suppressed by ANY higher-scoring
+// proposal is dropped in one pass (allowing already-suppressed proposals to
+// suppress others), which over-suppresses slightly but vectorizes.
+func FastNMS(props []segmodel.Proposal, iouThresh float64, maxKeep int) []segmodel.Proposal {
+	sorted := make([]segmodel.Proposal, len(props))
+	copy(sorted, props)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	suppressed := make([]bool, len(sorted))
+	for i := 1; i < len(sorted); i++ {
+		for j := 0; j < i; j++ {
+			if sorted[i].Box.IoU(sorted[j].Box) > iouThresh {
+				suppressed[i] = true
+				break
+			}
+		}
+	}
+	out := make([]segmodel.Proposal, 0, minInt(maxKeep, len(sorted)))
+	for i, p := range sorted {
+		if !suppressed[i] {
+			out = append(out, p)
+			if len(out) >= maxKeep {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

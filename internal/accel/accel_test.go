@@ -1,0 +1,319 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"edgeis/internal/mask"
+	"edgeis/internal/segmodel"
+)
+
+func rectMask(w, h, x0, y0, x1, y1 int) *mask.Bitmask {
+	m := mask.New(w, h)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.Set(x, y)
+		}
+	}
+	return m
+}
+
+// guidedInput builds a frame plus a plan covering both objects.
+func guidedInput(seed int64) (segmodel.Input, *Plan) {
+	m1 := rectMask(640, 480, 80, 100, 260, 220)
+	m2 := rectMask(640, 480, 400, 280, 520, 380)
+	in := segmodel.Input{
+		Width: 640, Height: 480,
+		Objects: []segmodel.ObjectTruth{
+			{ObjectID: 1, Label: 2, Visible: m1, Box: m1.BoundingBox()},
+			{ObjectID: 2, Label: 1, Visible: m2, Box: m2.BoundingBox()},
+		},
+		Seed: seed,
+	}
+	plan := BuildPlan([]ObjectPrior{
+		{Box: m1.BoundingBox(), Label: 2},
+		{Box: m2.BoundingBox(), Label: 1},
+	}, nil, 640, 480, 0)
+	return in, plan
+}
+
+func TestBuildPlan(t *testing.T) {
+	_, plan := guidedInput(1)
+	if len(plan.Areas) != 2 {
+		t.Fatalf("%d areas", len(plan.Areas))
+	}
+	for _, a := range plan.Areas {
+		if !a.Known || a.Label == 0 {
+			t.Error("mask-backed areas must be known with labels")
+		}
+	}
+	// Empty priors and empty new areas are skipped.
+	p2 := BuildPlan([]ObjectPrior{{}}, []mask.Box{{}}, 640, 480, 0)
+	if len(p2.Areas) != 0 {
+		t.Error("empty boxes should be skipped")
+	}
+	// New areas carry no label.
+	p3 := BuildPlan(nil, []mask.Box{{MinX: 0, MinY: 0, MaxX: 64, MaxY: 64}}, 640, 480, 0)
+	if len(p3.Areas) != 1 || p3.Areas[0].Known || p3.Areas[0].Label != 0 {
+		t.Error("new area misconfigured")
+	}
+}
+
+func TestAnchorBudgetReduction(t *testing.T) {
+	_, plan := guidedInput(1)
+	full := segmodel.FullGridAnchors(640, 480)
+	budget := plan.AnchorBudget(640, 480)
+	if budget <= 0 || budget >= full {
+		t.Fatalf("budget %d vs full %d", budget, full)
+	}
+	// Instructed areas cover <15% of the frame; the anchor budget should
+	// shrink by an order of magnitude (the mechanism behind Fig. 14's
+	// RPN latency cut).
+	if frac := float64(budget) / float64(full); frac > 0.5 {
+		t.Errorf("anchor fraction %.2f, want well below 0.5", frac)
+	}
+}
+
+func TestClassifyAndCovers(t *testing.T) {
+	_, plan := guidedInput(1)
+	inBox := mask.Box{MinX: 100, MinY: 120, MaxX: 200, MaxY: 200}
+	id, label := plan.Classify(inBox)
+	if id != 0 || label != 2 {
+		t.Errorf("Classify = (%d, %d), want (0, 2)", id, label)
+	}
+	if !plan.CoversObjects(inBox) {
+		t.Error("covered box reported uncovered")
+	}
+	farBox := mask.Box{MinX: 600, MinY: 0, MaxX: 639, MaxY: 40}
+	if id, _ := plan.Classify(farBox); id != -1 {
+		t.Error("uncovered box classified")
+	}
+	if plan.CoversObjects(farBox) {
+		t.Error("uncovered box reported covered")
+	}
+}
+
+func TestGuidedRunFasterSameAccuracy(t *testing.T) {
+	// Fig. 14's headline: the acceleration halves latency while keeping
+	// accuracy above 0.92 of the vanilla model.
+	model := segmodel.New(segmodel.MaskRCNN)
+	var vanillaMs, guidedMs, vanillaIoU, guidedIoU float64
+	var vanillaN, guidedN int
+	for seed := int64(0); seed < 20; seed++ {
+		in, plan := guidedInput(seed)
+		v := model.Run(in, nil)
+		g := model.Run(in, plan)
+		vanillaMs += v.TotalMs()
+		guidedMs += g.TotalMs()
+		for _, d := range v.Detections {
+			vanillaIoU += d.TrueIoU
+			vanillaN++
+		}
+		for _, d := range g.Detections {
+			guidedIoU += d.TrueIoU
+			guidedN++
+		}
+	}
+	if guidedMs >= vanillaMs*0.62 {
+		t.Errorf("guided latency %.1f vs vanilla %.1f: want < 62%%", guidedMs/20, vanillaMs/20)
+	}
+	if guidedN == 0 || vanillaN == 0 {
+		t.Fatal("no detections")
+	}
+	gIoU := guidedIoU / float64(guidedN)
+	vIoU := vanillaIoU / float64(vanillaN)
+	if gIoU < vIoU-0.03 {
+		t.Errorf("guided IoU %.3f dropped below vanilla %.3f", gIoU, vIoU)
+	}
+	if gIoU < 0.9 {
+		t.Errorf("guided IoU %.3f, want >= 0.9 (paper: >0.92)", gIoU)
+	}
+}
+
+func TestRPNLatencyCut(t *testing.T) {
+	// Fig. 14: dynamic anchor placement cuts RPN latency by ~46%.
+	model := segmodel.New(segmodel.MaskRCNN)
+	in, plan := guidedInput(7)
+	v := model.Run(in, nil)
+	g := model.Run(in, plan)
+	cut := 1 - g.RPNMs/v.RPNMs
+	if cut < 0.3 || cut > 0.6 {
+		t.Errorf("RPN latency cut = %.2f, want ~0.46", cut)
+	}
+}
+
+func TestRoIReduction(t *testing.T) {
+	model := segmodel.New(segmodel.MaskRCNN)
+	in, plan := guidedInput(8)
+	v := model.Run(in, nil)
+	g := model.Run(in, plan)
+	if g.RoIsProcessed >= v.RoIsProcessed {
+		t.Errorf("guided RoIs %d >= vanilla %d", g.RoIsProcessed, v.RoIsProcessed)
+	}
+}
+
+func TestUncoveredObjectMissed(t *testing.T) {
+	// An object outside every instructed area cannot be proposed — the
+	// honest failure mode of stale priors, recovered by new-area offloads.
+	m1 := rectMask(640, 480, 80, 100, 260, 220)
+	m2 := rectMask(640, 480, 400, 280, 520, 380)
+	in := segmodel.Input{
+		Width: 640, Height: 480,
+		Objects: []segmodel.ObjectTruth{
+			{ObjectID: 1, Label: 2, Visible: m1, Box: m1.BoundingBox()},
+			{ObjectID: 2, Label: 1, Visible: m2, Box: m2.BoundingBox()},
+		},
+		Seed: 4,
+	}
+	plan := BuildPlan([]ObjectPrior{{Box: m1.BoundingBox(), Label: 2}}, nil, 640, 480, 0)
+	res := segmodel.New(segmodel.MaskRCNN).Run(in, plan)
+	for _, d := range res.Detections {
+		if d.ObjectID == 2 {
+			t.Error("uncovered object detected")
+		}
+	}
+}
+
+func TestNewAreaRecoversObject(t *testing.T) {
+	m2 := rectMask(640, 480, 400, 280, 520, 380)
+	in := segmodel.Input{
+		Width: 640, Height: 480,
+		Objects: []segmodel.ObjectTruth{
+			{ObjectID: 2, Label: 1, Visible: m2, Box: m2.BoundingBox()},
+		},
+		Seed: 4,
+	}
+	// No prior, but a new-area box covering the right region.
+	plan := BuildPlan(nil, []mask.Box{{MinX: 380, MinY: 260, MaxX: 560, MaxY: 420}}, 640, 480, 0)
+	found := false
+	for seed := int64(0); seed < 10; seed++ {
+		in.Seed = seed
+		res := segmodel.New(segmodel.MaskRCNN).Run(in, plan)
+		for _, d := range res.Detections {
+			if d.ObjectID == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("object in new area never detected")
+	}
+}
+
+func TestPruneAreaParetoFront(t *testing.T) {
+	a := Area{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Label: 3, Known: true}
+	plan := &Plan{Areas: []Area{a}}
+	props := []segmodel.Proposal{
+		// High conf, high IoU: survives.
+		{Box: mask.Box{MinX: 2, MinY: 2, MaxX: 98, MaxY: 98}, Score: 0.9, Label: 3, AreaID: 0},
+		// Lower conf AND lower IoU: dominated, pruned.
+		{Box: mask.Box{MinX: 30, MinY: 30, MaxX: 80, MaxY: 80}, Score: 0.7, Label: 3, AreaID: 0},
+		// Lower conf but HIGHER IoU than the first: survives.
+		{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Score: 0.6, Label: 3, AreaID: 0},
+	}
+	kept := plan.SelectRoIs(props)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	scores := map[float64]bool{}
+	for _, k := range kept {
+		scores[k.Score] = true
+	}
+	if !scores[0.9] || !scores[0.6] || scores[0.7] {
+		t.Errorf("wrong Pareto front: %v", scores)
+	}
+}
+
+func TestPruneOffClassDemoted(t *testing.T) {
+	a := Area{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Label: 3, Known: true}
+	plan := &Plan{Areas: []Area{a}}
+	props := []segmodel.Proposal{
+		{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Score: 0.9, Label: 7, AreaID: 0}, // wrong class
+		{Box: mask.Box{MinX: 1, MinY: 1, MaxX: 99, MaxY: 99}, Score: 0.8, Label: 3, AreaID: 0},   // right class
+	}
+	kept := plan.SelectRoIs(props)
+	// The on-class proposal must come first (higher effective confidence).
+	if len(kept) == 0 || kept[0].Label != 3 {
+		t.Errorf("on-class proposal not preferred: %+v", kept)
+	}
+}
+
+func TestFastNMS(t *testing.T) {
+	props := []segmodel.Proposal{
+		{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Score: 0.9},
+		{Box: mask.Box{MinX: 5, MinY: 5, MaxX: 105, MaxY: 105}, Score: 0.8},
+		{Box: mask.Box{MinX: 10, MinY: 10, MaxX: 110, MaxY: 110}, Score: 0.7},
+		{Box: mask.Box{MinX: 300, MinY: 300, MaxX: 400, MaxY: 400}, Score: 0.6},
+	}
+	kept := FastNMS(props, 0.7, 10)
+	// Fast NMS: 0.8 suppressed by 0.9; 0.7 suppressed by 0.9 or 0.8
+	// (even though 0.8 is itself suppressed — the YOLACT relaxation).
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.6 {
+		t.Errorf("wrong survivors: %+v", kept)
+	}
+	if got := FastNMS(nil, 0.7, 10); len(got) != 0 {
+		t.Error("empty input should yield empty output")
+	}
+}
+
+func TestSelectRoIsDeterministic(t *testing.T) {
+	in, plan := guidedInput(11)
+	model := segmodel.New(segmodel.MaskRCNN)
+	a := model.Run(in, plan)
+	b := model.Run(in, plan)
+	if a.RoIsProcessed != b.RoIsProcessed || math.Abs(a.TotalMs()-b.TotalMs()) > 1e-12 {
+		t.Error("guided run nondeterministic")
+	}
+}
+
+func TestStalePriorWithinMarginStillDetects(t *testing.T) {
+	// A transferred mask lags the object slightly; the surrounding-box
+	// margin (Section IV-A) absorbs the drift.
+	m := rectMask(640, 480, 200, 150, 330, 260)
+	in := segmodel.Input{
+		Width: 640, Height: 480,
+		Objects: []segmodel.ObjectTruth{
+			{ObjectID: 1, Label: 2, Visible: m, Box: m.BoundingBox()},
+		},
+	}
+	// Prior shifted by 10 px: inside the default 16 px margin.
+	stale := mask.Box{MinX: 190, MinY: 140, MaxX: 320, MaxY: 250}
+	plan := BuildPlan([]ObjectPrior{{Box: stale, Label: 2}}, nil, 640, 480, 0)
+	hits := 0
+	for seed := int64(0); seed < 10; seed++ {
+		in.Seed = seed
+		res := segmodel.New(segmodel.MaskRCNN).Run(in, plan)
+		for _, d := range res.Detections {
+			if d.ObjectID == 1 {
+				hits++
+			}
+		}
+	}
+	if hits < 8 {
+		t.Errorf("detected %d/10 with slightly stale prior", hits)
+	}
+}
+
+func TestVeryStalePriorMissesWithoutNewArea(t *testing.T) {
+	// A badly stale prior leaves the object uncovered — the failure CFRS's
+	// new-area trigger exists to repair.
+	m := rectMask(640, 480, 200, 150, 330, 260)
+	in := segmodel.Input{
+		Width: 640, Height: 480,
+		Objects: []segmodel.ObjectTruth{
+			{ObjectID: 1, Label: 2, Visible: m, Box: m.BoundingBox()},
+		},
+		Seed: 1,
+	}
+	farStale := mask.Box{MinX: 10, MinY: 10, MaxX: 120, MaxY: 100}
+	plan := BuildPlan([]ObjectPrior{{Box: farStale, Label: 2}}, nil, 640, 480, 0)
+	res := segmodel.New(segmodel.MaskRCNN).Run(in, plan)
+	for _, d := range res.Detections {
+		if d.ObjectID == 1 {
+			t.Error("object detected despite a prior pointing elsewhere")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"testing"
+
+	"edgeis/internal/device"
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+)
+
+func testWorldAndFrames(n int) (*scene.World, geom.Camera, []*scene.Frame, *feature.Extractor) {
+	w := scene.NewWorld(scene.WorldConfig{Seed: 5}, []*scene.Object{
+		{Class: scene.Car, Center: geom.V3(-1, 1, 9), Half: geom.V3(1.6, 1, 1)},
+		{Class: scene.Person, Center: geom.V3(2.5, 0.9, 7), Half: geom.V3(0.35, 0.9, 0.35)},
+	})
+	cam := geom.StandardCamera(320, 240)
+	traj := scene.WaypointPath{
+		Waypoints: []geom.Vec3{geom.V3(-2, 1.6, -2), geom.V3(3, 1.6, -1)},
+		Target:    geom.V3(0, 1, 9), Speed: scene.WalkSpeed,
+	}
+	frames := w.RenderSequence(cam, traj, n)
+	return w, cam, frames, feature.NewExtractor(w, cam, feature.DefaultConfig(), 9)
+}
+
+// resultFor fabricates an edge result with ground-truth masks for a frame.
+func resultFor(f *scene.Frame) pipeline.EdgeResult {
+	res := pipeline.EdgeResult{FrameIndex: f.Index}
+	for _, gt := range f.Objects {
+		res.Detections = append(res.Detections, segmodel.Detection{
+			ObjectID: gt.ObjectID, Label: int(gt.Class),
+			Mask: gt.Visible.Clone(), Box: gt.Box, Score: 0.9,
+		})
+	}
+	return res
+}
+
+func TestTrackerMotionVectorFollowsTranslation(t *testing.T) {
+	w, cam, frames, ex := testWorldAndFrames(30)
+	_ = w
+	tr := NewTracker(TrackMotionVector)
+
+	// Seed with frame 0's ground truth.
+	f0 := frames[0]
+	var tms []TrackedMask
+	for _, gt := range f0.Objects {
+		tms = append(tms, TrackedMask{Label: int(gt.Class), Mask: gt.Visible.Clone(), SourceFrame: 0})
+	}
+	tr.Step(ex.Extract(f0, scene.WalkSpeed))
+	tr.SetMasks(tms)
+
+	for _, f := range frames[1:] {
+		tr.Step(ex.Extract(f, scene.WalkSpeed))
+	}
+	last := frames[len(frames)-1]
+
+	// Tracked masks should beat the untracked frame-0 masks.
+	for i, tm := range tr.Masks() {
+		gt := last.GroundTruthFor(f0.Objects[i].ObjectID)
+		if gt == nil {
+			continue
+		}
+		tracked := mask.IoU(tm.Mask, gt.Visible)
+		stale := mask.IoU(f0.Objects[i].Visible, gt.Visible)
+		if tracked < stale-0.05 {
+			t.Errorf("object %d: tracked IoU %.3f worse than stale %.3f", i, tracked, stale)
+		}
+	}
+	_ = cam
+}
+
+func TestTrackerKCFScales(t *testing.T) {
+	// KCF follows scale; MV does not. On an approach trajectory the KCF
+	// track must beat the MV track.
+	w := scene.NewWorld(scene.WorldConfig{Seed: 6}, []*scene.Object{
+		{Class: scene.Car, Center: geom.V3(0, 1, 10), Half: geom.V3(1.6, 1, 1)},
+	})
+	cam := geom.StandardCamera(320, 240)
+	traj := scene.WaypointPath{
+		Waypoints: []geom.Vec3{geom.V3(0, 1.6, -4), geom.V3(0, 1.6, 4)},
+		Target:    geom.V3(0, 1, 10), Speed: scene.WalkSpeed,
+	}
+	frames := w.RenderSequence(cam, traj, 60)
+
+	run := func(kind TrackerKind) float64 {
+		ex := feature.NewExtractor(w, cam, feature.DefaultConfig(), 11)
+		tr := NewTracker(kind)
+		tr.Step(ex.Extract(frames[0], scene.WalkSpeed))
+		tr.SetMasks([]TrackedMask{{
+			Label: int(scene.Car), Mask: frames[0].Objects[0].Visible.Clone(),
+		}})
+		for _, f := range frames[1:] {
+			tr.Step(ex.Extract(f, scene.WalkSpeed))
+		}
+		last := frames[len(frames)-1]
+		return mask.IoU(tr.Masks()[0].Mask, last.Objects[0].Visible)
+	}
+	kcf := run(TrackKCF)
+	mv := run(TrackMotionVector)
+	if kcf <= mv {
+		t.Errorf("KCF IoU %.3f should beat MV %.3f under scale change", kcf, mv)
+	}
+}
+
+func TestTrackerNoFeaturesKeepsMask(t *testing.T) {
+	tr := NewTracker(TrackMotionVector)
+	m := mask.New(64, 64)
+	for y := 10; y < 30; y++ {
+		for x := 10; x < 30; x++ {
+			m.Set(x, y)
+		}
+	}
+	tr.SetMasks([]TrackedMask{{Label: 1, Mask: m}})
+	tr.Step(nil) // first step: no previous features
+	tr.Step(nil) // still nothing to match
+	if got := tr.Masks()[0].Mask.Area(); got != m.Area() {
+		t.Errorf("mask changed without matches: %d", got)
+	}
+}
+
+func TestMobileOnlyStrategy(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(3)
+	s := NewMobileOnly(cam, device.IPhone11, 1)
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+	out := s.ProcessFrame(frames[0], ex.Extract(frames[0], 1), 0)
+	// Local inference on a phone takes many frame intervals.
+	if out.ComputeMs < 500 {
+		t.Errorf("mobile inference = %.0f ms, implausibly fast", out.ComputeMs)
+	}
+	if len(out.Offloads) != 0 {
+		t.Error("mobile-only must not offload")
+	}
+	if len(out.Masks) == 0 {
+		t.Error("no masks from local inference")
+	}
+	// HandleEdgeResult is a no-op.
+	s.HandleEdgeResult(pipeline.EdgeResult{}, frames[0], 0)
+}
+
+func TestEdgeStrategyKeyframeCadence(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(30)
+	s := NewEAAR(cam, device.IPhone11)
+	offloads := 0
+	for _, f := range frames {
+		out := s.ProcessFrame(f, ex.Extract(f, 1), float64(f.Index)*33.3)
+		offloads += len(out.Offloads)
+	}
+	// Every 10 frames over 30 frames: 3 offloads.
+	if offloads != 3 {
+		t.Errorf("offloads = %d, want 3", offloads)
+	}
+}
+
+func TestEdgeStrategyResultRefreshesTracker(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(5)
+	s := NewEdgeDuet(cam, device.IPhone11)
+	s.ProcessFrame(frames[0], ex.Extract(frames[0], 1), 0)
+	if len(s.Tracker().Masks()) != 0 {
+		t.Fatal("tracker should start empty")
+	}
+	s.HandleEdgeResult(resultFor(frames[0]), frames[0], 40)
+	if len(s.Tracker().Masks()) != len(frames[0].Objects) {
+		t.Errorf("tracker has %d masks", len(s.Tracker().Masks()))
+	}
+	out := s.ProcessFrame(frames[1], ex.Extract(frames[1], 1), 33.3)
+	if len(out.Masks) != len(frames[0].Objects) {
+		t.Errorf("displayed %d masks", len(out.Masks))
+	}
+}
+
+func TestBestEffortOffloadsEveryFrame(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(10)
+	s := NewBestEffort(cam, device.IPhone11)
+	offloads := 0
+	for _, f := range frames {
+		out := s.ProcessFrame(f, ex.Extract(f, 1), float64(f.Index)*33.3)
+		offloads += len(out.Offloads)
+	}
+	if offloads != 10 {
+		t.Errorf("offloads = %d, want 10", offloads)
+	}
+	if s.PreferredQueueDepth() <= 1 {
+		t.Error("best-effort should imply a deep dumb queue")
+	}
+}
+
+func TestEncodingPolicyBytes(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(2)
+	// Seed each strategy's tracker with masks so encoders see objects.
+	strategies := map[string]*EdgeStrategy{
+		"best-effort": NewBestEffort(cam, device.IPhone11),
+		"eaar":        NewEAAR(cam, device.IPhone11),
+		"edgeduet":    NewEdgeDuet(cam, device.IPhone11),
+	}
+	bytes := map[string]int{}
+	for name, s := range strategies {
+		s.ProcessFrame(frames[0], ex.Extract(frames[0], 1), 0)
+		s.HandleEdgeResult(resultFor(frames[0]), frames[0], 10)
+		ef, err := s.encode(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bytes[name] = ef.Bytes
+	}
+	// Best-effort (uniform high) must be the most expensive; EdgeDuet's
+	// low-base tile policy the cheapest.
+	if !(bytes["best-effort"] > bytes["eaar"] && bytes["eaar"] > bytes["edgeduet"]) {
+		t.Errorf("byte ordering violated: %v", bytes)
+	}
+}
+
+func TestVariantGuidance(t *testing.T) {
+	_, cam, frames, ex := testWorldAndFrames(2)
+	s := NewVariant(cam, device.IPhone11, VariantConfig{
+		Name: "guided", Encode: EncodeUniformHigh, KeyframeInterval: 1, UseGuidance: true,
+	})
+	// Without tracker masks, no guidance plan attaches.
+	out := s.ProcessFrame(frames[0], ex.Extract(frames[0], 1), 0)
+	if len(out.Offloads) != 1 || out.Offloads[0].Guidance != nil {
+		t.Fatal("guidance should be absent without cached masks")
+	}
+	s.HandleEdgeResult(resultFor(frames[0]), frames[0], 10)
+	out = s.ProcessFrame(frames[1], ex.Extract(frames[1], 1), 33.3)
+	if len(out.Offloads) != 1 || out.Offloads[0].Guidance == nil {
+		t.Fatal("guidance missing after tracker masks arrived")
+	}
+}
+
+func TestVariantDefaults(t *testing.T) {
+	s := NewVariant(geom.StandardCamera(64, 64), device.IPhone11, VariantConfig{Name: "d"})
+	if s.keyframeInterval != 10 || s.tracker.Kind != TrackMotionVector {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+	if got := median([]float64{5}); got != 5 {
+		t.Errorf("median = %v", got)
+	}
+}
+
+func TestSpreadRatio(t *testing.T) {
+	p0 := []struct{ X, Y float64 }{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	p1 := []struct{ X, Y float64 }{{0, 0}, {4, 0}, {0, 4}, {4, 4}}
+	if got := spreadRatio(p0, p1); got < 1.9 || got > 2.1 {
+		t.Errorf("spread ratio = %v, want ~2", got)
+	}
+	// Degenerate: all points identical.
+	same := []struct{ X, Y float64 }{{1, 1}, {1, 1}}
+	if got := spreadRatio(same, p1); got != 1 {
+		t.Errorf("degenerate ratio = %v, want 1", got)
+	}
+}

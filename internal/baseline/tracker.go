@@ -1,0 +1,151 @@
+// Package baseline implements the comparison systems of Section VI-B:
+// pure mobile inference, best-effort edge offloading with motion-vector
+// tracking, and the two adapted prior systems EAAR (Liu et al.) and
+// EdgeDuet — each combining a local mask tracker with its own transmission
+// strategy, with the edge running the same (unaccelerated) Mask R-CNN as
+// edgeIS.
+package baseline
+
+import (
+	"math"
+
+	"edgeis/internal/feature"
+	"edgeis/internal/mask"
+)
+
+// TrackedMask is a cached instance mask a local tracker keeps updated.
+type TrackedMask struct {
+	Label int
+	Mask  *mask.Bitmask
+	// SourceFrame is the keyframe the mask was last corrected on.
+	SourceFrame int
+}
+
+// TrackerKind selects the local update rule.
+type TrackerKind int
+
+// Tracker kinds of the compared systems.
+const (
+	// TrackMotionVector translates masks by the mean feature displacement
+	// inside them — EAAR's and the best-effort baseline's scheme.
+	TrackMotionVector TrackerKind = iota + 1
+	// TrackKCF additionally follows scale changes (correlation-filter
+	// style), EdgeDuet's local tracker.
+	TrackKCF
+)
+
+// Tracker updates cached masks frame to frame using feature matches — the
+// "track" half of the classical track+detect paradigm (Section II-A).
+type Tracker struct {
+	Kind      TrackerKind
+	prevFeats []feature.Feature
+	masks     []TrackedMask
+}
+
+// NewTracker builds a tracker.
+func NewTracker(kind TrackerKind) *Tracker {
+	return &Tracker{Kind: kind}
+}
+
+// SetMasks replaces the cached masks (a keyframe result arrived).
+func (t *Tracker) SetMasks(masks []TrackedMask) {
+	t.masks = masks
+}
+
+// Masks returns the current cached masks.
+func (t *Tracker) Masks() []TrackedMask { return t.masks }
+
+// Step advances every cached mask using matches between the previous and
+// the current frame's features, then stores the current features for the
+// next step.
+func (t *Tracker) Step(feats []feature.Feature) {
+	defer func() {
+		t.prevFeats = feats
+	}()
+	if len(t.prevFeats) == 0 || len(t.masks) == 0 {
+		return
+	}
+	matches := feature.MatchFeatures(t.prevFeats, feats)
+	for i := range t.masks {
+		t.masks[i].Mask = t.advance(t.masks[i].Mask, matches, feats)
+	}
+}
+
+// advance applies the tracker's motion model to one mask.
+func (t *Tracker) advance(m *mask.Bitmask, matches []feature.Match, feats []feature.Feature) *mask.Bitmask {
+	box := m.BoundingBox()
+	if box.Empty() {
+		return m
+	}
+	// Collect displacements of features that started inside the mask box.
+	var dxs, dys []float64
+	var p0s, p1s []struct{ X, Y float64 }
+	for _, mt := range matches {
+		p0 := t.prevFeats[mt.A].Pixel
+		if !box.Contains(int(p0.X), int(p0.Y)) {
+			continue
+		}
+		p1 := feats[mt.B].Pixel
+		dxs = append(dxs, p1.X-p0.X)
+		dys = append(dys, p1.Y-p0.Y)
+		p0s = append(p0s, struct{ X, Y float64 }{p0.X, p0.Y})
+		p1s = append(p1s, struct{ X, Y float64 }{p1.X, p1.Y})
+	}
+	if len(dxs) < 2 {
+		return m // nothing to go on; keep the stale mask
+	}
+	dx := median(dxs)
+	dy := median(dys)
+	out := m.Translate(int(math.Round(dx)), int(math.Round(dy)))
+
+	if t.Kind == TrackKCF && len(p0s) >= 4 {
+		// Scale estimate: ratio of mean pairwise spreads (the scale term a
+		// correlation filter with a scale pyramid recovers).
+		s := spreadRatio(p0s, p1s)
+		if s > 0.5 && s < 2 && math.Abs(s-1) > 0.01 {
+			c, ok := out.CenterOfMass()
+			if ok {
+				out = out.ScaleAround(c.X, c.Y, s)
+			}
+		}
+	}
+	return out
+}
+
+// median returns the median of a small slice (destructive sort-free
+// selection is unnecessary at these sizes).
+func median(vs []float64) float64 {
+	cp := append([]float64(nil), vs...)
+	// Insertion sort: n is tens at most.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// spreadRatio compares the mean distance-from-centroid of matched point
+// sets, a robust isotropic scale estimate.
+func spreadRatio(p0s, p1s []struct{ X, Y float64 }) float64 {
+	spread := func(ps []struct{ X, Y float64 }) float64 {
+		var cx, cy float64
+		for _, p := range ps {
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(ps))
+		cx /= n
+		cy /= n
+		s := 0.0
+		for _, p := range ps {
+			s += math.Hypot(p.X-cx, p.Y-cy)
+		}
+		return s / n
+	}
+	s0 := spread(p0s)
+	if s0 < 1e-9 {
+		return 1
+	}
+	return spread(p1s) / s0
+}

@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"edgeis/internal/accel"
+	"edgeis/internal/codec"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/pipeline"
+)
+
+// EncodeMode selects the transmission encoding of a custom strategy —
+// the variable the Fig. 16 module ablation sweeps.
+type EncodeMode int
+
+// Encoding modes.
+const (
+	// EncodeUniformHigh ships whole frames at high quality (best-effort).
+	EncodeUniformHigh EncodeMode = iota + 1
+	// EncodeRoIBoxes ships tracked-object boxes high, the rest medium
+	// (EAAR-style RoI encoding).
+	EncodeRoIBoxes
+	// EncodeSmallPriority ships small objects high, large objects medium,
+	// the rest low (EdgeDuet's tile policy).
+	EncodeSmallPriority
+	// EncodeCFRSLike ships object tiles high, a context band medium, the
+	// rest low — the CFRS partition applied to tracker state (the
+	// "baseline + CFRS" ablation arm, which lacks VO new-area signals).
+	EncodeCFRSLike
+)
+
+// VariantConfig assembles a custom track+detect strategy for ablations.
+type VariantConfig struct {
+	Name    string
+	Tracker TrackerKind
+	// KeyframeInterval is the offload cadence (frames).
+	KeyframeInterval int
+	// QueueDepth is the edge queue the strategy implies (0 = latest-wins).
+	QueueDepth int
+	Encode     EncodeMode
+	// UseGuidance attaches a CIIA plan built from the tracker's cached
+	// masks to each offload (the "baseline + CIIA" ablation arm).
+	UseGuidance bool
+}
+
+// NewVariant builds a custom strategy from the configuration.
+func NewVariant(cam geom.Camera, dev device.Profile, cfg VariantConfig) *EdgeStrategy {
+	if cfg.KeyframeInterval == 0 {
+		cfg.KeyframeInterval = 10
+	}
+	if cfg.Tracker == 0 {
+		cfg.Tracker = TrackMotionVector
+	}
+	s := &EdgeStrategy{
+		name:             cfg.Name,
+		camera:           cam,
+		dev:              dev,
+		grid:             codec.NewGrid(cam.Width, cam.Height),
+		tracker:          NewTracker(cfg.Tracker),
+		keyframeInterval: cfg.KeyframeInterval,
+		queueDepth:       cfg.QueueDepth,
+		useGuidance:      cfg.UseGuidance,
+	}
+	switch cfg.Encode {
+	case EncodeRoIBoxes:
+		s.encode = encodeRoIBoxes
+	case EncodeSmallPriority:
+		s.encode = encodeSmallPriority
+	case EncodeCFRSLike:
+		s.encode = encodeCFRSLike
+	default:
+		s.encode = encodeUniformHigh
+	}
+	return s
+}
+
+func encodeUniformHigh(s *EdgeStrategy) (*codec.EncodedFrame, error) {
+	return codec.EncodeUniform(s.grid, codec.QualityHigh, nil), nil
+}
+
+func encodeRoIBoxes(s *EdgeStrategy) (*codec.EncodedFrame, error) {
+	levels := make([]codec.QualityLevel, s.grid.Tiles())
+	for i := range levels {
+		levels[i] = codec.QualityMedium
+	}
+	for _, tm := range s.tracker.Masks() {
+		b := tm.Mask.BoundingBox().Expand(24, s.camera.Width, s.camera.Height)
+		for _, tl := range s.grid.TilesInBox(b) {
+			levels[tl] = codec.QualityHigh
+		}
+	}
+	return codec.Encode(s.grid, levels, nil)
+}
+
+func encodeSmallPriority(s *EdgeStrategy) (*codec.EncodedFrame, error) {
+	levels := make([]codec.QualityLevel, s.grid.Tiles())
+	for i := range levels {
+		levels[i] = codec.QualityLow
+	}
+	for _, tm := range s.tracker.Masks() {
+		b := tm.Mask.BoundingBox()
+		lvl := codec.QualityMedium
+		if b.Area() <= smallObjectArea {
+			lvl = codec.QualityHigh
+		}
+		for _, tl := range s.grid.TilesInBox(b.Expand(codec.TileSize, s.camera.Width, s.camera.Height)) {
+			if levels[tl] < lvl {
+				levels[tl] = lvl
+			}
+		}
+	}
+	return codec.Encode(s.grid, levels, nil)
+}
+
+func encodeCFRSLike(s *EdgeStrategy) (*codec.EncodedFrame, error) {
+	levels := make([]codec.QualityLevel, s.grid.Tiles())
+	for i := range levels {
+		levels[i] = codec.QualityLow
+	}
+	for _, tm := range s.tracker.Masks() {
+		b := tm.Mask.BoundingBox()
+		for _, tl := range s.grid.TilesInBox(b) {
+			levels[tl] = codec.QualityHigh
+		}
+		ctx := b.Expand(codec.TileSize, s.camera.Width, s.camera.Height)
+		for _, tl := range s.grid.TilesInBox(ctx) {
+			if levels[tl] < codec.QualityMedium {
+				levels[tl] = codec.QualityMedium
+			}
+		}
+	}
+	return codec.Encode(s.grid, levels, nil)
+}
+
+// guidancePlan builds a CIIA plan from the tracker's cached masks. Unlike
+// edgeIS, the baseline has no motion-aware new-area detection, so a
+// full-frame unknown area keeps uncovered objects detectable: without it a
+// single missed detection would lock the object out of every future
+// instructed inference. The plan therefore saves second-stage work (RoI
+// pruning in the known areas) but cannot shrink the anchor grid.
+func (s *EdgeStrategy) guidancePlan() *accel.Plan {
+	priors := make([]accel.ObjectPrior, 0, len(s.tracker.Masks()))
+	for _, tm := range s.tracker.Masks() {
+		priors = append(priors, accel.ObjectPrior{
+			Box:   tm.Mask.BoundingBox(),
+			Label: tm.Label,
+		})
+	}
+	if len(priors) == 0 {
+		return nil
+	}
+	whole := []mask.Box{{MinX: 0, MinY: 0, MaxX: s.camera.Width, MaxY: s.camera.Height}}
+	return accel.BuildPlan(priors, whole, s.camera.Width, s.camera.Height, 0)
+}
+
+// attachGuidance wires the plan into an offload request when enabled.
+func (s *EdgeStrategy) attachGuidance(req *pipeline.OffloadRequest) {
+	if !s.useGuidance {
+		return
+	}
+	if plan := s.guidancePlan(); plan != nil {
+		req.Guidance = plan
+	}
+}

@@ -1,0 +1,497 @@
+// Package core assembles the complete edgeIS system — the paper's primary
+// contribution. It wires the three components around the "transfer+infer"
+// paradigm (Fig. 4):
+//
+//   - Motion Aware Mobile Mask Transfer (packages vo + transfer): the VO
+//     tracks the device and each object; cached masks are transferred to
+//     every frame by contour reprojection.
+//   - Contour Instructed edge Inference Acceleration (package accel): the
+//     transferred masks instruct the edge model's anchor placement and RoI
+//     pruning.
+//   - Content-based Fine-grained RoI Selection (packages roisel + codec):
+//     offload triggers and tile-level encoding.
+//
+// System implements pipeline.Strategy, so it can run head-to-head against
+// the baselines on identical scenarios. The ablation switches correspond to
+// the module study of Fig. 16.
+package core
+
+import (
+	"sort"
+
+	"edgeis/internal/accel"
+	"edgeis/internal/baseline"
+	"edgeis/internal/codec"
+	"edgeis/internal/device"
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/metrics"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/roisel"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transfer"
+	"edgeis/internal/vo"
+)
+
+// Config assembles an edgeIS mobile system.
+type Config struct {
+	Camera geom.Camera
+	Device device.Profile
+	Seed   int64
+
+	VO       vo.Config
+	Transfer transfer.Config
+	Selector roisel.Config
+
+	// DisableGuidance turns CIIA off (edge runs the vanilla model) — the
+	// "w/o CIIA" ablation.
+	DisableGuidance bool
+	// DisableCFRS turns content-based selection off: keyframes ship on a
+	// fixed cadence at uniform high quality — the "w/o CFRS" ablation.
+	DisableCFRS bool
+	// KeyframeInterval is the fixed cadence used when CFRS is disabled
+	// (default 10 frames).
+	KeyframeInterval int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Device.Name == "" {
+		c.Device = device.IPhone11
+	}
+	if c.VO.Camera.Width == 0 {
+		c.VO.Camera = c.Camera
+		c.VO.Seed = c.Seed
+	}
+	if c.KeyframeInterval == 0 {
+		c.KeyframeInterval = 10
+	}
+}
+
+// SessionStats counts session-level events for observability.
+type SessionStats struct {
+	InitAttempts int // staged initialization pairs
+	InitFailures int // CompleteInitialization errors (degenerate geometry)
+	LostEvents   int // tracking losses requiring re-initialization
+	EdgeResults  int // edge inference results consumed
+	StaleResults int // results too old to apply (frame record evicted)
+	InitResults  int // results received for initialization frames
+	InitEmpty    int // initialization results with no usable masks
+}
+
+// System is the edgeIS mobile runtime. It implements pipeline.Strategy.
+type System struct {
+	cfg  Config
+	vo   *vo.System
+	pred *transfer.Predictor
+	sel  *roisel.Selector
+	grid codec.Grid
+
+	// fallback is a motion-vector tracker that keeps masks on screen while
+	// the VO (re-)initializes — without it the screen would be empty for
+	// the whole init window, which no deployed system would accept.
+	fallback *baseline.Tracker
+
+	// pendingInit holds edge results awaited for the initialization pair.
+	initRef, initCur     int
+	awaitingInit         bool
+	awaitingSince        int
+	initResults          map[int][]vo.LabeledMask
+	stats                SessionStats
+	lastPredictions      []transfer.Prediction
+	lastUnlabeledPix     []struct{ X, Y float64 }
+	framesSinceKeyframe  int
+	cpu                  device.CPUModel
+	mem                  *device.MemoryModel
+	lastMemSampleFrame   int
+	offloadedThisSession int
+}
+
+var _ pipeline.Strategy = (*System)(nil)
+
+// NewSystem builds the edgeIS runtime.
+func NewSystem(cfg Config) *System {
+	cfg.applyDefaults()
+	return &System{
+		cfg:         cfg,
+		vo:          vo.NewSystem(cfg.VO),
+		pred:        transfer.NewPredictor(cfg.Camera, cfg.Transfer),
+		sel:         roisel.NewSelector(cfg.Selector),
+		grid:        codec.NewGrid(cfg.Camera.Width, cfg.Camera.Height),
+		fallback:    baseline.NewTracker(baseline.TrackMotionVector),
+		initResults: make(map[int][]vo.LabeledMask),
+		mem:         device.NewMemoryModel(cfg.Device),
+	}
+}
+
+// Name implements pipeline.Strategy.
+func (s *System) Name() string {
+	switch {
+	case s.cfg.DisableGuidance && s.cfg.DisableCFRS:
+		return "edgeIS (MAMT only)"
+	case s.cfg.DisableGuidance:
+		return "edgeIS (w/o CIIA)"
+	case s.cfg.DisableCFRS:
+		return "edgeIS (w/o CFRS)"
+	default:
+		return "edgeIS"
+	}
+}
+
+// VO exposes the odometry (read-only use in tests/metrics).
+func (s *System) VO() *vo.System { return s.vo }
+
+// Selector exposes the CFRS selector for reason accounting.
+func (s *System) Selector() *roisel.Selector { return s.sel }
+
+// Stats returns session-level event counters.
+func (s *System) Stats() SessionStats { return s.stats }
+
+// CPU returns the CPU utilization model.
+func (s *System) CPU() *device.CPUModel { return &s.cpu }
+
+// Memory returns the memory model.
+func (s *System) Memory() *device.MemoryModel { return s.mem }
+
+// toKeypoints converts extractor output for the VO.
+func toKeypoints(feats []feature.Feature) []vo.Keypoint {
+	out := make([]vo.Keypoint, len(feats))
+	for i, f := range feats {
+		out[i] = vo.Keypoint{Pixel: f.Pixel, Descriptor: f.Descriptor, Sharpness: f.Sharpness}
+	}
+	return out
+}
+
+// ProcessFrame implements pipeline.Strategy: one camera frame through the
+// full mobile pipeline.
+func (s *System) ProcessFrame(f *scene.Frame, feats []feature.Feature, nowMs float64) pipeline.FrameOutput {
+	st := s.vo.ProcessFrame(f.Index, toKeypoints(feats))
+	s.fallback.Step(feats)
+
+	out := pipeline.FrameOutput{}
+	switch st {
+	case vo.StatusInitPairReady:
+		// Request masks for the staged pair; if a previous request lost
+		// one of its results (edge queue replacement under load), the
+		// timeout retransmits both frames. The timeout must exceed the
+		// worst case of two sequential unguided inferences plus transfers
+		// (~1 s), or the retry itself evicts the second request forever.
+		const initRetryFrames = 40
+		if !s.awaitingInit || f.Index-s.awaitingSince > initRetryFrames {
+			out = s.handleInitPair(f)
+		}
+		out.Masks = s.fallbackMasks()
+	case vo.StatusTracking:
+		out = s.handleTracking(f)
+	case vo.StatusLost:
+		s.stats.LostEvents++
+		s.vo.Reset()
+		s.pred = transfer.NewPredictor(s.cfg.Camera, s.cfg.Transfer)
+		out.Masks = s.fallbackMasks()
+	default: // collecting
+		out.Masks = s.fallbackMasks()
+	}
+
+	out.ComputeMs += s.cfg.Device.MobileFrameMs(len(s.vo.Instances()))
+	s.cpu.Add(out.ComputeMs, pipeline.FrameBudgetMs)
+	if f.Index-s.lastMemSampleFrame >= 15 {
+		s.mem.Sample(s.vo.Map().Len(), f.Index-s.lastMemSampleFrame, s.pred.CacheSize())
+		s.lastMemSampleFrame = f.Index
+	}
+	s.framesSinceKeyframe++
+	return out
+}
+
+// fallbackMasks converts the MV tracker state for display.
+func (s *System) fallbackMasks() []metrics.PredictedMask {
+	tms := s.fallback.Masks()
+	out := make([]metrics.PredictedMask, 0, len(tms))
+	for _, tm := range tms {
+		out = append(out, metrics.PredictedMask{Label: tm.Label, Mask: tm.Mask})
+	}
+	return out
+}
+
+// handleInitPair ships both staged initialization frames at full quality.
+func (s *System) handleInitPair(f *scene.Frame) pipeline.FrameOutput {
+	ref, cur, ok := s.vo.PendingInitPair()
+	if !ok {
+		return pipeline.FrameOutput{}
+	}
+	if ref != s.initRef || cur != s.initCur {
+		// A new pair invalidates results gathered for the previous one;
+		// a retransmit of the same pair keeps any partial result.
+		s.initResults = make(map[int][]vo.LabeledMask)
+	}
+	s.initRef, s.initCur = ref, cur
+	s.stats.InitAttempts++
+	s.awaitingInit = true
+	s.awaitingSince = f.Index
+
+	var offs []*pipeline.OffloadRequest
+	for _, idx := range []int{ref, cur} {
+		ef := codec.EncodeUniform(s.grid, codec.QualityHigh, nil)
+		offs = append(offs, &pipeline.OffloadRequest{
+			FrameIndex:   idx,
+			PayloadBytes: ef.Bytes,
+			EncodeMs:     ef.EncodeMs * s.cfg.Device.EncodeMul,
+			Quality:      ef.QualityAt,
+		})
+	}
+	_ = f
+	return pipeline.FrameOutput{Offloads: offs}
+}
+
+// handleTracking runs mask transfer and the CFRS offload decision.
+func (s *System) handleTracking(f *scene.Frame) pipeline.FrameOutput {
+	preds := s.pred.PredictAll(s.vo, f.Index)
+	s.lastPredictions = preds
+
+	// Z-order clipping: transferred masks are full silhouettes, but what
+	// the user sees (and the ground truth annotates) is the visible part.
+	// The VO knows each instance's camera depth, so nearer masks clip
+	// farther ones exactly like the renderer's painter pass.
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = i
+	}
+	depth := func(i int) float64 {
+		if inst := s.vo.Instance(preds[i].InstanceID); inst != nil {
+			return inst.MeanDepth
+		}
+		return 1e18
+	}
+	sort.Slice(order, func(a, b int) bool { return depth(order[a]) < depth(order[b]) })
+	occluded := mask.New(s.cfg.Camera.Width, s.cfg.Camera.Height)
+	clipped := make([]*mask.Bitmask, len(preds))
+	for _, i := range order {
+		m := preds[i].Mask.Clone()
+		m.Subtract(occluded)
+		occluded.Union(preds[i].Mask)
+		clipped[i] = m
+	}
+
+	masks := make([]metrics.PredictedMask, 0, len(preds))
+	boxes := make([]mask.Box, 0, len(preds))
+	priors := make([]accel.ObjectPrior, 0, len(preds))
+	tms := make([]baseline.TrackedMask, 0, len(preds))
+	for i, p := range preds {
+		masks = append(masks, metrics.PredictedMask{Label: p.Label, Mask: clipped[i]})
+		b := p.Mask.BoundingBox()
+		boxes = append(boxes, b)
+		priors = append(priors, accel.ObjectPrior{Box: b, Label: p.Label})
+		tms = append(tms, baseline.TrackedMask{Label: p.Label, Mask: clipped[i].Clone(), SourceFrame: f.Index})
+	}
+	if len(tms) > 0 {
+		// Keep the fallback tracker primed with the latest good masks so a
+		// later tracking loss degrades to classical MV tracking instead of
+		// a blank screen.
+		s.fallback.SetMasks(tms)
+	}
+
+	// Unlabeled feature pixels drive new-area detection.
+	s.lastUnlabeledPix = s.lastUnlabeledPix[:0]
+	if rec := s.vo.FrameRecordAt(f.Index); rec != nil {
+		for i, pid := range rec.PointIDs {
+			unlabeled := pid == 0
+			if !unlabeled {
+				if mp := s.vo.Map().ByID(pid); mp != nil && mp.Label == vo.LabelUnknown {
+					unlabeled = true
+				}
+			}
+			if unlabeled {
+				px := rec.Keypoints[i].Pixel
+				s.lastUnlabeledPix = append(s.lastUnlabeledPix,
+					struct{ X, Y float64 }{px.X, px.Y})
+			}
+		}
+	}
+	newAreas := expandAreas(roisel.NewAreasFromUnlabeled(s.grid, s.lastUnlabeledPix, 2),
+		codec.TileSize, s.cfg.Camera.Width, s.cfg.Camera.Height)
+
+	moving := 0
+	for _, inst := range s.vo.Instances() {
+		if inst.Moving {
+			moving++
+		}
+	}
+	fs := roisel.FrameState{
+		Index:             f.Index,
+		UnlabeledFraction: s.vo.UnlabeledFraction(),
+		MovingObjects:     moving,
+		ObjectBoxes:       boxes,
+		NewAreas:          newAreas,
+	}
+
+	out := pipeline.FrameOutput{Masks: masks}
+
+	offload := false
+	if s.cfg.DisableCFRS {
+		offload = s.framesSinceKeyframe >= s.cfg.KeyframeInterval
+	} else {
+		offload, _ = s.sel.Decide(fs)
+	}
+	if !offload {
+		return out
+	}
+	s.framesSinceKeyframe = 0
+	s.offloadedThisSession++
+
+	var ef *codec.EncodedFrame
+	if s.cfg.DisableCFRS {
+		ef = codec.EncodeUniform(s.grid, codec.QualityHigh, nil)
+	} else {
+		levels, cover := s.sel.Partition(s.grid, fs)
+		var err error
+		ef, err = codec.Encode(s.grid, levels, cover)
+		if err != nil {
+			return out // cannot happen: levels sized from grid
+		}
+	}
+	req := &pipeline.OffloadRequest{
+		FrameIndex:   f.Index,
+		PayloadBytes: ef.Bytes,
+		EncodeMs:     ef.EncodeMs * s.cfg.Device.EncodeMul,
+		Quality:      ef.QualityAt,
+	}
+	if !s.cfg.DisableGuidance {
+		req.Guidance = accel.BuildPlan(priors, newAreas, s.cfg.Camera.Width, s.cfg.Camera.Height, 0)
+	}
+	out.Offloads = []*pipeline.OffloadRequest{req}
+	return out
+}
+
+// HandleEdgeResult implements pipeline.Strategy: edge masks flow back into
+// the VO map (mask-assisted mapping) and the transfer cache.
+func (s *System) HandleEdgeResult(res pipeline.EdgeResult, f *scene.Frame, nowMs float64) {
+	labeled := make([]vo.LabeledMask, 0, len(res.Detections))
+	for _, d := range res.Detections {
+		if d.Mask == nil {
+			continue
+		}
+		labeled = append(labeled, vo.LabeledMask{Label: d.Label, Mask: d.Mask})
+	}
+
+	if s.awaitingInit {
+		if res.FrameIndex == s.initRef || res.FrameIndex == s.initCur {
+			s.stats.InitResults++
+			if len(labeled) == 0 {
+				s.stats.InitEmpty++
+			}
+			s.initResults[res.FrameIndex] = labeled
+		}
+		if len(labeled) > 0 {
+			s.primeFallback(labeled, res.FrameIndex)
+		}
+		if len(s.initResults) == 2 {
+			err := s.vo.CompleteInitialization(
+				s.initResults[s.initRef], s.initResults[s.initCur])
+			s.awaitingInit = false
+			if err != nil {
+				s.stats.InitFailures++
+			}
+			if err == nil {
+				s.seedCache(s.initRef, s.initResults[s.initRef])
+				s.seedCache(s.initCur, s.initResults[s.initCur])
+				s.sel.NoteEdgeResult(s.initCur)
+			}
+			s.initResults = make(map[int][]vo.LabeledMask)
+		}
+		return
+	}
+
+	s.stats.EdgeResults++
+	if s.vo.State() != vo.StatusTracking && len(labeled) > 0 {
+		// While the VO is down, fresh edge masks still refresh the
+		// fallback tracker.
+		s.primeFallback(labeled, res.FrameIndex)
+	}
+	if err := s.vo.AnnotateFrame(res.FrameIndex, labeled); err != nil {
+		s.stats.StaleResults++
+		return // frame record already evicted; result too stale to use
+	}
+	s.seedCache(res.FrameIndex, labeled)
+	s.sel.NoteEdgeResult(res.FrameIndex)
+	s.pred.Evict(res.FrameIndex - 90)
+}
+
+// primeFallback feeds edge masks into the MV fallback tracker.
+func (s *System) primeFallback(labeled []vo.LabeledMask, frameIdx int) {
+	tms := make([]baseline.TrackedMask, 0, len(labeled))
+	for _, lm := range labeled {
+		tms = append(tms, baseline.TrackedMask{
+			Label: lm.Label, Mask: lm.Mask.Clone(), SourceFrame: frameIdx,
+		})
+	}
+	s.fallback.SetMasks(tms)
+}
+
+// seedCache maps edge masks to VO instances and stores them as transfer
+// sources. A mask belongs to the instance whose points (observed in that
+// frame) it covers the most.
+func (s *System) seedCache(frameIdx int, labeled []vo.LabeledMask) {
+	rec := s.vo.FrameRecordAt(frameIdx)
+	if rec == nil {
+		return
+	}
+	for _, lm := range labeled {
+		bestInst, bestCount := 0, 0
+		counts := make(map[int]int)
+		for i, pid := range rec.PointIDs {
+			if pid == 0 {
+				continue
+			}
+			mp := s.vo.Map().ByID(pid)
+			if mp == nil || mp.InstanceID == 0 {
+				continue
+			}
+			px := rec.Keypoints[i].Pixel
+			if lm.Mask.At(int(px.X), int(px.Y)) {
+				counts[mp.InstanceID]++
+				if counts[mp.InstanceID] > bestCount {
+					bestInst, bestCount = mp.InstanceID, counts[mp.InstanceID]
+				}
+			}
+		}
+		if bestInst == 0 || bestCount < 3 {
+			continue
+		}
+		inst := s.vo.Instance(bestInst)
+		if inst == nil || inst.Label != lm.Label {
+			continue
+		}
+		s.pred.Put(&transfer.CachedMask{
+			FrameIndex: frameIdx,
+			InstanceID: bestInst,
+			Label:      lm.Label,
+			Mask:       lm.Mask,
+			FromEdge:   true,
+		})
+	}
+}
+
+// Guidance builds the current CIIA plan (exposed for the acceleration
+// benchmarks, which drive the edge model directly).
+func (s *System) Guidance(width, height int) segmodel.Guidance {
+	if s.cfg.DisableGuidance {
+		return nil
+	}
+	priors := make([]accel.ObjectPrior, 0, len(s.lastPredictions))
+	for _, p := range s.lastPredictions {
+		priors = append(priors, accel.ObjectPrior{Box: p.Mask.BoundingBox(), Label: p.Label})
+	}
+	newAreas := expandAreas(roisel.NewAreasFromUnlabeled(s.grid, s.lastUnlabeledPix, 2),
+		codec.TileSize, s.cfg.Camera.Width, s.cfg.Camera.Height)
+	return accel.BuildPlan(priors, newAreas, width, height, 0)
+}
+
+// expandAreas grows new-content boxes by a margin so freshly appearing
+// objects whose features straddle tile borders stay covered.
+func expandAreas(areas []mask.Box, margin, w, h int) []mask.Box {
+	out := make([]mask.Box, 0, len(areas))
+	for _, b := range areas {
+		out = append(out, b.Expand(margin, w, h))
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+)
+
+func testConfig(seed int64) (pipeline.Config, Config) {
+	cam := geom.StandardCamera(320, 240)
+	w := scene.StreetScene(scene.PresetConfig{Seed: seed, ObjectCount: 3})
+	return pipeline.Config{
+			World:       w,
+			Camera:      cam,
+			Trajectory:  scene.InspectionRoute(scene.WalkSpeed),
+			Frames:      180,
+			CameraSpeed: scene.WalkSpeed,
+			Medium:      netsim.WiFi5,
+			Seed:        seed,
+		}, Config{
+			Camera: cam, Device: device.IPhone11, Seed: seed,
+		}
+}
+
+func run(t *testing.T, pcfg pipeline.Config, ccfg Config) (*System, []pipeline.FrameEval, pipeline.RunStats) {
+	t.Helper()
+	sys := NewSystem(ccfg)
+	engine := pipeline.NewEngine(pcfg, sys)
+	evals, stats := engine.Run()
+	return sys, evals, stats
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	pcfg, ccfg := testConfig(3)
+	sys, evals, stats := run(t, pcfg, ccfg)
+
+	acc := pipeline.EvaluateFrom("edgeIS", evals, 60)
+	if acc.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+	if acc.MeanIoU() < 0.6 {
+		t.Errorf("mean IoU = %.3f", acc.MeanIoU())
+	}
+	if stats.Offloads == 0 {
+		t.Error("never offloaded")
+	}
+	st := sys.Stats()
+	if st.InitAttempts == 0 || st.EdgeResults == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(sys.VO().Instances()) == 0 {
+		t.Error("no instances tracked")
+	}
+}
+
+func TestSystemName(t *testing.T) {
+	cam := geom.StandardCamera(64, 64)
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Camera: cam}, "edgeIS"},
+		{Config{Camera: cam, DisableGuidance: true}, "edgeIS (w/o CIIA)"},
+		{Config{Camera: cam, DisableCFRS: true}, "edgeIS (w/o CFRS)"},
+		{Config{Camera: cam, DisableGuidance: true, DisableCFRS: true}, "edgeIS (MAMT only)"},
+	}
+	for _, tt := range tests {
+		if got := NewSystem(tt.cfg).Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSystemCFRSReducesUplink(t *testing.T) {
+	pcfg, ccfg := testConfig(5)
+	_, _, statsFull := run(t, pcfg, ccfg)
+
+	pcfg2, ccfg2 := testConfig(5)
+	ccfg2.DisableCFRS = true
+	_, _, statsNoCFRS := run(t, pcfg2, ccfg2)
+
+	if statsFull.Offloads == 0 || statsNoCFRS.Offloads == 0 {
+		t.Fatal("no offloads to compare")
+	}
+	perFull := float64(statsFull.UplinkBytes) / float64(statsFull.Offloads)
+	perNo := float64(statsNoCFRS.UplinkBytes) / float64(statsNoCFRS.Offloads)
+	if perFull >= perNo {
+		t.Errorf("CFRS per-offload bytes %.0f should undercut uniform %.0f", perFull, perNo)
+	}
+}
+
+func TestSystemGuidanceSpeedsEdge(t *testing.T) {
+	pcfg, ccfg := testConfig(7)
+	_, _, statsGuided := run(t, pcfg, ccfg)
+
+	pcfg2, ccfg2 := testConfig(7)
+	ccfg2.DisableGuidance = true
+	_, _, statsVanilla := run(t, pcfg2, ccfg2)
+
+	if statsGuided.EdgeResultCount == 0 || statsVanilla.EdgeResultCount == 0 {
+		t.Fatal("no edge results")
+	}
+	guidedMean := statsGuided.EdgeInferMsSum / float64(statsGuided.EdgeResultCount)
+	vanillaMean := statsVanilla.EdgeInferMsSum / float64(statsVanilla.EdgeResultCount)
+	if guidedMean >= vanillaMean {
+		t.Errorf("guided inference %.1f ms should undercut vanilla %.1f ms",
+			guidedMean, vanillaMean)
+	}
+}
+
+func TestSystemResourceModels(t *testing.T) {
+	pcfg, ccfg := testConfig(9)
+	sys, _, _ := run(t, pcfg, ccfg)
+	cpu := sys.CPU().Utilization()
+	if cpu <= 0.3 || cpu > 1 {
+		t.Errorf("CPU utilization = %.2f, want roughly the paper's ~0.75", cpu)
+	}
+	if sys.Memory().Peak() <= 0 {
+		t.Error("no memory samples")
+	}
+	if !sys.Memory().WithinBudget() {
+		t.Error("memory exceeded device budget")
+	}
+}
+
+func TestSystemMasksMatchTruth(t *testing.T) {
+	pcfg, ccfg := testConfig(11)
+	sys := NewSystem(ccfg)
+	engine := pipeline.NewEngine(pcfg, sys)
+	evals, _ := engine.Run()
+	// At least half of the post-warmup frames should carry predictions
+	// scoring above the loose threshold for some object.
+	good := 0
+	total := 0
+	for _, ev := range evals {
+		if ev.Index < 60 {
+			continue
+		}
+		total++
+		for _, iou := range ev.IoUs {
+			if iou >= metrics.LooseThreshold {
+				good++
+				break
+			}
+		}
+	}
+	if total == 0 || float64(good)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d frames had a loose-correct mask", good, total)
+	}
+}
+
+func TestSystemGuidancePlanExposed(t *testing.T) {
+	pcfg, ccfg := testConfig(13)
+	sys, _, _ := run(t, pcfg, ccfg)
+	g := sys.Guidance(pcfg.Camera.Width, pcfg.Camera.Height)
+	if g == nil {
+		t.Fatal("no guidance after a tracked run")
+	}
+	full := pcfg.Camera.Width * pcfg.Camera.Height
+	if b := g.AnchorBudget(pcfg.Camera.Width, pcfg.Camera.Height); b <= 0 || b > full {
+		t.Errorf("anchor budget = %d", b)
+	}
+	// Disabled guidance returns nil.
+	ccfg.DisableGuidance = true
+	if NewSystem(ccfg).Guidance(64, 64) != nil {
+		t.Error("disabled guidance should be nil")
+	}
+}

@@ -1,0 +1,224 @@
+// Package dataset defines the evaluation scenarios standing in for the
+// paper's video corpora (Section VI-B): DAVIS, KITTI, Xiph and the
+// self-recorded AR clips (19k+ labeled frames in the paper). Each synthetic
+// clip pairs a procedurally generated world with a camera trajectory; the
+// mixture of object counts, dynamics and camera motion mirrors the
+// character of the original dataset it replaces.
+package dataset
+
+import (
+	"fmt"
+
+	"edgeis/internal/geom"
+	"edgeis/internal/scene"
+)
+
+// Clip is one evaluation sequence.
+type Clip struct {
+	Name    string
+	Dataset string
+	World   *scene.World
+	Traj    scene.Trajectory
+	Frames  int
+	// CameraSpeed feeds the motion-blur model (m/s).
+	CameraSpeed float64
+	// Dynamic marks clips containing moving objects.
+	Dynamic bool
+}
+
+// Duration returns the clip length in seconds at the camera rate.
+func (c Clip) Duration() float64 { return float64(c.Frames) / scene.FrameRate }
+
+// String identifies the clip.
+func (c Clip) String() string {
+	return fmt.Sprintf("%s/%s (%d frames)", c.Dataset, c.Name, c.Frames)
+}
+
+// DAVIS returns indoor object-centric clips with one or two subjects and
+// occasional subject motion, echoing DAVIS's single-object video style.
+func DAVIS(seed int64, frames int) []Clip {
+	if frames == 0 {
+		frames = 240
+	}
+	return []Clip{
+		{
+			Name: "orbit-static", Dataset: "davis",
+			World: scene.IndoorScene(scene.PresetConfig{Seed: seed, ObjectCount: 2}),
+			Traj: scene.OrbitPath{
+				Center: geom.V3(2.5, 1, 6.3), Radius: 4.5, Height: 1.6,
+				AngVel: 0.22, Length: float64(frames) / scene.FrameRate,
+			},
+			Frames: frames, CameraSpeed: 1.0,
+		},
+		{
+			Name: "subject-moving", Dataset: "davis",
+			World: scene.IndoorScene(scene.PresetConfig{
+				Seed: seed + 1, ObjectCount: 2, DynamicCount: 1, DynamicSpeed: 0.5,
+			}),
+			Traj: scene.WaypointPath{
+				Waypoints: []geom.Vec3{geom.V3(-2, 1.6, -1), geom.V3(2, 1.6, 0)},
+				Target:    geom.V3(2.5, 1, 6.3), Speed: 0.9, Bob: 0.015,
+			},
+			Frames: frames, CameraSpeed: 0.9, Dynamic: true,
+		},
+	}
+}
+
+// KITTI returns street clips with several vehicles and pedestrians, some
+// moving — the driving-dataset analogue.
+func KITTI(seed int64, frames int) []Clip {
+	if frames == 0 {
+		frames = 240
+	}
+	return []Clip{
+		{
+			Name: "street-static", Dataset: "kitti",
+			World:  scene.StreetScene(scene.PresetConfig{Seed: seed + 10, ObjectCount: 4}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed,
+		},
+		{
+			Name: "street-traffic", Dataset: "kitti",
+			World: scene.StreetScene(scene.PresetConfig{
+				Seed: seed + 11, ObjectCount: 5, DynamicCount: 2, DynamicSpeed: 1.2,
+			}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed, Dynamic: true,
+		},
+	}
+}
+
+// Xiph returns mixed-content clips (the generic test-sequence corpus): a
+// static busy scene and a fast pan.
+func Xiph(seed int64, frames int) []Clip {
+	if frames == 0 {
+		frames = 240
+	}
+	return []Clip{
+		{
+			Name: "busy-pan", Dataset: "xiph",
+			World: scene.StreetScene(scene.PresetConfig{Seed: seed + 20, ObjectCount: 6}),
+			Traj: scene.OrbitPath{
+				Center: geom.V3(0, 1, 12), Radius: 9, Height: 1.7,
+				AngVel: 0.3, Length: float64(frames) / scene.FrameRate, Phase: -1.2,
+			},
+			Frames: frames, CameraSpeed: 2.7,
+		},
+	}
+}
+
+// SelfRecorded returns the handcrafted AR clips of the paper's own dataset:
+// indoor and industrial inspection walks.
+func SelfRecorded(seed int64, frames int) []Clip {
+	if frames == 0 {
+		frames = 300
+	}
+	return []Clip{
+		{
+			Name: "indoor-ar", Dataset: "self",
+			World: scene.IndoorScene(scene.PresetConfig{Seed: seed + 30, ObjectCount: 3}),
+			Traj: scene.WaypointPath{
+				Waypoints: []geom.Vec3{
+					geom.V3(-3, 1.6, -2), geom.V3(0, 1.6, -0.5), geom.V3(3, 1.6, 0.5),
+				},
+				Target: geom.V3(1, 1, 6), Speed: scene.WalkSpeed, Bob: 0.02,
+			},
+			Frames: frames, CameraSpeed: scene.WalkSpeed,
+		},
+		{
+			Name: "industrial-inspection", Dataset: "self",
+			World:  scene.IndustrialScene(scene.PresetConfig{Seed: seed + 31, ObjectCount: 5}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed,
+		},
+	}
+}
+
+// All returns the full evaluation corpus across the four datasets.
+func All(seed int64, frames int) []Clip {
+	var out []Clip
+	out = append(out, DAVIS(seed, frames)...)
+	out = append(out, KITTI(seed, frames)...)
+	out = append(out, Xiph(seed, frames)...)
+	out = append(out, SelfRecorded(seed, frames)...)
+	return out
+}
+
+// GaitClips returns the same route at the walk/stride/jog speeds of the
+// camera-motion robustness study (Fig. 12).
+func GaitClips(seed int64, frames int) []Clip {
+	mk := func(name string, speed float64) Clip {
+		return Clip{
+			Name: name, Dataset: "gait",
+			World:  scene.StreetScene(scene.PresetConfig{Seed: seed + 40, ObjectCount: 3}),
+			Traj:   scene.InspectionRoute(speed),
+			Frames: frames, CameraSpeed: speed,
+		}
+	}
+	return []Clip{
+		mk("walk", scene.WalkSpeed),
+		mk("stride", scene.StrideSpeed),
+		mk("jog", scene.JogSpeed),
+	}
+}
+
+// ComplexityClips returns the scene-complexity study scenarios (Fig. 13):
+// easy (<=3 objects), medium (<=10), and hard (objects move mid-run).
+func ComplexityClips(seed int64, frames int) []Clip {
+	return []Clip{
+		{
+			Name: "easy", Dataset: "complexity",
+			World:  scene.StreetScene(scene.PresetConfig{Seed: seed + 50, ObjectCount: 3}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed,
+		},
+		{
+			Name: "medium", Dataset: "complexity",
+			World:  scene.StreetScene(scene.PresetConfig{Seed: seed + 51, ObjectCount: 9}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed,
+		},
+		{
+			Name: "hard", Dataset: "complexity",
+			World: scene.StreetScene(scene.PresetConfig{
+				Seed: seed + 52, ObjectCount: 6, DynamicCount: 3,
+				DynamicSpeed: 0.8, DynamicStart: 2.5,
+			}),
+			Traj:   scene.InspectionRoute(scene.WalkSpeed),
+			Frames: frames, CameraSpeed: scene.WalkSpeed, Dynamic: true,
+		},
+	}
+}
+
+// FieldClip returns the oil-field deployment scenario of the case study
+// (Fig. 17): industrial equipment inspected along a sweep route.
+func FieldClip(seed int64, frames int) Clip {
+	return Clip{
+		Name: "oil-field", Dataset: "field",
+		World:  scene.IndustrialScene(scene.PresetConfig{Seed: seed + 60, ObjectCount: 6}),
+		Traj:   scene.InspectionRoute(scene.WalkSpeed * 0.8),
+		Frames: frames, CameraSpeed: scene.WalkSpeed * 0.8,
+	}
+}
+
+// Stats summarizes a corpus for reports.
+type Stats struct {
+	Clips        int
+	TotalFrames  int
+	TotalSeconds float64
+	DynamicClips int
+}
+
+// Summarize computes corpus statistics.
+func Summarize(clips []Clip) Stats {
+	var s Stats
+	for _, c := range clips {
+		s.Clips++
+		s.TotalFrames += c.Frames
+		s.TotalSeconds += c.Duration()
+		if c.Dynamic {
+			s.DynamicClips++
+		}
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"edgeis/internal/scene"
+)
+
+func TestAllCorpus(t *testing.T) {
+	clips := All(1, 120)
+	if len(clips) < 6 {
+		t.Fatalf("corpus has %d clips", len(clips))
+	}
+	datasets := map[string]bool{}
+	for _, c := range clips {
+		datasets[c.Dataset] = true
+		if c.World == nil || c.Traj == nil || c.Frames <= 0 {
+			t.Errorf("incomplete clip %s", c.Name)
+		}
+		if c.CameraSpeed <= 0 {
+			t.Errorf("clip %s has no camera speed", c.Name)
+		}
+		if !strings.Contains(c.String(), c.Dataset) {
+			t.Error("String() missing dataset")
+		}
+	}
+	for _, want := range []string{"davis", "kitti", "xiph", "self"} {
+		if !datasets[want] {
+			t.Errorf("dataset %s missing", want)
+		}
+	}
+}
+
+func TestDynamicFlagsConsistent(t *testing.T) {
+	for _, c := range All(3, 90) {
+		hasDynamic := c.World.DynamicObjectCount() > 0
+		if c.Dynamic != hasDynamic {
+			t.Errorf("clip %s: Dynamic=%v but world has %d movers",
+				c.Name, c.Dynamic, c.World.DynamicObjectCount())
+		}
+	}
+}
+
+func TestGaitClipsShareRoute(t *testing.T) {
+	clips := GaitClips(1, 120)
+	if len(clips) != 3 {
+		t.Fatalf("%d gait clips", len(clips))
+	}
+	speeds := []float64{scene.WalkSpeed, scene.StrideSpeed, scene.JogSpeed}
+	for i, c := range clips {
+		if c.CameraSpeed != speeds[i] {
+			t.Errorf("clip %s speed = %v", c.Name, c.CameraSpeed)
+		}
+	}
+	// Same world for all three: identical object IDs and centers.
+	w0, w1 := clips[0].World, clips[1].World
+	if len(w0.Objects) != len(w1.Objects) {
+		t.Fatal("gait worlds differ")
+	}
+	for i := range w0.Objects {
+		if w0.Objects[i].Center != w1.Objects[i].Center {
+			t.Error("gait worlds have different layouts")
+		}
+	}
+}
+
+func TestComplexityClipsOrdering(t *testing.T) {
+	clips := ComplexityClips(1, 90)
+	if len(clips) != 3 {
+		t.Fatalf("%d complexity clips", len(clips))
+	}
+	easy, medium, hard := clips[0], clips[1], clips[2]
+	if !(len(easy.World.Objects) < len(medium.World.Objects)) {
+		t.Error("medium should have more objects than easy")
+	}
+	if easy.World.DynamicObjectCount() != 0 || medium.World.DynamicObjectCount() != 0 {
+		t.Error("easy/medium must be static")
+	}
+	if hard.World.DynamicObjectCount() == 0 || !hard.Dynamic {
+		t.Error("hard must contain movers")
+	}
+}
+
+func TestFieldClip(t *testing.T) {
+	c := FieldClip(1, 300)
+	if c.Dataset != "field" || c.Frames != 300 {
+		t.Errorf("field clip misconfigured: %+v", c)
+	}
+	// Industrial classes present.
+	foundIndustrial := false
+	for _, o := range c.World.Objects {
+		switch o.Class {
+		case scene.OilSeparator, scene.Tank, scene.Pump, scene.Tube, scene.Valve, scene.Gauge:
+			foundIndustrial = true
+		}
+	}
+	if !foundIndustrial {
+		t.Error("field clip lacks industrial equipment")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clips := All(1, 120)
+	st := Summarize(clips)
+	if st.Clips != len(clips) {
+		t.Error("clip count mismatch")
+	}
+	if st.TotalFrames != 120*len(clips) && st.TotalFrames <= 0 {
+		t.Error("frame total wrong")
+	}
+	if st.TotalSeconds <= 0 || st.DynamicClips == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDefaultFrameCounts(t *testing.T) {
+	if DAVIS(1, 0)[0].Frames <= 0 {
+		t.Error("default frames not applied")
+	}
+	if SelfRecorded(1, 0)[0].Frames <= 0 {
+		t.Error("default frames not applied")
+	}
+	if c := DAVIS(1, 77)[0]; c.Frames != 77 {
+		t.Error("explicit frames ignored")
+	}
+}
+
+func TestClipDuration(t *testing.T) {
+	c := Clip{Frames: 60}
+	if c.Duration() != 2 {
+		t.Errorf("duration = %v", c.Duration())
+	}
+}

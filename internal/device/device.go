@@ -1,0 +1,211 @@
+// Package device models the hardware of the evaluation: mobile devices
+// (iPhone 11, Galaxy S10, Dream Glass) and edge nodes (Jetson TX2, Jetson
+// AGX Xavier). Profiles provide the per-operation costs that drive the
+// simulated clock, plus the CPU / memory / battery models behind the
+// resource-overhead experiments (Section VI-F).
+package device
+
+import "fmt"
+
+// Profile describes one device.
+type Profile struct {
+	Name string
+	// Mobile marks handheld/worn devices (as opposed to edge nodes).
+	Mobile bool
+
+	// InferScale multiplies the reference DL inference latency (Jetson
+	// TX2 = 1.0). Mobile scales reflect TFLite CPU/NNAPI execution.
+	InferScale float64
+
+	// Per-frame mobile pipeline costs in milliseconds.
+	ExtractMs float64 // ORB-style feature extraction
+	TrackMs   float64 // VO pose + object tracking
+	PredictMs float64 // mask transfer per tracked instance
+	EncodeMul float64 // multiplier on the codec's encode cost
+
+	// Power model: battery capacity and component draws.
+	BatteryWh      float64
+	IdleWatts      float64 // camera + display + OS floor while app runs
+	CPUWatts       float64 // incremental draw at 100% app CPU
+	RadioWattsMbps float64 // incremental draw per Mbps of radio traffic
+
+	// Memory model.
+	MemoryBudgetMB float64 // the cap the cleanup policy must respect
+	BaseMemoryMB   float64 // app footprint before maps/caches
+}
+
+// Presets for the devices named in the paper.
+var (
+	// JetsonTX2 is the edge server of the lab evaluation (reference
+	// InferScale 1.0 — the segmodel profiles are calibrated to it).
+	JetsonTX2 = Profile{
+		Name: "jetson-tx2", InferScale: 1.0,
+	}
+	// JetsonXavier is the oil-field edge node (roughly 2x TX2).
+	JetsonXavier = Profile{
+		Name: "jetson-agx-xavier", InferScale: 0.5,
+	}
+	// IPhone11 is the primary mobile device.
+	IPhone11 = Profile{
+		Name: "iphone-11", Mobile: true, InferScale: 4.0,
+		ExtractMs: 8, TrackMs: 9, PredictMs: 2.2, EncodeMul: 1.0,
+		BatteryWh: 11.9, IdleWatts: 1.2, CPUWatts: 2.4, RadioWattsMbps: 0.045,
+		MemoryBudgetMB: 1024, BaseMemoryMB: 280,
+	}
+	// GalaxyS10 is the secondary mobile device.
+	GalaxyS10 = Profile{
+		Name: "galaxy-s10", Mobile: true, InferScale: 4.5,
+		ExtractMs: 9, TrackMs: 10, PredictMs: 2.5, EncodeMul: 1.15,
+		BatteryWh: 13.0, IdleWatts: 1.4, CPUWatts: 2.9, RadioWattsMbps: 0.05,
+		MemoryBudgetMB: 1024, BaseMemoryMB: 300,
+	}
+	// DreamGlass is the AR headset of the field study.
+	DreamGlass = Profile{
+		Name: "dream-glass", Mobile: true, InferScale: 6.0,
+		ExtractMs: 9.5, TrackMs: 10, PredictMs: 2.3, EncodeMul: 1.3,
+		BatteryWh: 9.0, IdleWatts: 1.6, CPUWatts: 2.2, RadioWattsMbps: 0.05,
+		MemoryBudgetMB: 768, BaseMemoryMB: 260,
+	}
+)
+
+// MobileFrameMs returns the device's fixed per-frame pipeline cost with n
+// tracked instances (excluding encode, which depends on the offload).
+func (p Profile) MobileFrameMs(instances int) float64 {
+	return p.ExtractMs + p.TrackMs + p.PredictMs*float64(instances)
+}
+
+// CPUModel tracks utilization over a run: utilization is busy milliseconds
+// over wall milliseconds, matching how a profiler would report the ~75%
+// figure of Fig. 15.
+type CPUModel struct {
+	busyMs float64
+	wallMs float64
+}
+
+// Add records a frame interval: busy compute time within a wall budget.
+func (c *CPUModel) Add(busyMs, wallMs float64) {
+	if busyMs > wallMs {
+		busyMs = wallMs // the pipeline saturates a core, not more
+	}
+	c.busyMs += busyMs
+	c.wallMs += wallMs
+}
+
+// Utilization returns mean CPU utilization in [0,1].
+func (c *CPUModel) Utilization() float64 {
+	if c.wallMs == 0 {
+		return 0
+	}
+	return c.busyMs / c.wallMs
+}
+
+// MemoryModel tracks the mobile footprint: VO map points, frame records and
+// cached masks, with the cleanup policy bounding growth (the "additional
+// clearing algorithm" of Section VI-F).
+type MemoryModel struct {
+	Profile Profile
+	// Per-item costs in MB.
+	MapPointMB    float64
+	FrameRecordMB float64
+	CachedMaskMB  float64
+
+	samples []float64
+}
+
+// NewMemoryModel builds a memory model with default per-item costs: a map
+// point with observations ~2 KB, a frame record (keypoints + ids) ~120 KB,
+// a cached mask (bitmask + contour) ~80 KB at 320x240.
+func NewMemoryModel(p Profile) *MemoryModel {
+	return &MemoryModel{
+		Profile:       p,
+		MapPointMB:    2.0 / 1024,
+		FrameRecordMB: 0.12,
+		CachedMaskMB:  0.08,
+	}
+}
+
+// Sample records the footprint for the current counts and returns it in MB.
+func (m *MemoryModel) Sample(mapPoints, frameRecords, cachedMasks int) float64 {
+	mb := m.Profile.BaseMemoryMB +
+		float64(mapPoints)*m.MapPointMB +
+		float64(frameRecords)*m.FrameRecordMB +
+		float64(cachedMasks)*m.CachedMaskMB
+	m.samples = append(m.samples, mb)
+	return mb
+}
+
+// Peak returns the maximum sampled footprint.
+func (m *MemoryModel) Peak() float64 {
+	peak := 0.0
+	for _, s := range m.samples {
+		if s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// GrowthMBPerS estimates the growth rate over the sample history given the
+// sampling interval in seconds.
+func (m *MemoryModel) GrowthMBPerS(intervalS float64) float64 {
+	if len(m.samples) < 2 || intervalS <= 0 {
+		return 0
+	}
+	span := float64(len(m.samples)-1) * intervalS
+	return (m.samples[len(m.samples)-1] - m.samples[0]) / span
+}
+
+// WithinBudget reports whether every sample respected the device budget.
+func (m *MemoryModel) WithinBudget() bool {
+	for _, s := range m.samples {
+		if s > m.Profile.MemoryBudgetMB {
+			return false
+		}
+	}
+	return true
+}
+
+// PowerModel integrates energy use over a run.
+type PowerModel struct {
+	Profile  Profile
+	energyWh float64
+	wallS    float64
+}
+
+// NewPowerModel builds a power model for the device.
+func NewPowerModel(p Profile) *PowerModel {
+	return &PowerModel{Profile: p}
+}
+
+// Add records an interval: wall seconds, mean CPU utilization in [0,1] and
+// radio traffic in megabits.
+func (pm *PowerModel) Add(wallS, cpuUtil, radioMbits float64) {
+	watts := pm.Profile.IdleWatts + pm.Profile.CPUWatts*cpuUtil
+	pm.energyWh += watts * wallS / 3600
+	if wallS > 0 {
+		// Radio draw scales with the average rate over the interval.
+		rateMbps := radioMbits / wallS
+		pm.energyWh += pm.Profile.RadioWattsMbps * rateMbps * wallS / 3600
+	}
+	pm.wallS += wallS
+}
+
+// BatteryDrainPct returns the battery percentage consumed so far.
+func (pm *PowerModel) BatteryDrainPct() float64 {
+	if pm.Profile.BatteryWh == 0 {
+		return 0
+	}
+	return 100 * pm.energyWh / pm.Profile.BatteryWh
+}
+
+// EnergyWh returns the integrated energy.
+func (pm *PowerModel) EnergyWh() float64 { return pm.energyWh }
+
+// String summarizes a profile.
+func (p Profile) String() string {
+	kind := "edge"
+	if p.Mobile {
+		kind = "mobile"
+	}
+	return fmt.Sprintf("%s (%s, infer x%.1f)", p.Name, kind, p.InferScale)
+}

@@ -1,0 +1,122 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfilePresets(t *testing.T) {
+	for _, p := range []Profile{JetsonTX2, JetsonXavier, IPhone11, GalaxyS10, DreamGlass} {
+		if p.Name == "" || p.InferScale <= 0 {
+			t.Errorf("bad preset %+v", p)
+		}
+		if p.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	if JetsonTX2.Mobile || !IPhone11.Mobile {
+		t.Error("mobility flags wrong")
+	}
+	// Edge ordering: Xavier faster than TX2; mobiles slower than both.
+	if !(JetsonXavier.InferScale < JetsonTX2.InferScale) {
+		t.Error("Xavier should be faster than TX2")
+	}
+	if !(IPhone11.InferScale > JetsonTX2.InferScale) {
+		t.Error("mobile inference should be slower than the edge")
+	}
+}
+
+func TestMobileFrameMs(t *testing.T) {
+	base := IPhone11.MobileFrameMs(0)
+	with3 := IPhone11.MobileFrameMs(3)
+	if base <= 0 || with3 <= base {
+		t.Errorf("frame cost: base=%v with3=%v", base, with3)
+	}
+	// The calibrated per-frame cost should sit inside the 33 ms budget for
+	// typical instance counts (the paper's 28 ms average).
+	if IPhone11.MobileFrameMs(3) > 33 {
+		t.Errorf("3-instance frame cost %v exceeds the budget", IPhone11.MobileFrameMs(3))
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	var c CPUModel
+	if c.Utilization() != 0 {
+		t.Error("fresh model should report 0")
+	}
+	c.Add(25, 33.3)
+	c.Add(25, 33.3)
+	if got := c.Utilization(); math.Abs(got-25/33.3) > 1e-9 {
+		t.Errorf("utilization = %v", got)
+	}
+	// Saturation: busy beyond wall clamps to 1.0 for that interval.
+	var c2 CPUModel
+	c2.Add(100, 33.3)
+	if got := c2.Utilization(); got != 1 {
+		t.Errorf("saturated utilization = %v", got)
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	m := NewMemoryModel(IPhone11)
+	first := m.Sample(1000, 100, 20)
+	if first <= IPhone11.BaseMemoryMB {
+		t.Error("sample below base footprint")
+	}
+	second := m.Sample(2000, 150, 40)
+	if second <= first {
+		t.Error("more items should cost more memory")
+	}
+	if m.Peak() != second {
+		t.Errorf("peak = %v, want %v", m.Peak(), second)
+	}
+	if m.GrowthMBPerS(1) <= 0 {
+		t.Error("growth should be positive")
+	}
+	if !m.WithinBudget() {
+		t.Error("moderate footprint should be within budget")
+	}
+	// Exceed the budget.
+	m.Sample(1_000_000, 0, 0)
+	if m.WithinBudget() {
+		t.Error("huge footprint should violate budget")
+	}
+}
+
+func TestMemoryModelEmpty(t *testing.T) {
+	m := NewMemoryModel(IPhone11)
+	if m.Peak() != 0 || m.GrowthMBPerS(1) != 0 {
+		t.Error("empty model should report zeros")
+	}
+	if !m.WithinBudget() {
+		t.Error("no samples: trivially within budget")
+	}
+}
+
+func TestPowerModelCalibration(t *testing.T) {
+	// A 10-minute session at ~75% CPU with light radio traffic should
+	// drain roughly the paper's 4.2% on an iPhone 11.
+	pm := NewPowerModel(IPhone11)
+	pm.Add(600, 0.75, 0.9*600/8) // ~0.9 Mbps average radio
+	drain := pm.BatteryDrainPct()
+	if drain < 3.0 || drain > 6.0 {
+		t.Errorf("drain = %.2f%%, want ~4.2%%", drain)
+	}
+	if pm.EnergyWh() <= 0 {
+		t.Error("no energy recorded")
+	}
+	// Galaxy drains more (paper: 5.4% vs 4.2%).
+	pg := NewPowerModel(GalaxyS10)
+	pg.Add(600, 0.75, 0.9*600/8)
+	if pg.BatteryDrainPct() <= drain {
+		t.Errorf("galaxy %.2f%% should exceed iphone %.2f%%", pg.BatteryDrainPct(), drain)
+	}
+}
+
+func TestPowerModelZeroBattery(t *testing.T) {
+	pm := NewPowerModel(Profile{Name: "x"})
+	pm.Add(60, 0.5, 0)
+	if pm.BatteryDrainPct() != 0 {
+		t.Error("zero-capacity battery should report 0 drain")
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/roisel"
+	"edgeis/internal/transfer"
+)
+
+// AblationContourK sweeps the contour-depth neighbourhood size k of the
+// mask transfer (the paper fixes k = 5 from their observation about local
+// depth smoothness). Too small is noisy; too large flattens depth
+// discontinuities at object borders.
+func AblationContourK(seed int64, frames int) *Result {
+	if frames == 0 {
+		frames = DefaultClipFrames
+	}
+	r := &Result{ID: "AblK", Title: "Contour depth neighbourhood k (paper: k=5)"}
+	clips := dataset.KITTI(seed, frames)
+	cam := EvalCamera()
+
+	r.Addf("%-6s %9s %12s", "k", "IoU", "false@0.75")
+	for _, k := range []int{1, 3, 5, 9, 15} {
+		acc := metrics.NewAccumulator("k")
+		for i, clip := range clips {
+			sys := core.NewSystem(core.Config{
+				Camera: cam, Device: device.IPhone11, Seed: seed + int64(i)*101,
+				Transfer: transfer.Config{K: k},
+			})
+			engine := pipeline.NewEngine(pipeline.Config{
+				World: clip.World, Camera: cam, Trajectory: clip.Traj,
+				Frames: clip.Frames, CameraSpeed: clip.CameraSpeed,
+				Medium: netsim.WiFi5, Seed: seed + int64(i)*101,
+			}, sys)
+			evals, _ := engine.Run()
+			acc.Merge(pipeline.EvaluateFrom("k", evals, WarmupFrames))
+		}
+		r.Addf("%-6d %9.3f %12s", k, acc.MeanIoU(),
+			pct(acc.FalseRate(metrics.StrictThreshold)))
+	}
+	return r
+}
+
+// AblationOffloadThreshold sweeps the new-content trigger threshold t
+// (the paper sets t = 0.25). Lower thresholds offload more (bandwidth and
+// edge load) for diminishing accuracy gains.
+func AblationOffloadThreshold(seed int64, frames int) *Result {
+	if frames == 0 {
+		frames = DefaultClipFrames
+	}
+	r := &Result{ID: "AblT", Title: "CFRS offload threshold t (paper: t=0.25)"}
+	clips := dataset.KITTI(seed, frames)
+	cam := EvalCamera()
+
+	r.Addf("%-6s %9s %12s %10s %12s", "t", "IoU", "false@0.75", "offloads", "uplink KB")
+	for _, t := range []float64{0.1, 0.25, 0.5, 0.9} {
+		acc := metrics.NewAccumulator("t")
+		offloads := 0
+		uplink := 0
+		for i, clip := range clips {
+			sys := core.NewSystem(core.Config{
+				Camera: cam, Device: device.IPhone11, Seed: seed + int64(i)*101,
+				// The localized cluster trigger is disabled so the sweep
+				// isolates the paper's global threshold t.
+				Selector: roisel.Config{NewContentThreshold: t, DisableClusterTrigger: true},
+			})
+			engine := pipeline.NewEngine(pipeline.Config{
+				World: clip.World, Camera: cam, Trajectory: clip.Traj,
+				Frames: clip.Frames, CameraSpeed: clip.CameraSpeed,
+				Medium: netsim.WiFi5, Seed: seed + int64(i)*101,
+			}, sys)
+			evals, stats := engine.Run()
+			acc.Merge(pipeline.EvaluateFrom("t", evals, WarmupFrames))
+			offloads += stats.Offloads
+			uplink += stats.UplinkBytes
+		}
+		r.Addf("%-6.2f %9.3f %12s %10d %12d", t, acc.MeanIoU(),
+			pct(acc.FalseRate(metrics.StrictThreshold)), offloads, uplink/1024)
+	}
+	return r
+}
+
+// AblationCompressionBudget sweeps what the CFRS tile partition saves on
+// the uplink against a uniform-high-quality policy, isolating the bandwidth
+// claim of Section V.
+func AblationCompressionBudget(seed int64, frames int) *Result {
+	if frames == 0 {
+		frames = DefaultClipFrames
+	}
+	r := &Result{ID: "AblBW", Title: "CFRS uplink bytes vs uniform encoding"}
+	clips := dataset.KITTI(seed, frames)
+	full := RunClips(SysEdgeISNoCFRS, clips, netsim.WiFi5, device.IPhone11, seed)
+	cfrs := RunClips(SysEdgeIS, clips, netsim.WiFi5, device.IPhone11, seed)
+	r.Addf("uniform-high keyframes: %6d KB over %d offloads",
+		full.Stats.UplinkBytes/1024, full.Stats.Offloads)
+	r.Addf("CFRS tile encoding:     %6d KB over %d offloads",
+		cfrs.Stats.UplinkBytes/1024, cfrs.Stats.Offloads)
+	if full.Stats.Offloads > 0 && cfrs.Stats.Offloads > 0 {
+		perFull := float64(full.Stats.UplinkBytes) / float64(full.Stats.Offloads)
+		perCFRS := float64(cfrs.Stats.UplinkBytes) / float64(cfrs.Stats.Offloads)
+		r.Addf("per-offload reduction: %s", pct(metrics.Reduction(perFull, perCFRS)))
+	}
+	r.Addf("accuracy: uniform %.3f vs CFRS %.3f IoU", full.Acc.MeanIoU(), cfrs.Acc.MeanIoU())
+	return r
+}
+
+// All runs every experiment, in paper order.
+func All(seed int64, frames int) []*Result {
+	return []*Result{
+		Fig2b(seed),
+		Fig9(seed, frames),
+		Fig10(seed, frames),
+		Fig11(seed, frames),
+		Fig12(seed, frames),
+		Fig13(seed, frames),
+		Fig14(seed),
+		Fig15(seed, 0),
+		Fig16(seed, frames),
+		Fig17(seed, 0),
+		PowerStudy(seed),
+		AblationContourK(seed, frames),
+		AblationOffloadThreshold(seed, frames),
+		AblationCompressionBudget(seed, frames),
+	}
+}

@@ -1,0 +1,187 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VI). Each FigNN function runs the corresponding
+// workload through the simulation pipeline and returns a Result holding
+// both the measured values and the paper's reported numbers, so reports
+// show reproduction fidelity side by side. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeis/internal/baseline"
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+)
+
+// WarmupFrames excludes the shared VO-initialization transient from
+// accuracy statistics (the paper's clips run minutes; ours run seconds).
+const WarmupFrames = 60
+
+// DefaultClipFrames is the per-clip length used by the experiment suite.
+const DefaultClipFrames = 210
+
+// EvalCamera is the simulated camera used by all experiments.
+func EvalCamera() geom.Camera { return geom.StandardCamera(320, 240) }
+
+// Result is one reproduced table/figure.
+type Result struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// Addf appends a formatted line.
+func (r *Result) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Render returns the printable report block.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "===== %s: %s =====\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SystemKind enumerates the systems and ablation arms under test.
+type SystemKind int
+
+// Systems.
+const (
+	SysEdgeIS SystemKind = iota + 1
+	SysEAAR
+	SysEdgeDuet
+	SysBestEffort
+	SysMobileOnly
+	// Ablation arms (Fig. 16).
+	SysEdgeISNoCIIA
+	SysEdgeISNoCFRS
+	SysEdgeISMAMTOnly
+	SysBaseCFRS
+	SysBaseCIIA
+)
+
+// String names the system.
+func (k SystemKind) String() string {
+	switch k {
+	case SysEdgeIS:
+		return "edgeIS"
+	case SysEAAR:
+		return "EAAR"
+	case SysEdgeDuet:
+		return "EdgeDuet"
+	case SysBestEffort:
+		return "best-effort"
+	case SysMobileOnly:
+		return "mobile-only"
+	case SysEdgeISNoCIIA:
+		return "edgeIS w/o CIIA"
+	case SysEdgeISNoCFRS:
+		return "edgeIS w/o CFRS"
+	case SysEdgeISMAMTOnly:
+		return "base+MAMT"
+	case SysBaseCFRS:
+		return "base+CFRS"
+	case SysBaseCIIA:
+		return "base+CIIA"
+	default:
+		return fmt.Sprintf("system(%d)", int(k))
+	}
+}
+
+// NewStrategy instantiates a system under test.
+func NewStrategy(kind SystemKind, cam geom.Camera, dev device.Profile, seed int64) pipeline.Strategy {
+	switch kind {
+	case SysEdgeIS:
+		return core.NewSystem(core.Config{Camera: cam, Device: dev, Seed: seed})
+	case SysEAAR:
+		return baseline.NewEAAR(cam, dev)
+	case SysEdgeDuet:
+		return baseline.NewEdgeDuet(cam, dev)
+	case SysBestEffort:
+		return baseline.NewBestEffort(cam, dev)
+	case SysMobileOnly:
+		return baseline.NewMobileOnly(cam, dev, seed)
+	case SysEdgeISNoCIIA:
+		return core.NewSystem(core.Config{
+			Camera: cam, Device: dev, Seed: seed, DisableGuidance: true,
+		})
+	case SysEdgeISNoCFRS:
+		return core.NewSystem(core.Config{
+			Camera: cam, Device: dev, Seed: seed, DisableCFRS: true,
+		})
+	case SysEdgeISMAMTOnly:
+		return core.NewSystem(core.Config{
+			Camera: cam, Device: dev, Seed: seed,
+			DisableGuidance: true, DisableCFRS: true,
+		})
+	case SysBaseCFRS:
+		return baseline.NewVariant(cam, dev, baseline.VariantConfig{
+			Name: "base+CFRS", Encode: baseline.EncodeCFRSLike,
+			KeyframeInterval: 10,
+		})
+	case SysBaseCIIA:
+		// CIIA changes inference speed, not content selection: this arm
+		// streams every frame like the baseline but with a latest-wins
+		// queue — guidance built from stale frames buried in a deep queue
+		// would mislead the model rather than accelerate it.
+		return baseline.NewVariant(cam, dev, baseline.VariantConfig{
+			Name: "base+CIIA", Encode: baseline.EncodeUniformHigh,
+			KeyframeInterval: 1, QueueDepth: 1, UseGuidance: true,
+		})
+	default:
+		panic(fmt.Sprintf("experiments: unknown system %d", int(kind)))
+	}
+}
+
+// RunOutcome aggregates one system's run over a set of clips.
+type RunOutcome struct {
+	Acc   *metrics.Accumulator
+	Stats pipeline.RunStats
+}
+
+// RunClips executes a system over clips on a network medium. Each clip uses
+// a fresh strategy instance (a new session), matching how the paper runs
+// each video independently.
+func RunClips(kind SystemKind, clips []dataset.Clip, medium netsim.Medium, dev device.Profile, seed int64) RunOutcome {
+	cam := EvalCamera()
+	acc := metrics.NewAccumulator(kind.String())
+	var total pipeline.RunStats
+	for i, clip := range clips {
+		cfg := pipeline.Config{
+			World:       clip.World,
+			Camera:      cam,
+			Trajectory:  clip.Traj,
+			Frames:      clip.Frames,
+			CameraSpeed: clip.CameraSpeed,
+			Medium:      medium,
+			Seed:        seed + int64(i)*101,
+		}
+		strategy := NewStrategy(kind, cam, dev, cfg.Seed)
+		engine := pipeline.NewEngine(cfg, strategy)
+		evals, stats := engine.Run()
+		acc.Merge(pipeline.EvaluateFrom(kind.String(), evals, WarmupFrames))
+		total.Frames += stats.Frames
+		total.Offloads += stats.Offloads
+		total.DroppedFrames += stats.DroppedFrames
+		total.UplinkBytes += stats.UplinkBytes
+		total.DownlinkBytes += stats.DownlinkBytes
+		total.EdgeInferMsSum += stats.EdgeInferMsSum
+		total.EdgeResultCount += stats.EdgeResultCount
+		total.MobileBusyMsSum += stats.MobileBusyMsSum
+	}
+	return RunOutcome{Acc: acc, Stats: total}
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

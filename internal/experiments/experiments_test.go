@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+)
+
+func TestSystemKindStrings(t *testing.T) {
+	kinds := []SystemKind{
+		SysEdgeIS, SysEAAR, SysEdgeDuet, SysBestEffort, SysMobileOnly,
+		SysEdgeISNoCIIA, SysEdgeISNoCFRS, SysEdgeISMAMTOnly, SysBaseCFRS, SysBaseCIIA,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+	if SystemKind(99).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestNewStrategyAllKinds(t *testing.T) {
+	cam := geom.StandardCamera(160, 120)
+	for _, k := range []SystemKind{
+		SysEdgeIS, SysEAAR, SysEdgeDuet, SysBestEffort, SysMobileOnly,
+		SysEdgeISNoCIIA, SysEdgeISNoCFRS, SysEdgeISMAMTOnly, SysBaseCFRS, SysBaseCIIA,
+	} {
+		s := NewStrategy(k, cam, device.IPhone11, 1)
+		if s == nil || s.Name() == "" {
+			t.Errorf("kind %v produced bad strategy", k)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "X", Title: "demo"}
+	r.Addf("value %d", 42)
+	out := r.Render()
+	if !strings.Contains(out, "X") || !strings.Contains(out, "value 42") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestRunClipsAggregates(t *testing.T) {
+	clips := dataset.DAVIS(1, 120)[:1]
+	out := RunClips(SysEAAR, clips, netsim.WiFi5, device.IPhone11, 1)
+	if out.Acc.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+	if out.Stats.Frames != 120 {
+		t.Errorf("frames = %d", out.Stats.Frames)
+	}
+	if out.Stats.Offloads == 0 {
+		t.Error("EAAR never offloaded")
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	r := Fig2b(1)
+	if len(r.Lines) < 4 {
+		t.Fatalf("lines = %d", len(r.Lines))
+	}
+	out := r.Render()
+	for _, model := range []string{"yolov3", "mask-rcnn", "yolact"} {
+		if !strings.Contains(out, model) {
+			t.Errorf("missing %s", model)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := Fig14(1)
+	out := r.Render()
+	for _, want := range []string{"vanilla", "+DAP", "+DAP+pruning", "RPN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig12MotionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	// The robustness shape: jogging must not beat walking.
+	clips := dataset.GaitClips(1, 180)
+	walk := RunClips(SysEdgeIS, clips[:1], netsim.WiFi5, device.IPhone11, 1)
+	jog := RunClips(SysEdgeIS, clips[2:], netsim.WiFi5, device.IPhone11, 1)
+	fw := walk.Acc.FalseRate(metrics.StrictThreshold)
+	fj := jog.Acc.FalseRate(metrics.StrictThreshold)
+	if fj < fw-0.05 {
+		t.Errorf("jog false rate %.3f should not beat walk %.3f", fj, fw)
+	}
+}
+
+func TestFig15ResourceBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := Fig15(1, 600)
+	out := r.Render()
+	if !strings.Contains(out, "CPU utilization") || !strings.Contains(out, "within=true") {
+		t.Errorf("resource report wrong:\n%s", out)
+	}
+}
+
+func TestPowerStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := PowerStudy(1)
+	out := r.Render()
+	if !strings.Contains(out, "iphone-11") || !strings.Contains(out, "galaxy-s10") {
+		t.Errorf("power report wrong:\n%s", out)
+	}
+}

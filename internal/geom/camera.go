@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBehindCamera is returned when projecting a point with non-positive depth.
+var ErrBehindCamera = errors.New("geom: point behind camera")
+
+// Camera is a pinhole camera model with intrinsic matrix
+//
+//	K = | fx  0 cx |
+//	    |  0 fy cy |
+//	    |  0  0  1 |
+//
+// and an image size in pixels. It implements the projection function pi(.)
+// of Eq. 5 in the paper.
+type Camera struct {
+	Fx, Fy float64 // focal lengths in pixels
+	Cx, Cy float64 // principal point in pixels
+	Width  int     // image width in pixels
+	Height int     // image height in pixels
+}
+
+// StandardCamera returns a camera with a ~60 degree horizontal field of view
+// for the given resolution — the configuration used by the synthetic datasets.
+func StandardCamera(width, height int) Camera {
+	f := float64(width) * 0.87 // fx = w/(2*tan(hfov/2)), hfov ~ 60 deg
+	return Camera{
+		Fx: f, Fy: f,
+		Cx: float64(width) / 2, Cy: float64(height) / 2,
+		Width: width, Height: height,
+	}
+}
+
+// K returns the intrinsic matrix.
+func (c Camera) K() Mat3 {
+	return Mat3{
+		c.Fx, 0, c.Cx,
+		0, c.Fy, c.Cy,
+		0, 0, 1,
+	}
+}
+
+// KInv returns the inverse intrinsic matrix.
+func (c Camera) KInv() Mat3 {
+	return Mat3{
+		1 / c.Fx, 0, -c.Cx / c.Fx,
+		0, 1 / c.Fy, -c.Cy / c.Fy,
+		0, 0, 1,
+	}
+}
+
+// Validate reports whether the camera parameters are usable.
+func (c Camera) Validate() error {
+	if c.Fx <= 0 || c.Fy <= 0 {
+		return fmt.Errorf("geom: invalid focal length (%g, %g)", c.Fx, c.Fy)
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("geom: invalid image size %dx%d", c.Width, c.Height)
+	}
+	return nil
+}
+
+// Project maps a point in camera coordinates to pixel coordinates. It returns
+// ErrBehindCamera when the depth is not positive.
+func (c Camera) Project(pc Vec3) (Vec2, error) {
+	if pc.Z <= 1e-9 {
+		return Vec2{}, ErrBehindCamera
+	}
+	return Vec2{
+		X: c.Fx*pc.X/pc.Z + c.Cx,
+		Y: c.Fy*pc.Y/pc.Z + c.Cy,
+	}, nil
+}
+
+// ProjectWorld maps a world point to pixel coordinates given the
+// world-to-camera pose: pi(T_CW, P) = K(R*P + t). This is Eq. 5.
+func (c Camera) ProjectWorld(tcw Pose, pw Vec3) (Vec2, error) {
+	return c.Project(tcw.Apply(pw))
+}
+
+// Backproject lifts a pixel at the given depth (along the optical axis) into
+// camera coordinates.
+func (c Camera) Backproject(px Vec2, depth float64) Vec3 {
+	return Vec3{
+		X: (px.X - c.Cx) / c.Fx * depth,
+		Y: (px.Y - c.Cy) / c.Fy * depth,
+		Z: depth,
+	}
+}
+
+// BackprojectWorld lifts a pixel at the given camera-frame depth into world
+// coordinates given the world-to-camera pose.
+func (c Camera) BackprojectWorld(tcw Pose, px Vec2, depth float64) Vec3 {
+	return tcw.Inverse().Apply(c.Backproject(px, depth))
+}
+
+// NormalizedRay returns the unit-depth camera-frame ray K^-1 * (u, v, 1).
+func (c Camera) NormalizedRay(px Vec2) Vec3 {
+	return Vec3{
+		X: (px.X - c.Cx) / c.Fx,
+		Y: (px.Y - c.Cy) / c.Fy,
+		Z: 1,
+	}
+}
+
+// InBounds reports whether the pixel lies within the image with the given
+// margin (margin may be zero or negative to allow out-of-frame slack).
+func (c Camera) InBounds(px Vec2, margin float64) bool {
+	return px.X >= margin && px.X < float64(c.Width)-margin &&
+		px.Y >= margin && px.Y < float64(c.Height)-margin
+}
+
+// FovX returns the horizontal field of view in radians.
+func (c Camera) FovX() float64 {
+	return 2 * math.Atan2(float64(c.Width)/2, c.Fx)
+}
+
+// FovY returns the vertical field of view in radians.
+func (c Camera) FovY() float64 {
+	return 2 * math.Atan2(float64(c.Height)/2, c.Fy)
+}

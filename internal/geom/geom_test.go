@@ -1,0 +1,383 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func matAlmostEq(a, b Mat3, tol float64) bool {
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func randRotation(rng *rand.Rand) Mat3 {
+	axis := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized()
+	angle := rng.Float64() * math.Pi * 0.95
+	return Rodrigues(axis.Scale(angle))
+}
+
+func randPose(rng *rand.Rand) Pose {
+	return Pose{
+		R: randRotation(rng),
+		T: V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()),
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec3
+		want Vec3
+	}{
+		{"add", V3(1, 2, 3).Add(V3(4, 5, 6)), V3(5, 7, 9)},
+		{"sub", V3(1, 2, 3).Sub(V3(4, 5, 6)), V3(-3, -3, -3)},
+		{"scale", V3(1, 2, 3).Scale(2), V3(2, 4, 6)},
+		{"cross", V3(1, 0, 0).Cross(V3(0, 1, 0)), V3(0, 0, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !vecAlmostEq(tt.got, tt.want, eps) {
+				t.Errorf("got %+v, want %+v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+// clamp maps an arbitrary quick.Check float into a numerically tame range.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e3)
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(clamp(ax), clamp(ay), clamp(az))
+		b := V3(clamp(bx), clamp(by), clamp(bz))
+		c := a.Cross(b)
+		return almostEq(c.Dot(a), 0, 1e-6*math.Max(1, a.Norm()*b.Norm())) &&
+			almostEq(c.Dot(b), 0, 1e-6*math.Max(1, a.Norm()*b.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := V3(3, 4, 0).Normalized()
+	if !almostEq(v.Norm(), 1, eps) {
+		t.Errorf("norm = %v, want 1", v.Norm())
+	}
+	zero := Vec3{}
+	if zero.Normalized() != zero {
+		t.Error("normalizing zero vector should return zero")
+	}
+}
+
+func TestMat3MulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randRotation(rng)
+	if !matAlmostEq(m.Mul(Identity3()), m, eps) {
+		t.Error("m * I != m")
+	}
+	if !matAlmostEq(Identity3().Mul(m), m, eps) {
+		t.Error("I * m != m")
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		var m Mat3
+		for j := range m {
+			m[j] = rng.NormFloat64()
+		}
+		inv, ok := m.Inverse()
+		if !ok {
+			continue
+		}
+		if !matAlmostEq(m.Mul(inv), Identity3(), 1e-7) {
+			t.Fatalf("m * m^-1 != I at trial %d", i)
+		}
+	}
+	if _, ok := (Mat3{}).Inverse(); ok {
+		t.Error("zero matrix reported invertible")
+	}
+}
+
+func TestSkewCross(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V3(clamp(ax), clamp(ay), clamp(az))
+		b := V3(clamp(bx), clamp(by), clamp(bz))
+		return vecAlmostEq(Skew(a).MulVec(b), a.Cross(b), 1e-9*math.Max(1, a.Norm()*b.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRodriguesKnownRotations(t *testing.T) {
+	tests := []struct {
+		name string
+		w    Vec3
+		want Mat3
+	}{
+		{"zero", Vec3{}, Identity3()},
+		{"x90", V3(math.Pi/2, 0, 0), RotX(math.Pi / 2)},
+		{"y90", V3(0, math.Pi/2, 0), RotY(math.Pi / 2)},
+		{"z90", V3(0, 0, math.Pi/2), RotZ(math.Pi / 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Rodrigues(tt.w); !matAlmostEq(got, tt.want, 1e-9) {
+				t.Errorf("Rodrigues(%+v) = %+v, want %+v", tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRodriguesLogRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		axis := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized()
+		angle := rng.Float64() * (math.Pi - 1e-3)
+		w := axis.Scale(angle)
+		back := LogRotation(Rodrigues(w))
+		if !vecAlmostEq(w, back, 1e-6) {
+			t.Fatalf("round trip failed: %+v -> %+v", w, back)
+		}
+	}
+}
+
+func TestLogRotationNearPi(t *testing.T) {
+	for _, axis := range []Vec3{V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1), V3(1, 1, 1).Normalized()} {
+		w := axis.Scale(math.Pi - 1e-9)
+		r := Rodrigues(w)
+		got := LogRotation(r)
+		// Axis may flip sign near pi; compare rotations instead of vectors.
+		if !matAlmostEq(Rodrigues(got), r, 1e-5) {
+			t.Errorf("near-pi log failed for axis %+v", axis)
+		}
+	}
+}
+
+func TestRotationIsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		r := randRotation(rng)
+		if !matAlmostEq(r.Mul(r.Transpose()), Identity3(), 1e-9) {
+			t.Fatal("R * R^T != I")
+		}
+		if !almostEq(r.Det(), 1, 1e-9) {
+			t.Fatalf("det = %v, want 1", r.Det())
+		}
+	}
+}
+
+func TestOrthonormalizeRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := randRotation(rng)
+	// Perturb and re-orthonormalize.
+	var noisy Mat3
+	for i := range r {
+		noisy[i] = r[i] + 0.01*rng.NormFloat64()
+	}
+	fixed := OrthonormalizeRotation(noisy)
+	if !matAlmostEq(fixed.Mul(fixed.Transpose()), Identity3(), 1e-9) {
+		t.Error("result not orthonormal")
+	}
+	if fixed.Det() < 0 {
+		t.Error("result is a reflection")
+	}
+}
+
+func TestPoseComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p, q := randPose(rng), randPose(rng)
+		pt := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		// Compose associativity with application.
+		if !vecAlmostEq(p.Compose(q).Apply(pt), p.Apply(q.Apply(pt)), 1e-8) {
+			t.Fatal("compose/apply mismatch")
+		}
+		// Inverse round trip.
+		if !vecAlmostEq(p.Inverse().Apply(p.Apply(pt)), pt, 1e-8) {
+			t.Fatal("inverse round trip failed")
+		}
+	}
+}
+
+func TestPoseRelativeTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := randPose(rng), randPose(rng)
+	rel := a.RelativeTo(b) // T_ab = T_aw * T_bw^-1
+	pt := V3(1, 2, 3)
+	// rel applied to a point in b's frame should equal transforming through world.
+	want := a.Apply(b.Inverse().Apply(pt))
+	if !vecAlmostEq(rel.Apply(pt), want, 1e-8) {
+		t.Error("RelativeTo incorrect")
+	}
+}
+
+func TestPoseExpIdentityIncrement(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := randPose(rng)
+	q := p.Exp(Vec3{}, Vec3{})
+	if !matAlmostEq(q.R, p.R, 1e-9) || !vecAlmostEq(q.T, p.T, 1e-9) {
+		t.Error("zero increment changed pose")
+	}
+}
+
+func TestCameraCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := randPose(rng)
+	c := p.CameraCenter()
+	// The camera center maps to the origin of the camera frame.
+	if !vecAlmostEq(p.Apply(c), Vec3{}, 1e-9) {
+		t.Error("camera center does not map to origin")
+	}
+}
+
+func TestRotationAngle(t *testing.T) {
+	p := Pose{R: Identity3()}
+	q := Pose{R: RotY(0.3)}
+	if got := p.RotationAngle(q); !almostEq(got, 0.3, 1e-9) {
+		t.Errorf("angle = %v, want 0.3", got)
+	}
+}
+
+func TestCameraProjectBackproject(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	if err := cam.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, z float64) bool {
+		p := V3(x, y, 1+math.Abs(z)) // ensure positive depth
+		px, err := cam.Project(p)
+		if err != nil {
+			return false
+		}
+		back := cam.Backproject(px, p.Z)
+		return vecAlmostEq(back, p, 1e-6*math.Max(1, p.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCameraBehindCamera(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	if _, err := cam.Project(V3(0, 0, -1)); err == nil {
+		t.Error("expected ErrBehindCamera")
+	}
+	if _, err := cam.Project(V3(0, 0, 0)); err == nil {
+		t.Error("expected ErrBehindCamera at zero depth")
+	}
+}
+
+func TestCameraProjectWorldMatchesManual(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	rng := rand.New(rand.NewSource(10))
+	tcw := randPose(rng)
+	pw := V3(0.5, -0.2, 4)
+	// Only valid if the point lands in front of the camera.
+	pc := tcw.Apply(pw)
+	if pc.Z <= 0 {
+		t.Skip("point behind camera for this seed")
+	}
+	got, err := cam.ProjectWorld(tcw, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cam.Project(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got.X, want.X, eps) || !almostEq(got.Y, want.Y, eps) {
+		t.Error("ProjectWorld mismatch")
+	}
+}
+
+func TestBackprojectWorldRoundTrip(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		tcw := randPose(rng)
+		depth := 1 + rng.Float64()*10
+		px := V2(rng.Float64()*640, rng.Float64()*480)
+		pw := cam.BackprojectWorld(tcw, px, depth)
+		back, err := cam.ProjectWorld(tcw, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(back.X, px.X, 1e-6) || !almostEq(back.Y, px.Y, 1e-6) {
+			t.Fatalf("round trip: %+v -> %+v", px, back)
+		}
+	}
+}
+
+func TestCameraKInv(t *testing.T) {
+	cam := StandardCamera(1280, 720)
+	if !matAlmostEq(cam.K().Mul(cam.KInv()), Identity3(), 1e-9) {
+		t.Error("K * K^-1 != I")
+	}
+}
+
+func TestCameraInBounds(t *testing.T) {
+	cam := StandardCamera(100, 100)
+	tests := []struct {
+		px     Vec2
+		margin float64
+		want   bool
+	}{
+		{V2(50, 50), 0, true},
+		{V2(-1, 50), 0, false},
+		{V2(99.5, 50), 0, true},
+		{V2(100, 50), 0, false},
+		{V2(5, 5), 10, false},
+		{V2(50, 50), 10, true},
+	}
+	for _, tt := range tests {
+		if got := cam.InBounds(tt.px, tt.margin); got != tt.want {
+			t.Errorf("InBounds(%+v, %v) = %v, want %v", tt.px, tt.margin, got, tt.want)
+		}
+	}
+}
+
+func TestCameraFov(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	if fov := cam.FovX(); fov < 0.9 || fov > 1.2 {
+		t.Errorf("FovX = %v rad, want ~1.05 (60 deg)", fov)
+	}
+	if cam.FovY() >= cam.FovX() {
+		t.Error("vertical FOV should be smaller for landscape images")
+	}
+}
+
+func TestCameraValidate(t *testing.T) {
+	bad := []Camera{
+		{Fx: 0, Fy: 1, Width: 10, Height: 10},
+		{Fx: 1, Fy: 1, Width: 0, Height: 10},
+		{Fx: 1, Fy: -1, Width: 10, Height: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the given points in counter-clockwise
+// order (in a y-down image coordinate system the returned order appears
+// clockwise on screen; only consistency matters to callers). It uses
+// Andrew's monotone chain algorithm. Fewer than three distinct points are
+// returned as-is (sorted, deduplicated).
+//
+// The hull converts the eight projected corners of a polyhedral scene object
+// into its silhouette polygon during ground-truth rendering.
+func ConvexHull(points []Vec2) []Vec2 {
+	if len(points) == 0 {
+		return nil
+	}
+	pts := make([]Vec2, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	// Deduplicate.
+	uniq := pts[:1]
+	for _, p := range pts[1:] {
+		last := uniq[len(uniq)-1]
+		if p.X != last.X || p.Y != last.Y {
+			uniq = append(uniq, p)
+		}
+	}
+	pts = uniq
+	if len(pts) < 3 {
+		return pts
+	}
+
+	cross := func(o, a, b Vec2) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+
+	hull := make([]Vec2, 0, 2*len(pts))
+	// Lower hull.
+	for _, p := range pts {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(pts) - 2; i >= 0; i-- {
+		p := pts[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}

@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Vec2{
+		V2(0, 0), V2(4, 0), V2(4, 4), V2(0, 4),
+		V2(2, 2), V2(1, 3), // interior points
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4", len(hull))
+	}
+	for _, h := range hull {
+		if h.X != 0 && h.X != 4 && h.Y != 0 && h.Y != 4 {
+			t.Errorf("interior point %v in hull", h)
+		}
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); got != nil {
+		t.Error("nil input should give nil")
+	}
+	one := ConvexHull([]Vec2{V2(1, 2)})
+	if len(one) != 1 {
+		t.Errorf("single point hull = %v", one)
+	}
+	// Duplicates collapse.
+	dup := ConvexHull([]Vec2{V2(1, 1), V2(1, 1), V2(1, 1)})
+	if len(dup) != 1 {
+		t.Errorf("duplicate hull = %v", dup)
+	}
+	// Collinear points give the two extremes (or the full segment set —
+	// either way, all returned points must lie on the segment).
+	line := ConvexHull([]Vec2{V2(0, 0), V2(1, 1), V2(2, 2), V2(3, 3)})
+	for _, p := range line {
+		if math.Abs(p.X-p.Y) > 1e-12 {
+			t.Errorf("off-line point %v", p)
+		}
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		pts := make([]Vec2, n)
+		for i := range pts {
+			pts[i] = V2(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		// Every input point is inside or on the hull: for the hull's
+		// consistent winding, the cross product against each edge must not
+		// change sign beyond tolerance.
+		for _, p := range pts {
+			for i := range hull {
+				a, b := hull[i], hull[(i+1)%len(hull)]
+				cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+				if cross < -1e-6 {
+					t.Fatalf("trial %d: point %v outside hull edge %v-%v", trial, p, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestConvexHullIsConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]Vec2, 60)
+	for i := range pts {
+		pts[i] = V2(rng.NormFloat64()*20, rng.NormFloat64()*20)
+	}
+	hull := ConvexHull(pts)
+	if len(hull) < 3 {
+		t.Fatal("degenerate hull")
+	}
+	for i := range hull {
+		a := hull[i]
+		b := hull[(i+1)%len(hull)]
+		c := hull[(i+2)%len(hull)]
+		cross := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+		if cross <= 0 {
+			t.Fatalf("hull not strictly convex at %d (cross %v)", i, cross)
+		}
+	}
+}

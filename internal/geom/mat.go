@@ -1,0 +1,243 @@
+package geom
+
+import "math"
+
+// Mat3 is a 3x3 matrix in row-major order. It is used for rotation matrices,
+// camera intrinsics, and the fundamental/essential matrices of two-view
+// geometry.
+type Mat3 [9]float64
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{
+		1, 0, 0,
+		0, 1, 0,
+		0, 0, 1,
+	}
+}
+
+// At returns the element at row r, column c.
+func (m Mat3) At(r, c int) float64 { return m[3*r+c] }
+
+// Set stores v at row r, column c and returns the updated matrix.
+func (m *Mat3) Set(r, c int, v float64) { m[3*r+c] = v }
+
+// Mul returns the matrix product m * n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var out Mat3
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m.At(r, k) * n.At(k, c)
+			}
+			out.Set(r, c, s)
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		X: m[0]*v.X + m[1]*v.Y + m[2]*v.Z,
+		Y: m[3]*v.X + m[4]*v.Y + m[5]*v.Z,
+		Z: m[6]*v.X + m[7]*v.Y + m[8]*v.Z,
+	}
+}
+
+// Transpose returns the transpose of m.
+func (m Mat3) Transpose() Mat3 {
+	return Mat3{
+		m[0], m[3], m[6],
+		m[1], m[4], m[7],
+		m[2], m[5], m[8],
+	}
+}
+
+// Scale returns m with every element multiplied by s.
+func (m Mat3) Scale(s float64) Mat3 {
+	var out Mat3
+	for i := range m {
+		out[i] = m[i] * s
+	}
+	return out
+}
+
+// Add returns the element-wise sum m + n.
+func (m Mat3) Add(n Mat3) Mat3 {
+	var out Mat3
+	for i := range m {
+		out[i] = m[i] + n[i]
+	}
+	return out
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0]*(m[4]*m[8]-m[5]*m[7]) -
+		m[1]*(m[3]*m[8]-m[5]*m[6]) +
+		m[2]*(m[3]*m[7]-m[4]*m[6])
+}
+
+// Inverse returns the inverse of m and whether m is invertible. Singular
+// matrices (|det| below 1e-12 relative to scale) return ok=false.
+func (m Mat3) Inverse() (Mat3, bool) {
+	det := m.Det()
+	scale := 0.0
+	for _, v := range m {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	if scale == 0 || math.Abs(det) < 1e-12*scale*scale*scale {
+		return Mat3{}, false
+	}
+	inv := 1 / det
+	return Mat3{
+		(m[4]*m[8] - m[5]*m[7]) * inv,
+		(m[2]*m[7] - m[1]*m[8]) * inv,
+		(m[1]*m[5] - m[2]*m[4]) * inv,
+		(m[5]*m[6] - m[3]*m[8]) * inv,
+		(m[0]*m[8] - m[2]*m[6]) * inv,
+		(m[2]*m[3] - m[0]*m[5]) * inv,
+		(m[3]*m[7] - m[4]*m[6]) * inv,
+		(m[1]*m[6] - m[0]*m[7]) * inv,
+		(m[0]*m[4] - m[1]*m[3]) * inv,
+	}, true
+}
+
+// Skew returns the skew-symmetric matrix v^ such that v^ * w == v x w.
+// This is the (.)^ operator of Eq. 2 in the paper.
+func Skew(v Vec3) Mat3 {
+	return Mat3{
+		0, -v.Z, v.Y,
+		v.Z, 0, -v.X,
+		-v.Y, v.X, 0,
+	}
+}
+
+// Trace returns the sum of diagonal elements.
+func (m Mat3) Trace() float64 { return m[0] + m[4] + m[8] }
+
+// Col returns column c as a vector.
+func (m Mat3) Col(c int) Vec3 { return Vec3{m[c], m[3+c], m[6+c]} }
+
+// Row returns row r as a vector.
+func (m Mat3) Row(r int) Vec3 { return Vec3{m[3*r], m[3*r+1], m[3*r+2]} }
+
+// FromCols builds a matrix whose columns are a, b and c.
+func FromCols(a, b, c Vec3) Mat3 {
+	return Mat3{
+		a.X, b.X, c.X,
+		a.Y, b.Y, c.Y,
+		a.Z, b.Z, c.Z,
+	}
+}
+
+// RotX returns the rotation matrix around the X axis by angle a.
+func RotX(a float64) Mat3 {
+	s, c := math.Sin(a), math.Cos(a)
+	return Mat3{
+		1, 0, 0,
+		0, c, -s,
+		0, s, c,
+	}
+}
+
+// RotY returns the rotation matrix around the Y axis by angle a.
+func RotY(a float64) Mat3 {
+	s, c := math.Sin(a), math.Cos(a)
+	return Mat3{
+		c, 0, s,
+		0, 1, 0,
+		-s, 0, c,
+	}
+}
+
+// RotZ returns the rotation matrix around the Z axis by angle a.
+func RotZ(a float64) Mat3 {
+	s, c := math.Sin(a), math.Cos(a)
+	return Mat3{
+		c, -s, 0,
+		s, c, 0,
+		0, 0, 1,
+	}
+}
+
+// Rodrigues converts an axis-angle vector (direction = axis, norm = angle)
+// into a rotation matrix using the Rodrigues formula. The zero vector maps
+// to the identity.
+func Rodrigues(w Vec3) Mat3 {
+	theta := w.Norm()
+	if theta < 1e-12 {
+		// First-order approximation keeps the exponential map smooth
+		// near zero, which Gauss-Newton steps rely on.
+		return Identity3().Add(Skew(w))
+	}
+	axis := w.Scale(1 / theta)
+	k := Skew(axis)
+	s, c := math.Sin(theta), math.Cos(theta)
+	return Identity3().Add(k.Scale(s)).Add(k.Mul(k).Scale(1 - c))
+}
+
+// LogRotation is the inverse of Rodrigues: it recovers the axis-angle vector
+// from a rotation matrix.
+func LogRotation(r Mat3) Vec3 {
+	cosTheta := (r.Trace() - 1) / 2
+	cosTheta = math.Max(-1, math.Min(1, cosTheta))
+	theta := math.Acos(cosTheta)
+	if theta < 1e-12 {
+		return Vec3{}
+	}
+	if math.Pi-theta < 1e-6 {
+		// Near pi the off-diagonal formula degenerates; recover the axis
+		// from the diagonal of (R + I)/2 = axis*axis^T near theta==pi.
+		ax := math.Sqrt(math.Max(0, (r.At(0, 0)+1)/2))
+		ay := math.Sqrt(math.Max(0, (r.At(1, 1)+1)/2))
+		az := math.Sqrt(math.Max(0, (r.At(2, 2)+1)/2))
+		// Fix signs using the largest component.
+		switch {
+		case ax >= ay && ax >= az:
+			if r.At(0, 1)+r.At(1, 0) < 0 {
+				ay = -ay
+			}
+			if r.At(0, 2)+r.At(2, 0) < 0 {
+				az = -az
+			}
+		case ay >= ax && ay >= az:
+			if r.At(0, 1)+r.At(1, 0) < 0 {
+				ax = -ax
+			}
+			if r.At(1, 2)+r.At(2, 1) < 0 {
+				az = -az
+			}
+		default:
+			if r.At(0, 2)+r.At(2, 0) < 0 {
+				ax = -ax
+			}
+			if r.At(1, 2)+r.At(2, 1) < 0 {
+				ay = -ay
+			}
+		}
+		return V3(ax, ay, az).Normalized().Scale(theta)
+	}
+	f := theta / (2 * math.Sin(theta))
+	return Vec3{
+		X: (r.At(2, 1) - r.At(1, 2)) * f,
+		Y: (r.At(0, 2) - r.At(2, 0)) * f,
+		Z: (r.At(1, 0) - r.At(0, 1)) * f,
+	}
+}
+
+// OrthonormalizeRotation projects m onto the closest rotation matrix using
+// Gram-Schmidt on its columns followed by a determinant sign fix. It is used
+// to keep incrementally-updated rotations numerically orthonormal.
+func OrthonormalizeRotation(m Mat3) Mat3 {
+	c0 := m.Col(0).Normalized()
+	c1 := m.Col(1).Sub(c0.Scale(c0.Dot(m.Col(1)))).Normalized()
+	c2 := c0.Cross(c1)
+	r := FromCols(c0, c1, c2)
+	if r.Det() < 0 {
+		r = FromCols(c0, c1, c2.Scale(-1))
+	}
+	return r
+}

@@ -1,0 +1,73 @@
+package geom
+
+// Pose is a rigid-body transform T = [R | t] in SE(3). Applied to a point it
+// computes R*p + t. Poses compose left-to-right in the usual convention:
+// (A.Compose(B)).Apply(p) == A.Apply(B.Apply(p)).
+//
+// Throughout edgeIS, T_CW denotes the transform from world coordinates to
+// camera coordinates; its inverse T_WC places the camera in the world.
+type Pose struct {
+	R Mat3
+	T Vec3
+}
+
+// IdentityPose returns the identity transform.
+func IdentityPose() Pose { return Pose{R: Identity3()} }
+
+// Apply transforms p: R*p + t.
+func (p Pose) Apply(v Vec3) Vec3 { return p.R.MulVec(v).Add(p.T) }
+
+// Compose returns the transform p * q, i.e. q applied first.
+func (p Pose) Compose(q Pose) Pose {
+	return Pose{
+		R: p.R.Mul(q.R),
+		T: p.R.MulVec(q.T).Add(p.T),
+	}
+}
+
+// Inverse returns the inverse transform [R^T | -R^T t].
+func (p Pose) Inverse() Pose {
+	rt := p.R.Transpose()
+	return Pose{R: rt, T: rt.MulVec(p.T).Scale(-1)}
+}
+
+// RelativeTo returns the transform mapping q's frame into p's frame:
+// p * q^-1. If p = T_AW and q = T_BW then the result is T_AB.
+func (p Pose) RelativeTo(q Pose) Pose { return p.Compose(q.Inverse()) }
+
+// CameraCenter returns the position of the camera in the source frame of the
+// pose, i.e. -R^T t for a world-to-camera transform.
+func (p Pose) CameraCenter() Vec3 {
+	return p.R.Transpose().MulVec(p.T).Scale(-1)
+}
+
+// TranslationDistance returns the Euclidean distance between the camera
+// centers of p and q — a convenient pose-drift metric.
+func (p Pose) TranslationDistance(q Pose) float64 {
+	return p.CameraCenter().DistTo(q.CameraCenter())
+}
+
+// RotationAngle returns the absolute rotation angle (radians) between the
+// orientations of p and q. It is used by the source-keyframe selection of the
+// mask transfer module ("the angle between the frames is not too large").
+func (p Pose) RotationAngle(q Pose) float64 {
+	rel := p.R.Mul(q.R.Transpose())
+	return LogRotation(rel).Norm()
+}
+
+// Exp applies a left-multiplied SE(3) increment parameterized by a 6-vector
+// (rho, phi) — translation and rotation — to the pose. It is the update rule
+// used by the Gauss-Newton pose optimizer.
+func (p Pose) Exp(rho, phi Vec3) Pose {
+	dr := Rodrigues(phi)
+	return Pose{
+		R: OrthonormalizeRotation(dr.Mul(p.R)),
+		T: dr.MulVec(p.T).Add(rho),
+	}
+}
+
+// ViewRay returns the unit vector from the camera center through the world
+// point w, expressed in world coordinates, for a world-to-camera pose.
+func (p Pose) ViewRay(w Vec3) Vec3 {
+	return w.Sub(p.CameraCenter()).Normalized()
+}

@@ -1,0 +1,89 @@
+// Package geom provides the 3-D geometry primitives used throughout edgeIS:
+// vectors, rotation matrices, rigid-body (SE(3)) transforms and the pinhole
+// camera model. All angles are radians and all coordinates are metric unless
+// stated otherwise.
+//
+// Conventions follow the paper: a pose T_CW = [R_CW | t_CW] maps points from
+// the world frame W into the camera frame C, and the projection function
+// pi(T, P) = K * (R*P + t) maps a world point to pixel coordinates (Eq. 5).
+package geom
+
+import "math"
+
+// Vec2 is a 2-D vector, used for pixel coordinates and image-plane offsets.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// DistTo returns the Euclidean distance between v and w.
+func (v Vec2) DistTo(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Vec3 is a 3-D vector, used for world/camera points and translations.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// DistTo returns the Euclidean distance between v and w.
+func (v Vec3) DistTo(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Normalized returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// matching eigenvectors as columns of the returned matrix. The input is not
+// modified.
+//
+// Jacobi is quadratic-per-sweep but unconditionally stable, which is exactly
+// right for the tiny (<=9x9) Gram matrices of two-view geometry.
+func SymEigen(a *Dense) (vals []float64, vecs *Dense) {
+	n := a.Rows
+	m := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// rotate applies the Jacobi rotation J(p,q,theta) to m (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(m, v *Dense, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// NullVector returns the unit vector x minimizing ||A x|| for a matrix with
+// more rows than columns — the smallest right singular vector of A, computed
+// as the smallest eigenvector of A^T A. It is the solver used for the
+// 8-point fundamental-matrix estimate (Eq. 1) and linear triangulation
+// (Eq. 3).
+func NullVector(a *Dense) []float64 {
+	gram := a.TransposeMul()
+	_, vecs := SymEigen(gram)
+	n := gram.Rows
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		out[r] = vecs.At(r, n-1) // column of the smallest eigenvalue
+	}
+	return out
+}
+
+// SVD3 computes the singular value decomposition A = U * diag(s) * V^T of a
+// 3x3 matrix given in row-major order. Singular values are returned in
+// descending order; U and V are proper (possibly improper — sign-consistent)
+// orthogonal matrices in row-major order. It is used to decompose the
+// essential matrix (Eq. 2) and to enforce rank-2 on fundamental estimates.
+func SVD3(a [9]float64) (u [9]float64, s [3]float64, v [9]float64) {
+	am := FromRows([][]float64{
+		{a[0], a[1], a[2]},
+		{a[3], a[4], a[5]},
+		{a[6], a[7], a[8]},
+	})
+	// Eigen of A^T A gives V and s^2.
+	gram := am.TransposeMul()
+	vals, vecs := SymEigen(gram)
+	for i := 0; i < 3; i++ {
+		s[i] = math.Sqrt(math.Max(0, vals[i]))
+		for r := 0; r < 3; r++ {
+			v[r*3+i] = vecs.At(r, i)
+		}
+	}
+	// U columns: A*v_i / s_i; fall back to completing an orthonormal basis
+	// for vanishing singular values.
+	var ucols [3][3]float64
+	for i := 0; i < 3; i++ {
+		col := am.MulVec([]float64{v[i], v[3+i], v[6+i]})
+		norm := math.Sqrt(col[0]*col[0] + col[1]*col[1] + col[2]*col[2])
+		if s[i] > 1e-12 && norm > 1e-12 {
+			ucols[i] = [3]float64{col[0] / norm, col[1] / norm, col[2] / norm}
+		}
+	}
+	completeBasis(&ucols, s)
+	for i := 0; i < 3; i++ {
+		for r := 0; r < 3; r++ {
+			u[r*3+i] = ucols[i][r]
+		}
+	}
+	return u, s, v
+}
+
+// completeBasis fills in any unset columns (those with vanishing singular
+// values) so that the three columns form an orthonormal basis. Candidate
+// directions are Gram-Schmidt orthogonalized against every column already
+// set, so the routine works for any rank deficiency (0, 1 or 2 set columns).
+func completeBasis(cols *[3][3]float64, _ [3]float64) {
+	norm := func(v [3]float64) float64 {
+		return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	}
+	for i := 0; i < 3; i++ {
+		if norm(cols[i]) > 0.5 {
+			continue
+		}
+		for _, cand := range [][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}} {
+			// Orthogonalize against all set columns.
+			for j := 0; j < 3; j++ {
+				if j == i || norm(cols[j]) < 0.5 {
+					continue
+				}
+				dot := cand[0]*cols[j][0] + cand[1]*cols[j][1] + cand[2]*cols[j][2]
+				for k := 0; k < 3; k++ {
+					cand[k] -= dot * cols[j][k]
+				}
+			}
+			if n := norm(cand); n > 1e-6 {
+				cols[i] = [3]float64{cand[0] / n, cand[1] / n, cand[2] / n}
+				break
+			}
+		}
+	}
+}

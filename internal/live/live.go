@@ -1,0 +1,203 @@
+// Package live drives the edgeIS mobile runtime against a real TCP edge
+// server (package transport): the deployable counterpart of the simulation
+// engine in package pipeline. A synthetic camera renders ground-truth
+// frames, the full mobile pipeline processes them, offloads travel over the
+// socket, and results feed back into the tracker.
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"edgeis/internal/accel"
+	"edgeis/internal/codec"
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+	"edgeis/internal/vo"
+)
+
+// Driver couples a mobile runtime to a live edge connection for one clip.
+type Driver struct {
+	sys    *core.System
+	client *transport.Client
+	clip   dataset.Clip
+	cam    geom.Camera
+	seed   int64
+
+	// Realtime paces frames at 30 fps wall clock; otherwise the clip runs
+	// as fast as the pipeline allows.
+	Realtime bool
+	// Progress, when non-nil, receives a line every progressEvery frames.
+	Progress func(frame int, meanIoU float64)
+	// onResult is a test hook observing result deliveries.
+	onResult func(frameIdx int32)
+}
+
+// progressEvery is the reporting cadence in frames.
+const progressEvery = 100
+
+// NewDriver assembles a live run.
+func NewDriver(sys *core.System, client *transport.Client, clip dataset.Clip, cam geom.Camera, seed int64) *Driver {
+	return &Driver{sys: sys, client: client, clip: clip, cam: cam, seed: seed}
+}
+
+// Outcome reports a finished live run.
+type Outcome struct {
+	Acc     *metrics.Accumulator
+	Session core.SessionStats
+	Sent    int
+	// Skipped counts offloads dropped because the uplink queue was full.
+	Skipped int
+}
+
+// Run executes the clip and returns accuracy statistics.
+func (d *Driver) Run() (*Outcome, error) {
+	ex := feature.NewExtractor(d.clip.World, d.cam, feature.DefaultConfig(), d.seed)
+	frames := d.clip.World.RenderSequence(d.cam, d.clip.Traj, d.clip.Frames)
+	grid := codec.NewGrid(d.cam.Width, d.cam.Height)
+	acc := metrics.NewAccumulator("edgeIS-live")
+	skipped := 0
+
+	outstanding := 0
+	for _, f := range frames {
+		// While the VO has not reached tracking, the mobile has nothing
+		// useful to compute and real deployments simply wait for the next
+		// camera frame; blocking briefly here lets in-flight results land
+		// even when the clip is replayed far faster than wall time.
+		block := outstanding > 0 && d.sys.VO().State() != vo.StatusTracking
+		n, err := d.drainResults(frames, f.Index, block)
+		if err != nil {
+			return nil, err
+		}
+		outstanding -= n
+
+		out := d.sys.ProcessFrame(f, ex.Extract(f, d.clip.CameraSpeed),
+			float64(f.Index)*pipeline.FrameBudgetMs)
+		for _, off := range out.Offloads {
+			if !d.client.Send(ToFrameMsg(off, frames[off.FrameIndex], grid, d.seed)) {
+				skipped++
+			} else {
+				outstanding++
+			}
+		}
+
+		truths := make([]metrics.TruthMask, 0, len(f.Objects))
+		for _, gt := range f.Objects {
+			truths = append(truths, metrics.TruthMask{
+				ObjectID: gt.ObjectID, Label: int(gt.Class), Mask: gt.Visible,
+			})
+		}
+		acc.AddFrame(metrics.MatchFrame(out.Masks, truths), out.ComputeMs)
+
+		if d.Realtime {
+			budget := pipeline.FrameBudgetMs
+			time.Sleep(time.Duration(budget * float64(time.Millisecond)))
+		}
+		if d.Progress != nil && f.Index%progressEvery == progressEvery-1 {
+			d.Progress(f.Index, acc.MeanIoU())
+		}
+	}
+	return &Outcome{
+		Acc:     acc,
+		Session: d.sys.Stats(),
+		Sent:    d.client.Sent(),
+		Skipped: skipped,
+	}, nil
+}
+
+// drainResults applies every already-delivered edge result and returns how
+// many were consumed. With block set, it waits up to one frame budget for
+// the first result.
+func (d *Driver) drainResults(frames []*scene.Frame, frameIdx int, block bool) (int, error) {
+	consumed := 0
+	budgetMs := pipeline.FrameBudgetMs
+	deadline := time.NewTimer(time.Duration(budgetMs * float64(time.Millisecond)))
+	defer deadline.Stop()
+	for {
+		if block && consumed == 0 {
+			select {
+			case res, ok := <-d.client.Results():
+				if !ok {
+					return consumed, fmt.Errorf("live: connection lost: %w", d.client.Err())
+				}
+				consumed++
+				d.applyResult(res, frames, frameIdx)
+			case <-deadline.C:
+				return consumed, nil
+			}
+			continue
+		}
+		select {
+		case res, ok := <-d.client.Results():
+			if !ok {
+				return consumed, fmt.Errorf("live: connection lost: %w", d.client.Err())
+			}
+			consumed++
+			d.applyResult(res, frames, frameIdx)
+		default:
+			return consumed, nil
+		}
+	}
+}
+
+// applyResult feeds one wire result into the mobile runtime.
+func (d *Driver) applyResult(res *transport.ResultMsg, frames []*scene.Frame, frameIdx int) {
+	if d.onResult != nil {
+		d.onResult(res.FrameIndex)
+	}
+	if int(res.FrameIndex) < 0 || int(res.FrameIndex) >= len(frames) {
+		return
+	}
+	d.sys.HandleEdgeResult(ToEdgeResult(res), frames[res.FrameIndex],
+		float64(frameIdx)*pipeline.FrameBudgetMs)
+}
+
+// ToFrameMsg converts an engine offload request into a wire message,
+// sampling the per-pixel quality closure back onto the tile grid and
+// padding the payload to the codec's modelled byte volume.
+func ToFrameMsg(off *pipeline.OffloadRequest, f *scene.Frame, grid codec.Grid, seed int64) *transport.FrameMsg {
+	msg := &transport.FrameMsg{
+		FrameIndex:   int32(off.FrameIndex),
+		Width:        int32(f.Camera.Width),
+		Height:       int32(f.Camera.Height),
+		Seed:         seed*1_000_003 + int64(off.FrameIndex),
+		TileCols:     int32(grid.Cols),
+		PaddingBytes: int32(off.PayloadBytes),
+	}
+	for _, gt := range f.Objects {
+		msg.Objects = append(msg.Objects, segmodel.ObjectTruth{
+			ObjectID: gt.ObjectID, Label: int(gt.Class),
+			Visible: gt.Visible, Box: gt.Box,
+		})
+	}
+	if off.Quality != nil {
+		msg.QualityLevels = make([]float32, grid.Tiles())
+		for i := range msg.QualityLevels {
+			c := grid.TileBox(i).Center()
+			msg.QualityLevels[i] = float32(off.Quality(int(c.X), int(c.Y)))
+		}
+	}
+	if plan, ok := off.Guidance.(*accel.Plan); ok && plan != nil {
+		msg.Areas = plan.Areas
+	}
+	return msg
+}
+
+// ToEdgeResult converts a wire result for the mobile runtime.
+func ToEdgeResult(res *transport.ResultMsg) pipeline.EdgeResult {
+	out := pipeline.EdgeResult{
+		FrameIndex: int(res.FrameIndex),
+		InferMs:    res.InferMs,
+	}
+	for _, d := range res.Detections {
+		out.Detections = append(out.Detections, d.ToDetection())
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"edgeis/internal/codec"
+	"edgeis/internal/core"
+	"edgeis/internal/dataset"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+)
+
+// startServer spins up an in-process edge server and a connected client.
+func startServer(t *testing.T) (*transport.Server, *transport.Client) {
+	t.Helper()
+	srv := transport.NewServer(segmodel.New(segmodel.MaskRCNN))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := transport.Dial(addr.String(), time.Second)
+	if err != nil {
+		_ = srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = srv.Close()
+	})
+	return srv, client
+}
+
+func TestDriverEndToEndOverTCP(t *testing.T) {
+	srv, client := startServer(t)
+	cam := geom.StandardCamera(320, 240)
+	clip := dataset.SelfRecorded(3, 150)[0]
+	clip.Frames = 150
+
+	sys := core.NewSystem(core.Config{Camera: cam, Device: device.IPhone11, Seed: 3})
+	d := NewDriver(sys, client, clip, cam, 3)
+
+	progressed := 0
+	d.Progress = func(frame int, iou float64) { progressed++ }
+
+	out, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Acc.Samples() == 0 {
+		t.Fatal("no samples")
+	}
+	// The live path should reach a useful accuracy on this easy clip.
+	if out.Acc.MeanIoU() < 0.4 {
+		t.Errorf("live mean IoU = %.3f", out.Acc.MeanIoU())
+	}
+	if out.Session.InitAttempts == 0 {
+		t.Error("never initialized")
+	}
+	if out.Sent == 0 {
+		t.Error("nothing sent over the socket")
+	}
+	if progressed == 0 {
+		t.Error("progress callback never fired")
+	}
+	served, mean := srv.Stats()
+	if served == 0 || mean <= 0 {
+		t.Errorf("server stats: served=%d mean=%.1f", served, mean)
+	}
+}
+
+func TestToFrameMsgConversion(t *testing.T) {
+	cam := geom.StandardCamera(320, 240)
+	clip := dataset.KITTI(1, 5)[0]
+	frames := clip.World.RenderSequence(cam, clip.Traj, 3)
+	grid := codec.NewGrid(cam.Width, cam.Height)
+
+	qualities := map[int]float64{}
+	off := &pipeline.OffloadRequest{
+		FrameIndex:   2,
+		PayloadBytes: 9999,
+		Quality: func(x, y int) float64 {
+			q := 0.5
+			if x < 64 {
+				q = 1.0
+			}
+			qualities[grid.TileAt(x, y)] = q
+			return q
+		},
+	}
+	msg := ToFrameMsg(off, frames[2], grid, 7)
+	if msg.FrameIndex != 2 || msg.PaddingBytes != 9999 {
+		t.Error("header mismatch")
+	}
+	if len(msg.Objects) != len(frames[2].Objects) {
+		t.Error("objects mismatch")
+	}
+	if len(msg.QualityLevels) != grid.Tiles() {
+		t.Fatalf("quality levels = %d", len(msg.QualityLevels))
+	}
+	if msg.QualityLevels[0] != 1.0 {
+		t.Errorf("left tile quality = %v, want 1.0", msg.QualityLevels[0])
+	}
+	// A tile well right of x=64.
+	farTile := grid.TileAt(300, 100)
+	if msg.QualityLevels[farTile] != 0.5 {
+		t.Errorf("right tile quality = %v, want 0.5", msg.QualityLevels[farTile])
+	}
+}
+
+func TestToEdgeResultConversion(t *testing.T) {
+	m := mask.New(64, 64)
+	for y := 10; y < 40; y++ {
+		for x := 10; x < 40; x++ {
+			m.Set(x, y)
+		}
+	}
+	wire := &transport.ResultMsg{
+		FrameIndex: 5,
+		InferMs:    120,
+		Detections: []transport.WireDetection{
+			transport.FromDetection(segmodel.Detection{
+				ObjectID: 1, Label: 3, Score: 0.8, Mask: m, Box: m.BoundingBox(),
+			}, 64),
+		},
+	}
+	res := ToEdgeResult(wire)
+	if res.FrameIndex != 5 || res.InferMs != 120 || len(res.Detections) != 1 {
+		t.Fatal("conversion mismatch")
+	}
+	if res.Detections[0].Mask == nil {
+		t.Fatal("mask missing")
+	}
+	if iou := mask.IoU(res.Detections[0].Mask, m); iou < 0.85 {
+		t.Errorf("mask round trip IoU = %.3f", iou)
+	}
+}

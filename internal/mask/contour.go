@@ -1,0 +1,230 @@
+package mask
+
+import (
+	"math"
+	"sort"
+
+	"edgeis/internal/geom"
+)
+
+// Contour is an ordered list of boundary pixels of a mask region, the
+// representation Section III-C extracts with findContours: "a list of
+// connected pixels".
+type Contour []geom.Vec2
+
+// ExtractContours traces the outer boundary of every connected component of
+// the mask using Moore-neighbour tracing with Jacob's stopping criterion —
+// functionally the same boundary lists OpenCV's findContours produces in
+// RETR_EXTERNAL mode. Components are returned in scan order; components
+// smaller than minArea pixels are skipped.
+func ExtractContours(m *Bitmask, minArea int) []Contour {
+	visited := New(m.Width, m.Height)
+	var contours []Contour
+
+	labels := connectedComponents(m)
+	seen := make(map[int]bool)
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			lbl := labels[y*m.Width+x]
+			if lbl == 0 || seen[lbl] {
+				continue
+			}
+			seen[lbl] = true
+			// (x, y) is the top-left-most pixel of this component in scan
+			// order, a valid Moore-trace start.
+			c := traceBoundary(m, labels, lbl, x, y, visited)
+			if componentArea(labels, lbl) >= minArea && len(c) > 0 {
+				contours = append(contours, c)
+			}
+		}
+	}
+	return contours
+}
+
+// connectedComponents labels 4-connected components starting at 1.
+func connectedComponents(m *Bitmask) []int {
+	labels := make([]int, len(m.Pix))
+	next := 0
+	var stack [][2]int
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			if m.Pix[y*m.Width+x] == 0 || labels[y*m.Width+x] != 0 {
+				continue
+			}
+			next++
+			stack = stack[:0]
+			stack = append(stack, [2]int{x, y})
+			labels[y*m.Width+x] = next
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := p[0]+d[0], p[1]+d[1]
+					if nx < 0 || ny < 0 || nx >= m.Width || ny >= m.Height {
+						continue
+					}
+					idx := ny*m.Width + nx
+					if m.Pix[idx] != 0 && labels[idx] == 0 {
+						labels[idx] = next
+						stack = append(stack, [2]int{nx, ny})
+					}
+				}
+			}
+		}
+	}
+	return labels
+}
+
+func componentArea(labels []int, lbl int) int {
+	n := 0
+	for _, l := range labels {
+		if l == lbl {
+			n++
+		}
+	}
+	return n
+}
+
+// mooreOffsets enumerates the 8-neighbourhood clockwise starting from west.
+var mooreOffsets = [8][2]int{
+	{-1, 0}, {-1, -1}, {0, -1}, {1, -1}, {1, 0}, {1, 1}, {0, 1}, {-1, 1},
+}
+
+// traceBoundary walks the outer boundary of component lbl starting from its
+// scan-order-first pixel. dir encodes the direction of the last move as an
+// index into mooreOffsets; the next scan starts one past the backtrack
+// neighbour, clockwise. Termination uses Jacob's criterion: stop when the
+// start pixel is re-entered moving in the initial direction.
+func traceBoundary(m *Bitmask, labels []int, lbl, sx, sy int, visited *Bitmask) Contour {
+	inComp := func(x, y int) bool {
+		if x < 0 || y < 0 || x >= m.Width || y >= m.Height {
+			return false
+		}
+		return labels[y*m.Width+x] == lbl
+	}
+
+	contour := Contour{geom.V2(float64(sx), float64(sy))}
+	visited.Set(sx, sy)
+
+	// Single-pixel component.
+	single := true
+	for _, d := range mooreOffsets {
+		if inComp(sx+d[0], sy+d[1]) {
+			single = false
+			break
+		}
+	}
+	if single {
+		return contour
+	}
+
+	cx, cy := sx, sy
+	// Scan order guarantees the west neighbour of the start pixel is
+	// outside the component, so pretend we arrived moving east.
+	const east = 4
+	dir := east
+
+	maxSteps := 8 * len(m.Pix)
+	for step := 0; step < maxSteps; step++ {
+		found := false
+		start := (dir + 5) % 8 // one past the backtrack neighbour
+		for i := 0; i < 8; i++ {
+			d := (start + i) % 8
+			nx, ny := cx+mooreOffsets[d][0], cy+mooreOffsets[d][1]
+			if inComp(nx, ny) {
+				cx, cy, dir = nx, ny, d
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		if cx == sx && cy == sy && len(contour) >= 2 {
+			break // boundary closed
+		}
+		contour = append(contour, geom.V2(float64(cx), float64(cy)))
+		visited.Set(cx, cy)
+	}
+	return contour
+}
+
+// FillPolygon rasterizes a closed polygon into a mask of the given size
+// using even-odd scanline filling. Vertices are in pixel coordinates; the
+// polygon is implicitly closed. This converts a transferred contour back
+// into a dense mask (Section III-C).
+func FillPolygon(vertices []geom.Vec2, width, height int) *Bitmask {
+	out := New(width, height)
+	if len(vertices) < 3 {
+		for _, v := range vertices {
+			out.Set(int(math.Round(v.X)), int(math.Round(v.Y)))
+		}
+		return out
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, v := range vertices {
+		minY = math.Min(minY, v.Y)
+		maxY = math.Max(maxY, v.Y)
+	}
+	y0 := max(0, int(math.Floor(minY)))
+	y1 := min(height-1, int(math.Ceil(maxY)))
+
+	xs := make([]float64, 0, 16)
+	for y := y0; y <= y1; y++ {
+		fy := float64(y) + 0.5
+		xs = xs[:0]
+		for i := range vertices {
+			a := vertices[i]
+			b := vertices[(i+1)%len(vertices)]
+			if (a.Y <= fy) == (b.Y <= fy) {
+				continue // edge does not cross the scanline
+			}
+			t := (fy - a.Y) / (b.Y - a.Y)
+			xs = append(xs, a.X+t*(b.X-a.X))
+		}
+		sort.Float64s(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			xa := max(0, int(math.Ceil(xs[i]-0.5)))
+			xb := min(width-1, int(math.Floor(xs[i+1]-0.5)))
+			for x := xa; x <= xb; x++ {
+				out.Pix[y*width+x] = 1
+			}
+		}
+	}
+	// Stamp the boundary itself so thin shapes survive rasterization.
+	for _, v := range vertices {
+		x, y := int(math.Round(v.X)), int(math.Round(v.Y))
+		out.Set(x, y)
+	}
+	return out
+}
+
+// SimplifyContour subsamples a contour to at most maxPoints, preserving
+// order. Transmitting contour vertices instead of dense masks is how the
+// wire protocol keeps mask payloads small.
+func SimplifyContour(c Contour, maxPoints int) Contour {
+	if maxPoints <= 0 || len(c) <= maxPoints {
+		out := make(Contour, len(c))
+		copy(out, c)
+		return out
+	}
+	out := make(Contour, 0, maxPoints)
+	step := float64(len(c)) / float64(maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		out = append(out, c[int(float64(i)*step)])
+	}
+	return out
+}
+
+// ContourPerimeter returns the summed segment lengths of the closed contour.
+func ContourPerimeter(c Contour) float64 {
+	if len(c) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := range c {
+		sum += c[i].DistTo(c[(i+1)%len(c)])
+	}
+	return sum
+}

@@ -1,0 +1,470 @@
+// Package mask implements the pixel-level machinery of instance
+// segmentation: binary masks, polygon rasterization, contour extraction
+// (the equivalent of OpenCV's findContours used in Section III-C of the
+// paper), morphology, bounding boxes and the IoU metric of Eq. 8.
+package mask
+
+import (
+	"fmt"
+	"math"
+
+	"edgeis/internal/geom"
+)
+
+// Bitmask is a binary image of Width x Height pixels stored row-major, one
+// byte per pixel (0 or 1). A byte-per-pixel layout keeps the hot loops
+// branch-free and simple; masks at the paper's resolutions are small enough
+// that packing is not worth the complexity.
+type Bitmask struct {
+	Width, Height int
+	Pix           []uint8
+}
+
+// New returns an all-zero mask of the given size.
+func New(width, height int) *Bitmask {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("mask: invalid size %dx%d", width, height))
+	}
+	return &Bitmask{Width: width, Height: height, Pix: make([]uint8, width*height)}
+}
+
+// Clone returns a deep copy of m.
+func (m *Bitmask) Clone() *Bitmask {
+	out := New(m.Width, m.Height)
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+// At reports whether pixel (x, y) is set. Out-of-bounds reads return false.
+func (m *Bitmask) At(x, y int) bool {
+	if x < 0 || y < 0 || x >= m.Width || y >= m.Height {
+		return false
+	}
+	return m.Pix[y*m.Width+x] != 0
+}
+
+// Set sets pixel (x, y); out-of-bounds writes are ignored.
+func (m *Bitmask) Set(x, y int) {
+	if x < 0 || y < 0 || x >= m.Width || y >= m.Height {
+		return
+	}
+	m.Pix[y*m.Width+x] = 1
+}
+
+// Clear zeroes pixel (x, y); out-of-bounds writes are ignored.
+func (m *Bitmask) Clear(x, y int) {
+	if x < 0 || y < 0 || x >= m.Width || y >= m.Height {
+		return
+	}
+	m.Pix[y*m.Width+x] = 0
+}
+
+// Area returns the number of set pixels.
+func (m *Bitmask) Area() int {
+	n := 0
+	for _, p := range m.Pix {
+		if p != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no pixel is set.
+func (m *Bitmask) Empty() bool {
+	for _, p := range m.Pix {
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union ORs other into m in place. Sizes must match.
+func (m *Bitmask) Union(other *Bitmask) {
+	m.checkSize(other)
+	for i, p := range other.Pix {
+		if p != 0 {
+			m.Pix[i] = 1
+		}
+	}
+}
+
+// Intersect ANDs other into m in place. Sizes must match.
+func (m *Bitmask) Intersect(other *Bitmask) {
+	m.checkSize(other)
+	for i := range m.Pix {
+		m.Pix[i] &= other.Pix[i]
+	}
+}
+
+// Subtract clears every pixel of m that is set in other. Sizes must match.
+func (m *Bitmask) Subtract(other *Bitmask) {
+	m.checkSize(other)
+	for i, p := range other.Pix {
+		if p != 0 {
+			m.Pix[i] = 0
+		}
+	}
+}
+
+func (m *Bitmask) checkSize(other *Bitmask) {
+	if m.Width != other.Width || m.Height != other.Height {
+		panic(fmt.Sprintf("mask: size mismatch %dx%d vs %dx%d",
+			m.Width, m.Height, other.Width, other.Height))
+	}
+}
+
+// IoU computes the intersection-over-union between two masks (Eq. 8 in the
+// paper). Two empty masks have IoU 1 (a correct prediction of "nothing").
+func IoU(a, b *Bitmask) float64 {
+	a.checkSize(b)
+	inter, union := 0, 0
+	for i := range a.Pix {
+		av, bv := a.Pix[i] != 0, b.Pix[i] != 0
+		if av && bv {
+			inter++
+		}
+		if av || bv {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Box is an axis-aligned bounding box with inclusive min and exclusive max
+// pixel coordinates, matching Go's image.Rectangle convention.
+type Box struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// Empty reports whether the box contains no pixels.
+func (b Box) Empty() bool { return b.MaxX <= b.MinX || b.MaxY <= b.MinY }
+
+// Width returns the box width in pixels (zero when empty).
+func (b Box) Width() int {
+	if b.Empty() {
+		return 0
+	}
+	return b.MaxX - b.MinX
+}
+
+// Height returns the box height in pixels (zero when empty).
+func (b Box) Height() int {
+	if b.Empty() {
+		return 0
+	}
+	return b.MaxY - b.MinY
+}
+
+// Area returns the number of pixels covered by the box.
+func (b Box) Area() int { return b.Width() * b.Height() }
+
+// Intersect returns the overlapping region of b and o.
+func (b Box) Intersect(o Box) Box {
+	out := Box{
+		MinX: max(b.MinX, o.MinX), MinY: max(b.MinY, o.MinY),
+		MaxX: min(b.MaxX, o.MaxX), MaxY: min(b.MaxY, o.MaxY),
+	}
+	if out.Empty() {
+		return Box{}
+	}
+	return out
+}
+
+// UnionBox returns the smallest box containing both b and o.
+func (b Box) UnionBox(o Box) Box {
+	if b.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return b
+	}
+	return Box{
+		MinX: min(b.MinX, o.MinX), MinY: min(b.MinY, o.MinY),
+		MaxX: max(b.MaxX, o.MaxX), MaxY: max(b.MaxY, o.MaxY),
+	}
+}
+
+// IoU computes intersection-over-union between two boxes — the metric used
+// by the RoI pruning stage (Section IV-B).
+func (b Box) IoU(o Box) float64 {
+	inter := b.Intersect(o).Area()
+	union := b.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Contains reports whether pixel (x, y) lies in the box.
+func (b Box) Contains(x, y int) bool {
+	return x >= b.MinX && x < b.MaxX && y >= b.MinY && y < b.MaxY
+}
+
+// Expand grows the box by margin pixels on every side, clipped to the given
+// image bounds. It implements the "surrounding box" computed from each
+// transferred mask in the dynamic anchor placement (Section IV-A).
+func (b Box) Expand(margin, imgW, imgH int) Box {
+	if b.Empty() {
+		return Box{}
+	}
+	return Box{
+		MinX: max(0, b.MinX-margin), MinY: max(0, b.MinY-margin),
+		MaxX: min(imgW, b.MaxX+margin), MaxY: min(imgH, b.MaxY+margin),
+	}
+}
+
+// Center returns the box center in pixel coordinates.
+func (b Box) Center() geom.Vec2 {
+	return geom.V2(float64(b.MinX+b.MaxX)/2, float64(b.MinY+b.MaxY)/2)
+}
+
+// BoundingBox returns the tight bounding box of the set pixels. An empty
+// mask yields an empty box.
+func (m *Bitmask) BoundingBox() Box {
+	b := Box{MinX: m.Width, MinY: m.Height, MaxX: 0, MaxY: 0}
+	found := false
+	for y := 0; y < m.Height; y++ {
+		row := m.Pix[y*m.Width : (y+1)*m.Width]
+		for x, p := range row {
+			if p == 0 {
+				continue
+			}
+			found = true
+			if x < b.MinX {
+				b.MinX = x
+			}
+			if x+1 > b.MaxX {
+				b.MaxX = x + 1
+			}
+			if y < b.MinY {
+				b.MinY = y
+			}
+			if y+1 > b.MaxY {
+				b.MaxY = y + 1
+			}
+		}
+	}
+	if !found {
+		return Box{}
+	}
+	return b
+}
+
+// Translate returns a copy of m shifted by (dx, dy); pixels shifted outside
+// the image are dropped. This is the operation a motion-vector tracker
+// (the EAAR baseline) applies to cached masks.
+func (m *Bitmask) Translate(dx, dy int) *Bitmask {
+	out := New(m.Width, m.Height)
+	for y := 0; y < m.Height; y++ {
+		ny := y + dy
+		if ny < 0 || ny >= m.Height {
+			continue
+		}
+		for x := 0; x < m.Width; x++ {
+			if m.Pix[y*m.Width+x] == 0 {
+				continue
+			}
+			nx := x + dx
+			if nx < 0 || nx >= m.Width {
+				continue
+			}
+			out.Pix[ny*m.Width+nx] = 1
+		}
+	}
+	return out
+}
+
+// Erode removes set pixels that have any unset 4-neighbour, radius times.
+func (m *Bitmask) Erode(radius int) *Bitmask {
+	cur := m.Clone()
+	for r := 0; r < radius; r++ {
+		next := cur.Clone()
+		for y := 0; y < cur.Height; y++ {
+			for x := 0; x < cur.Width; x++ {
+				if !cur.At(x, y) {
+					continue
+				}
+				if !cur.At(x-1, y) || !cur.At(x+1, y) || !cur.At(x, y-1) || !cur.At(x, y+1) {
+					next.Clear(x, y)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Dilate sets unset pixels that have any set 4-neighbour, radius times.
+func (m *Bitmask) Dilate(radius int) *Bitmask {
+	cur := m.Clone()
+	for r := 0; r < radius; r++ {
+		next := cur.Clone()
+		for y := 0; y < cur.Height; y++ {
+			for x := 0; x < cur.Width; x++ {
+				if cur.At(x, y) {
+					continue
+				}
+				if cur.At(x-1, y) || cur.At(x+1, y) || cur.At(x, y-1) || cur.At(x, y+1) {
+					next.Set(x, y)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// CenterOfMass returns the centroid of the set pixels, or ok=false for an
+// empty mask.
+func (m *Bitmask) CenterOfMass() (geom.Vec2, bool) {
+	var sx, sy float64
+	n := 0
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			if m.Pix[y*m.Width+x] != 0 {
+				sx += float64(x)
+				sy += float64(y)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return geom.Vec2{}, false
+	}
+	return geom.V2(sx/float64(n), sy/float64(n)), true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Crop returns the sub-mask covered by the box (clipped to bounds).
+func (m *Bitmask) Crop(b Box) *Bitmask {
+	b = b.Intersect(Box{MinX: 0, MinY: 0, MaxX: m.Width, MaxY: m.Height})
+	if b.Empty() {
+		return New(1, 1)
+	}
+	out := New(b.Width(), b.Height())
+	for y := 0; y < out.Height; y++ {
+		srcRow := m.Pix[(b.MinY+y)*m.Width+b.MinX:]
+		copy(out.Pix[y*out.Width:(y+1)*out.Width], srcRow[:out.Width])
+	}
+	return out
+}
+
+// Paste copies src into m with its top-left corner at (x, y); out-of-bounds
+// parts are clipped.
+func (m *Bitmask) Paste(src *Bitmask, x, y int) {
+	for sy := 0; sy < src.Height; sy++ {
+		dy := y + sy
+		if dy < 0 || dy >= m.Height {
+			continue
+		}
+		for sx := 0; sx < src.Width; sx++ {
+			dx := x + sx
+			if dx < 0 || dx >= m.Width {
+				continue
+			}
+			m.Pix[dy*m.Width+dx] = src.Pix[sy*src.Width+sx]
+		}
+	}
+}
+
+// BoundaryNoise returns a copy of m whose boundary has been randomly eroded
+// or dilated to reach approximately the requested IoU with the original.
+// It is the error model the simulated DL backends use to emit imperfect
+// masks: a target IoU of 1 returns a clone, lower targets progressively
+// distort the contour. The rng function must return uniform values in [0,1).
+// The distortion operates on the mask's bounding-box crop, so the cost
+// scales with the object, not the frame.
+func (m *Bitmask) BoundaryNoise(targetIoU float64, rng func() float64) *Bitmask {
+	if targetIoU >= 1 {
+		return m.Clone()
+	}
+	if targetIoU < 0 {
+		targetIoU = 0
+	}
+	bbox := m.BoundingBox()
+	if bbox.Empty() {
+		return m.Clone()
+	}
+	work := bbox.Expand(8, m.Width, m.Height)
+	ref := m.Crop(work)
+	out := ref.Clone()
+	// Each round flips a band of boundary pixels until the IoU target is
+	// reached. Alternating erode/dilate keeps the centroid stable.
+	for iter := 0; iter < 64; iter++ {
+		if IoU(ref, out) <= targetIoU {
+			break
+		}
+		var band *Bitmask
+		if rng() < 0.5 {
+			band = out.Erode(1)
+		} else {
+			band = out.Dilate(1)
+		}
+		// Blend: keep each changed pixel with 50% probability so the
+		// distortion is irregular rather than a uniform offset.
+		for i := range band.Pix {
+			if band.Pix[i] != out.Pix[i] && rng() < 0.5 {
+				out.Pix[i] = band.Pix[i]
+			}
+		}
+	}
+	full := New(m.Width, m.Height)
+	full.Paste(out, work.MinX, work.MinY)
+	return full
+}
+
+// ScaleAround returns a copy of m scaled by the factor about the given
+// center using inverse nearest-neighbour mapping. KCF-style local trackers
+// (the EdgeDuet baseline) use it to follow object scale changes that pure
+// translation cannot.
+func (m *Bitmask) ScaleAround(cx, cy, scale float64) *Bitmask {
+	out := New(m.Width, m.Height)
+	if scale <= 0 {
+		return out
+	}
+	inv := 1 / scale
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			sx := cx + (float64(x)-cx)*inv
+			sy := cy + (float64(y)-cy)*inv
+			if m.At(int(math.Round(sx)), int(math.Round(sy))) {
+				out.Pix[y*m.Width+x] = 1
+			}
+		}
+	}
+	return out
+}
+
+// HausdorffProxy returns a cheap boundary-distance proxy: the mean absolute
+// difference between the bounding boxes' edges, in pixels. It is used by
+// offload triggers to detect significant mask drift without a full IoU scan.
+func HausdorffProxy(a, b *Bitmask) float64 {
+	ba, bb := a.BoundingBox(), b.BoundingBox()
+	if ba.Empty() && bb.Empty() {
+		return 0
+	}
+	if ba.Empty() || bb.Empty() {
+		return math.Inf(1)
+	}
+	sum := math.Abs(float64(ba.MinX-bb.MinX)) + math.Abs(float64(ba.MinY-bb.MinY)) +
+		math.Abs(float64(ba.MaxX-bb.MaxX)) + math.Abs(float64(ba.MaxY-bb.MaxY))
+	return sum / 4
+}

@@ -1,0 +1,126 @@
+// Package netsim models the wireless links of the evaluation (Section
+// VI-C2): WiFi 2.4 GHz, WiFi 5 GHz and LTE, each with throughput, base
+// latency, jitter and loss. Transmission delay of a payload is
+// bytes/goodput + RTT/2 + jitter, with losses charged as retransmissions —
+// the quantity every end-to-end experiment consumes.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Medium identifies a link type.
+type Medium int
+
+// Link media of the evaluation.
+const (
+	// WiFi24 is 2.4 GHz WiFi: moderate goodput, moderate latency.
+	WiFi24 Medium = iota + 1
+	// WiFi5 is 5 GHz WiFi: the paper's best-case link.
+	WiFi5
+	// LTE is the cellular link of the oil-field deployment.
+	LTE
+)
+
+// String names the medium.
+func (m Medium) String() string {
+	switch m {
+	case WiFi24:
+		return "wifi-2.4GHz"
+	case WiFi5:
+		return "wifi-5GHz"
+	case LTE:
+		return "lte"
+	default:
+		return fmt.Sprintf("medium(%d)", int(m))
+	}
+}
+
+// Profile is a link's statistical behaviour.
+type Profile struct {
+	Medium Medium
+	// GoodputMbps is the sustained application-layer throughput.
+	GoodputMbps float64
+	// BaseRTTMs is the round-trip latency floor.
+	BaseRTTMs float64
+	// JitterMs is the standard deviation of one-way delay noise.
+	JitterMs float64
+	// LossRate is the per-packet loss probability; losses retransmit and
+	// charge an extra RTT.
+	LossRate float64
+	// MTU is the packet size used for loss accounting.
+	MTU int
+}
+
+// DefaultProfile returns the calibrated link profile.
+//
+// Goodputs follow typical indoor application-layer rates: WiFi 5 GHz
+// ~120 Mbps, WiFi 2.4 GHz ~35 Mbps, LTE ~25 Mbps with higher RTT — enough
+// spread to reproduce the network sensitivity of Fig. 10.
+func DefaultProfile(m Medium) Profile {
+	switch m {
+	case WiFi24:
+		return Profile{Medium: m, GoodputMbps: 35, BaseRTTMs: 8, JitterMs: 3.5, LossRate: 0.012, MTU: 1400}
+	case WiFi5:
+		return Profile{Medium: m, GoodputMbps: 120, BaseRTTMs: 4, JitterMs: 1.5, LossRate: 0.004, MTU: 1400}
+	case LTE:
+		return Profile{Medium: m, GoodputMbps: 25, BaseRTTMs: 38, JitterMs: 9, LossRate: 0.015, MTU: 1400}
+	default:
+		panic(fmt.Sprintf("netsim: unknown medium %d", int(m)))
+	}
+}
+
+// Link is a simulated shared link with queueing: concurrent transfers see
+// each other's backlog.
+type Link struct {
+	Profile Profile
+	rng     *rand.Rand
+	// busyUntilMs is the simulated time at which the link frees up.
+	busyUntilMs float64
+}
+
+// NewLink builds a link with deterministic noise.
+func NewLink(p Profile, seed int64) *Link {
+	return &Link{Profile: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// TransferMs returns the one-way delivery time in milliseconds for a
+// payload submitted at simulated time nowMs, including queueing behind
+// earlier transfers, serialization, propagation, jitter and loss
+// retransmissions. It advances the link's busy horizon.
+func (l *Link) TransferMs(nowMs float64, payloadBytes int) float64 {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	start := math.Max(nowMs, l.busyUntilMs)
+	queueWait := start - nowMs
+
+	serialize := float64(payloadBytes) * 8 / (l.Profile.GoodputMbps * 1000) // ms
+	prop := l.Profile.BaseRTTMs / 2
+	jitter := math.Abs(l.rng.NormFloat64()) * l.Profile.JitterMs
+
+	// Loss: each lost packet costs one extra RTT (fast retransmit).
+	packets := payloadBytes/l.Profile.MTU + 1
+	retrans := 0.0
+	for i := 0; i < packets; i++ {
+		if l.rng.Float64() < l.Profile.LossRate {
+			retrans += l.Profile.BaseRTTMs
+		}
+	}
+
+	l.busyUntilMs = start + serialize
+	return queueWait + serialize + prop + jitter + retrans
+}
+
+// RTTMs returns a sampled round-trip time for a tiny control message.
+func (l *Link) RTTMs() float64 {
+	return l.Profile.BaseRTTMs + math.Abs(l.rng.NormFloat64())*l.Profile.JitterMs
+}
+
+// Reset clears the queue state (new experiment run).
+func (l *Link) Reset(seed int64) {
+	l.rng = rand.New(rand.NewSource(seed))
+	l.busyUntilMs = 0
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestMediumString(t *testing.T) {
+	for _, m := range []Medium{WiFi24, WiFi5, LTE} {
+		if m.String() == "" {
+			t.Error("empty medium name")
+		}
+	}
+	if Medium(9).String() == "" {
+		t.Error("unknown medium should stringify")
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	w24, w5, lte := DefaultProfile(WiFi24), DefaultProfile(WiFi5), DefaultProfile(LTE)
+	if !(w5.GoodputMbps > w24.GoodputMbps) {
+		t.Error("WiFi5 should be faster than WiFi2.4")
+	}
+	if !(lte.BaseRTTMs > w5.BaseRTTMs) {
+		t.Error("LTE should have higher RTT")
+	}
+}
+
+func TestTransferScalesWithPayload(t *testing.T) {
+	l := NewLink(DefaultProfile(WiFi5), 1)
+	small := l.TransferMs(0, 1_000)
+	l.Reset(1)
+	big := l.TransferMs(0, 1_000_000)
+	if big <= small {
+		t.Errorf("1MB (%.2f ms) should cost more than 1KB (%.2f ms)", big, small)
+	}
+	// 1 MB at 120 Mbps is ~67 ms serialization.
+	if big < 60 || big > 160 {
+		t.Errorf("1MB transfer = %.1f ms, want ~70-120", big)
+	}
+}
+
+func TestMediumLatencyOrdering(t *testing.T) {
+	payload := 50_000
+	mean := func(m Medium) float64 {
+		l := NewLink(DefaultProfile(m), 7)
+		sum := 0.0
+		for i := 0; i < 200; i++ {
+			l.Reset(int64(i))
+			sum += l.TransferMs(0, payload)
+		}
+		return sum / 200
+	}
+	w5, w24, lte := mean(WiFi5), mean(WiFi24), mean(LTE)
+	if !(w5 < w24 && w24 < lte) {
+		t.Errorf("latency ordering violated: w5=%.1f w24=%.1f lte=%.1f", w5, w24, lte)
+	}
+}
+
+func TestQueueingDelaysBackToBack(t *testing.T) {
+	l := NewLink(DefaultProfile(WiFi24), 3)
+	first := l.TransferMs(0, 500_000)
+	second := l.TransferMs(0, 500_000) // submitted at the same instant
+	if second <= first*0.8 {
+		t.Errorf("second transfer (%.1f ms) should queue behind first (%.1f ms)", second, first)
+	}
+	// After the link drains, latency returns to normal.
+	late := l.TransferMs(1e6, 500_000)
+	if late >= second {
+		t.Error("transfer after drain should not see the old queue")
+	}
+}
+
+func TestNegativePayloadClamped(t *testing.T) {
+	l := NewLink(DefaultProfile(WiFi5), 4)
+	if ms := l.TransferMs(0, -100); ms <= 0 {
+		t.Errorf("transfer of clamped payload = %v", ms)
+	}
+}
+
+func TestRTTSampling(t *testing.T) {
+	l := NewLink(DefaultProfile(LTE), 5)
+	for i := 0; i < 50; i++ {
+		rtt := l.RTTMs()
+		if rtt < DefaultProfile(LTE).BaseRTTMs {
+			t.Fatalf("RTT %v below base", rtt)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := NewLink(DefaultProfile(WiFi24), 42)
+	b := NewLink(DefaultProfile(WiFi24), 42)
+	for i := 0; i < 20; i++ {
+		if a.TransferMs(float64(i)*33, 30_000) != b.TransferMs(float64(i)*33, 30_000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package pipeline is the end-to-end simulation engine: a simulated clock
+// drives camera frames at 30 fps through a mobile-side strategy (edgeIS or
+// a baseline), an uplink/downlink pair, and an edge inference server. The
+// engine accounts for mobile compute time, encode time, transmission,
+// edge queueing and inference, and scores what is actually ON SCREEN at
+// each frame's display deadline against ground truth — reproducing the
+// latency-accumulates-into-staleness coupling the paper describes
+// ("latency longer than 33ms accumulates and eventually results in a
+// delayed mask rendering on a later frame").
+package pipeline
+
+import (
+	"sort"
+
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+)
+
+// FrameBudgetMs is the per-frame display budget at the 30 fps camera rate.
+const FrameBudgetMs = 1000.0 / scene.FrameRate
+
+// OffloadRequest asks the engine to ship a frame to the edge.
+type OffloadRequest struct {
+	FrameIndex int
+	// PayloadBytes is the encoded frame size on the uplink.
+	PayloadBytes int
+	// EncodeMs is mobile-side encode time, charged to the frame budget.
+	EncodeMs float64
+	// Quality is the decoded per-pixel fidelity handed to the model.
+	Quality func(x, y int) float64
+	// Guidance optionally accelerates the edge model (edgeIS's CIIA).
+	Guidance segmodel.Guidance
+}
+
+// EdgeResult is an inference result delivered back to the mobile.
+type EdgeResult struct {
+	FrameIndex int
+	Detections []segmodel.Detection
+	InferMs    float64
+}
+
+// FrameOutput is what the strategy produced for one processed frame.
+type FrameOutput struct {
+	// Masks become visible once the frame's compute finishes.
+	Masks []metrics.PredictedMask
+	// ComputeMs is the mobile compute charged for this frame (excluding
+	// encode, which is charged via the OffloadRequest).
+	ComputeMs float64
+	// Offloads ship frames to the edge (usually at most one; the edgeIS
+	// initializer ships the two init frames together).
+	Offloads []*OffloadRequest
+}
+
+// Strategy is a complete mobile-side system under test.
+type Strategy interface {
+	// Name identifies the system in reports.
+	Name() string
+	// ProcessFrame handles a camera frame picked up at simulated time
+	// nowMs, with the features extracted from it.
+	ProcessFrame(f *scene.Frame, feats []feature.Feature, nowMs float64) FrameOutput
+	// HandleEdgeResult delivers an edge result at simulated time nowMs.
+	HandleEdgeResult(res EdgeResult, f *scene.Frame, nowMs float64)
+}
+
+// Config assembles an experiment.
+type Config struct {
+	World      *scene.World
+	Camera     geom.Camera
+	Trajectory scene.Trajectory
+	Frames     int
+	// CameraSpeed feeds the extractor's motion-blur model (m/s).
+	CameraSpeed float64
+	// Extractor configuration; zero value uses feature.DefaultConfig.
+	FeatureConfig feature.Config
+	// Network medium for both directions.
+	Medium netsim.Medium
+	// NetworkProfile, when non-nil, overrides the medium's default link
+	// parameters — failure-injection tests degrade it.
+	NetworkProfile *netsim.Profile
+	// EdgeModel is the server-side model (typically Mask R-CNN).
+	EdgeModel *segmodel.Model
+	// EdgeInferScale multiplies inference latency (device.Profile.InferScale).
+	EdgeInferScale float64
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+// FrameEval is the per-frame outcome.
+type FrameEval struct {
+	Index int
+	// IoUs holds one entry per visible ground-truth object.
+	IoUs []float64
+	// LatencyMs is the mobile processing latency of the frame (or the
+	// budget, for dropped frames).
+	LatencyMs float64
+	// Dropped marks frames the mobile could not process in time.
+	Dropped bool
+	// Offloaded marks frames shipped to the edge.
+	Offloaded bool
+	// StalenessMs is the age of the displayed output at display time.
+	StalenessMs float64
+}
+
+// RunStats aggregates engine-level accounting.
+type RunStats struct {
+	Frames          int
+	Offloads        int
+	DroppedFrames   int
+	UplinkBytes     int
+	DownlinkBytes   int
+	EdgeInferMsSum  float64
+	EdgeResultCount int
+	MobileBusyMsSum float64
+}
+
+// Engine runs one strategy through one scenario.
+type Engine struct {
+	cfg       Config
+	strategy  Strategy
+	extractor *feature.Extractor
+	uplink    *netsim.Link
+	downlink  *netsim.Link
+	frames    []*scene.Frame
+}
+
+// NewEngine prepares a run. The frames are pre-rendered so repeated runs
+// (ablations over the same scenario) reuse identical ground truth.
+func NewEngine(cfg Config, strategy Strategy) *Engine {
+	fcfg := cfg.FeatureConfig
+	if fcfg.MaxFeatures == 0 {
+		fcfg = feature.DefaultConfig()
+	}
+	if cfg.EdgeInferScale == 0 {
+		cfg.EdgeInferScale = 1
+	}
+	if cfg.EdgeModel == nil {
+		cfg.EdgeModel = segmodel.New(segmodel.MaskRCNN)
+	}
+	profile := netsim.DefaultProfile(cfg.Medium)
+	if cfg.NetworkProfile != nil {
+		profile = *cfg.NetworkProfile
+	}
+	return &Engine{
+		cfg:       cfg,
+		strategy:  strategy,
+		extractor: feature.NewExtractor(cfg.World, cfg.Camera, fcfg, cfg.Seed),
+		uplink:    netsim.NewLink(profile, cfg.Seed+1),
+		downlink:  netsim.NewLink(profile, cfg.Seed+2),
+		frames:    cfg.World.RenderSequence(cfg.Camera, cfg.Trajectory, cfg.Frames),
+	}
+}
+
+// Frames exposes the rendered ground-truth sequence.
+func (e *Engine) Frames() []*scene.Frame { return e.frames }
+
+// pendingResult is an edge result in flight.
+type pendingResult struct {
+	deliverAt float64
+	res       EdgeResult
+}
+
+// displayedState is the strategy output visible on screen.
+type displayedState struct {
+	masks    []metrics.PredictedMask
+	readyAt  float64
+	frameIdx int
+}
+
+// waitingOffload is a request queued for the edge.
+type waitingOffload struct {
+	arrival float64
+	req     *OffloadRequest
+}
+
+// QueuePreference lets a strategy choose the edge queue discipline. The
+// default depth of 1 is latest-wins: a newer frame replaces an older one
+// still waiting, the standard behaviour of real-time-aware offloading
+// systems where a stale frame is worthless by the time the server frees
+// up. A dumb streaming pipeline (the best-effort baseline) buffers deeply
+// instead, serving frames long after they stopped mattering.
+type QueuePreference interface {
+	PreferredQueueDepth() int
+}
+
+// Run executes the scenario and returns per-frame evaluations plus stats.
+func (e *Engine) Run() ([]FrameEval, RunStats) {
+	queueDepth := 1
+	if qp, ok := e.strategy.(QueuePreference); ok && qp.PreferredQueueDepth() > 0 {
+		queueDepth = qp.PreferredQueueDepth()
+	}
+	var (
+		evals           = make([]FrameEval, 0, len(e.frames))
+		stats           RunStats
+		pending         []pendingResult
+		mobileBusyUntil float64
+		edgeFreeAt      float64
+		waiting         []waitingOffload
+		display         displayedState
+		displayValid    bool
+	)
+	stats.Frames = len(e.frames)
+
+	// startInference runs the model for a request whose service begins at
+	// startAt, scheduling the result delivery.
+	startInference := func(req *OffloadRequest, startAt float64) {
+		in := e.modelInput(req)
+		res := e.cfg.EdgeModel.Run(in, req.Guidance)
+		inferMs := res.TotalMs() * e.cfg.EdgeInferScale
+		edgeFreeAt = startAt + inferMs
+		stats.EdgeInferMsSum += inferMs
+		stats.EdgeResultCount++
+
+		resultBytes := 256
+		for _, d := range res.Detections {
+			if d.Mask != nil {
+				resultBytes += 16 + d.Mask.BoundingBox().Area()/64
+			} else {
+				resultBytes += 32
+			}
+		}
+		stats.DownlinkBytes += resultBytes
+		downMs := e.downlink.TransferMs(edgeFreeAt, resultBytes)
+		pending = append(pending, pendingResult{
+			deliverAt: edgeFreeAt + downMs,
+			res: EdgeResult{
+				FrameIndex: req.FrameIndex,
+				Detections: res.Detections,
+				InferMs:    inferMs,
+			},
+		})
+	}
+
+	// advanceEdge services waiting requests (FIFO) while the edge is free.
+	advanceEdge := func(now float64) {
+		for len(waiting) > 0 && edgeFreeAt <= now {
+			item := waiting[0]
+			start := edgeFreeAt
+			if item.arrival > start {
+				start = item.arrival
+			}
+			if start > now {
+				return
+			}
+			waiting = waiting[1:]
+			startInference(item.req, start)
+		}
+	}
+
+	// submitOffload models the uplink and enqueues at the edge.
+	submitOffload := func(req *OffloadRequest, sendAt float64) {
+		stats.UplinkBytes += req.PayloadBytes
+		upMs := e.uplink.TransferMs(sendAt, req.PayloadBytes)
+		arrive := sendAt + upMs
+		advanceEdge(arrive)
+		if edgeFreeAt <= arrive && len(waiting) == 0 {
+			startInference(req, arrive)
+			return
+		}
+		waiting = append(waiting, waitingOffload{arrival: arrive, req: req})
+		if len(waiting) > queueDepth {
+			// Queue overflow drops the oldest waiting frame.
+			waiting = waiting[1:]
+		}
+	}
+
+	deliverDue := func(now float64) {
+		sort.Slice(pending, func(i, j int) bool { return pending[i].deliverAt < pending[j].deliverAt })
+		for len(pending) > 0 && pending[0].deliverAt <= now {
+			p := pending[0]
+			pending = pending[1:]
+			e.strategy.HandleEdgeResult(p.res, e.frames[p.res.FrameIndex], p.deliverAt)
+		}
+	}
+
+	for i, f := range e.frames {
+		arrival := float64(i) * FrameBudgetMs
+		advanceEdge(arrival)
+		deliverDue(arrival)
+
+		ev := FrameEval{Index: i, LatencyMs: FrameBudgetMs}
+		if mobileBusyUntil <= arrival {
+			feats := e.extractor.Extract(f, e.cfg.CameraSpeed)
+			out := e.strategy.ProcessFrame(f, feats, arrival)
+			compute := out.ComputeMs
+			for _, off := range out.Offloads {
+				compute += off.EncodeMs
+			}
+			mobileBusyUntil = arrival + compute
+			stats.MobileBusyMsSum += compute
+			ev.LatencyMs = compute
+
+			if len(out.Masks) > 0 || !displayValid {
+				display = displayedState{
+					masks:    out.Masks,
+					readyAt:  mobileBusyUntil,
+					frameIdx: i,
+				}
+				displayValid = true
+			}
+
+			for _, off := range out.Offloads {
+				stats.Offloads++
+				ev.Offloaded = true
+				submitOffload(off, mobileBusyUntil)
+			}
+		} else {
+			ev.Dropped = true
+			stats.DroppedFrames++
+		}
+
+		// Score what is on screen at the display deadline.
+		deadline := arrival + FrameBudgetMs
+		advanceEdge(deadline)
+		deliverDue(deadline)
+		var shown []metrics.PredictedMask
+		if displayValid && display.readyAt <= deadline {
+			shown = display.masks
+			ev.StalenessMs = deadline - float64(display.frameIdx)*FrameBudgetMs
+		} else if displayValid {
+			// The fresh output missed the deadline; the previous screen
+			// content persists. Conservatively charge full staleness.
+			ev.StalenessMs = deadline
+		}
+		truths := truthsOf(f)
+		ev.IoUs = metrics.MatchFrame(shown, truths)
+		evals = append(evals, ev)
+	}
+	return evals, stats
+}
+
+// modelInput converts the offloaded frame's ground truth plus the encode
+// quality map into the simulated model's input.
+func (e *Engine) modelInput(req *OffloadRequest) segmodel.Input {
+	f := e.frames[req.FrameIndex]
+	objs := make([]segmodel.ObjectTruth, 0, len(f.Objects))
+	for _, gt := range f.Objects {
+		objs = append(objs, segmodel.ObjectTruth{
+			ObjectID: gt.ObjectID,
+			Label:    int(gt.Class),
+			Visible:  gt.Visible,
+			Box:      gt.Box,
+		})
+	}
+	return segmodel.Input{
+		Width:   e.cfg.Camera.Width,
+		Height:  e.cfg.Camera.Height,
+		Objects: objs,
+		Quality: req.Quality,
+		Seed:    e.cfg.Seed*1_000_003 + int64(req.FrameIndex),
+	}
+}
+
+// truthsOf converts a frame's ground truth for scoring.
+func truthsOf(f *scene.Frame) []metrics.TruthMask {
+	out := make([]metrics.TruthMask, 0, len(f.Objects))
+	for _, gt := range f.Objects {
+		out = append(out, metrics.TruthMask{
+			ObjectID: gt.ObjectID,
+			Label:    int(gt.Class),
+			Mask:     gt.Visible,
+		})
+	}
+	return out
+}
+
+// Evaluate folds per-frame evals into an accumulator.
+func Evaluate(name string, evals []FrameEval) *metrics.Accumulator {
+	return EvaluateFrom(name, evals, 0)
+}
+
+// EvaluateFrom skips the first warmup frames — the VO initialization window
+// every system variant shares. The paper's clips run minutes, so their init
+// transient is negligible; on short simulated clips it would dominate.
+func EvaluateFrom(name string, evals []FrameEval, warmup int) *metrics.Accumulator {
+	acc := metrics.NewAccumulator(name)
+	for _, ev := range evals {
+		if ev.Index < warmup {
+			continue
+		}
+		acc.AddFrame(ev.IoUs, ev.LatencyMs)
+	}
+	return acc
+}

@@ -1,0 +1,147 @@
+package scene
+
+import (
+	"math"
+
+	"edgeis/internal/geom"
+)
+
+// Trajectory produces the world-to-camera pose of the moving device over
+// time. Implementations model the handheld/head-mounted motion patterns of
+// the evaluation: walking a route (at walk/stride/jog speeds for Fig. 12),
+// orbiting an inspected object, or standing still.
+type Trajectory interface {
+	// PoseAt returns T_CW at time t (seconds).
+	PoseAt(t float64) geom.Pose
+	// Duration returns the natural length of the trajectory in seconds;
+	// poses beyond it clamp to the final pose.
+	Duration() float64
+}
+
+// LookAtPose builds the world-to-camera pose for a camera at eye looking
+// toward target, with world +Y up. The camera convention is +Z forward and
+// +Y down in the image.
+func LookAtPose(eye, target geom.Vec3) geom.Pose {
+	forward := target.Sub(eye).Normalized()
+	if forward.Norm() == 0 {
+		forward = geom.V3(0, 0, 1)
+	}
+	up := geom.V3(0, 1, 0)
+	if math.Abs(forward.Dot(up)) > 0.999 {
+		up = geom.V3(1, 0, 0) // looking straight up/down; pick another up
+	}
+	// Right-handed with y-down: x = forward x up gives a consistent basis.
+	xc := forward.Cross(up).Normalized()
+	yc := forward.Cross(xc) // points world-down when level
+	rwc := geom.FromCols(xc, yc, forward)
+	twc := geom.Pose{R: rwc, T: eye}
+	return twc.Inverse()
+}
+
+// StaticTrajectory keeps the camera fixed.
+type StaticTrajectory struct {
+	Eye, Target geom.Vec3
+	Length      float64 // seconds
+}
+
+// PoseAt implements Trajectory.
+func (s StaticTrajectory) PoseAt(float64) geom.Pose { return LookAtPose(s.Eye, s.Target) }
+
+// Duration implements Trajectory.
+func (s StaticTrajectory) Duration() float64 { return s.Length }
+
+// WaypointPath moves the camera through a piecewise-linear route at constant
+// Speed (m/s) with a fixed eye height, always looking at Target. Fig. 12's
+// walk/stride/jog comparison is the same Waypoints with Speed 1.4, 2.5 and
+// 4.0 m/s.
+type WaypointPath struct {
+	Waypoints []geom.Vec3
+	Target    geom.Vec3
+	Speed     float64 // m/s
+	// Bob adds vertical head-bob of the given amplitude (m); frequency
+	// scales with speed like a human gait.
+	Bob float64
+}
+
+// Duration implements Trajectory.
+func (w WaypointPath) Duration() float64 {
+	if w.Speed <= 0 || len(w.Waypoints) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 1; i < len(w.Waypoints); i++ {
+		total += w.Waypoints[i].DistTo(w.Waypoints[i-1])
+	}
+	return total / w.Speed
+}
+
+// PoseAt implements Trajectory.
+func (w WaypointPath) PoseAt(t float64) geom.Pose {
+	eye := w.eyeAt(t)
+	if w.Bob > 0 && w.Speed > 0 {
+		gaitHz := 1.6 * w.Speed / 1.4 // ~1.6 steps/s at walking speed
+		eye.Y += w.Bob * math.Sin(2*math.Pi*gaitHz*t)
+	}
+	return LookAtPose(eye, w.Target)
+}
+
+func (w WaypointPath) eyeAt(t float64) geom.Vec3 {
+	if len(w.Waypoints) == 0 {
+		return geom.V3(0, 1.6, 0)
+	}
+	if len(w.Waypoints) == 1 || w.Speed <= 0 {
+		return w.Waypoints[0]
+	}
+	dist := math.Max(0, t) * w.Speed
+	for i := 1; i < len(w.Waypoints); i++ {
+		seg := w.Waypoints[i].DistTo(w.Waypoints[i-1])
+		if dist <= seg {
+			if seg == 0 {
+				return w.Waypoints[i]
+			}
+			f := dist / seg
+			return w.Waypoints[i-1].Add(w.Waypoints[i].Sub(w.Waypoints[i-1]).Scale(f))
+		}
+		dist -= seg
+	}
+	return w.Waypoints[len(w.Waypoints)-1]
+}
+
+// OrbitPath circles the camera around Center at Radius and Height, looking
+// inward — the natural motion of a user inspecting a piece of equipment.
+type OrbitPath struct {
+	Center geom.Vec3
+	Radius float64
+	Height float64
+	AngVel float64 // rad/s
+	Length float64 // seconds
+	Phase  float64 // initial angle (rad)
+}
+
+// Duration implements Trajectory.
+func (o OrbitPath) Duration() float64 { return o.Length }
+
+// PoseAt implements Trajectory.
+func (o OrbitPath) PoseAt(t float64) geom.Pose {
+	a := o.Phase + o.AngVel*t
+	eye := geom.V3(
+		o.Center.X+o.Radius*math.Cos(a),
+		o.Height,
+		o.Center.Z+o.Radius*math.Sin(a),
+	)
+	return LookAtPose(eye, o.Center)
+}
+
+// FrameRate is the camera rate every experiment uses (Section VI-B: "all
+// videos are set to an input rate of 30fps").
+const FrameRate = 30.0
+
+// RenderSequence renders n frames along the trajectory at FrameRate.
+func (w *World) RenderSequence(cam geom.Camera, traj Trajectory, n int) []*Frame {
+	frames := make([]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / FrameRate
+		frames = append(frames, w.Render(cam, traj.PoseAt(t), t, i))
+	}
+	return frames
+}

@@ -1,0 +1,23 @@
+package segmodel
+
+import "testing"
+
+func BenchmarkMaskRCNNVanilla(b *testing.B) {
+	model := New(MaskRCNN)
+	in := testInput(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Seed = int64(i)
+		model.Run(in, nil)
+	}
+}
+
+func BenchmarkYOLACT(b *testing.B) {
+	model := New(YOLACT)
+	in := testInput(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Seed = int64(i)
+		model.Run(in, nil)
+	}
+}

@@ -1,0 +1,265 @@
+package segmodel
+
+import (
+	"math"
+	"testing"
+
+	"edgeis/internal/mask"
+)
+
+// testInput builds a frame with two well-separated objects.
+func testInput(seed int64) Input {
+	m1 := mask.New(640, 480)
+	for y := 100; y < 220; y++ {
+		for x := 80; x < 260; x++ {
+			m1.Set(x, y)
+		}
+	}
+	m2 := mask.New(640, 480)
+	for y := 280; y < 380; y++ {
+		for x := 400; x < 520; x++ {
+			m2.Set(x, y)
+		}
+	}
+	return Input{
+		Width: 640, Height: 480,
+		Objects: []ObjectTruth{
+			{ObjectID: 1, Label: 2, Visible: m1, Box: m1.BoundingBox()},
+			{ObjectID: 2, Label: 1, Visible: m2, Box: m2.BoundingBox()},
+		},
+		Seed: seed,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{MaskRCNN, YOLACT, YOLOv3} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestDefaultProfileLatencyCalibration(t *testing.T) {
+	// Fig. 2b: Mask R-CNN ~400 ms, YOLACT ~120 ms, YOLOv3 ~30 ms on the
+	// reference edge device.
+	tests := []struct {
+		kind Kind
+		want float64
+		tol  float64
+	}{
+		{MaskRCNN, 400, 20},
+		{YOLACT, 120, 10},
+		{YOLOv3, 30, 5},
+	}
+	for _, tt := range tests {
+		m := New(tt.kind)
+		res := m.Run(testInput(1), nil)
+		if math.Abs(res.TotalMs()-tt.want) > tt.tol {
+			t.Errorf("%v: latency %.1f ms, want ~%.0f", tt.kind, res.TotalMs(), tt.want)
+		}
+	}
+}
+
+func TestAccuracyOrdering(t *testing.T) {
+	// Fig. 2b: YOLOv3 boxes ~0.98, Mask R-CNN ~0.92+, YOLACT ~0.75.
+	mean := func(kind Kind) float64 {
+		sum, n := 0.0, 0
+		for seed := int64(0); seed < 20; seed++ {
+			res := New(kind).Run(testInput(seed), nil)
+			for _, d := range res.Detections {
+				sum += d.TrueIoU
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	rcnn, yolact, yolo := mean(MaskRCNN), mean(YOLACT), mean(YOLOv3)
+	if !(yolo > rcnn && rcnn > yolact) {
+		t.Errorf("accuracy ordering violated: yolov3=%.3f rcnn=%.3f yolact=%.3f",
+			yolo, rcnn, yolact)
+	}
+	if rcnn < 0.88 {
+		t.Errorf("Mask R-CNN IoU %.3f, want >= 0.88", rcnn)
+	}
+	if yolact > 0.88 || yolact < 0.6 {
+		t.Errorf("YOLACT IoU %.3f, want in [0.6, 0.88]", yolact)
+	}
+}
+
+func TestYOLOv3IsBoxOnly(t *testing.T) {
+	res := New(YOLOv3).Run(testInput(3), nil)
+	if len(res.Detections) == 0 {
+		t.Fatal("no detections")
+	}
+	for _, d := range res.Detections {
+		if d.Mask != nil {
+			t.Error("detector emitted a mask")
+		}
+		if d.Box.Empty() {
+			t.Error("empty detection box")
+		}
+	}
+}
+
+func TestQualityDegradesMasks(t *testing.T) {
+	clean := testInput(4)
+	dirty := testInput(4)
+	dirty.Quality = func(x, y int) float64 { return 0.25 }
+	mi := func(in Input) float64 {
+		sum, n := 0.0, 0
+		for seed := int64(0); seed < 15; seed++ {
+			in.Seed = seed
+			res := New(MaskRCNN).Run(in, nil)
+			for _, d := range res.Detections {
+				sum += d.TrueIoU
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	if mi(dirty) >= mi(clean) {
+		t.Errorf("low quality should degrade IoU: clean=%.3f dirty=%.3f", mi(clean), mi(dirty))
+	}
+}
+
+func TestSmallObjectsMissedMore(t *testing.T) {
+	big := mask.New(640, 480)
+	for y := 100; y < 300; y++ {
+		for x := 100; x < 400; x++ {
+			big.Set(x, y)
+		}
+	}
+	small := mask.New(640, 480)
+	for y := 400; y < 412; y++ {
+		for x := 500; x < 515; x++ {
+			small.Set(x, y)
+		}
+	}
+	in := Input{
+		Width: 640, Height: 480,
+		Objects: []ObjectTruth{
+			{ObjectID: 1, Label: 1, Visible: big, Box: big.BoundingBox()},
+			{ObjectID: 2, Label: 2, Visible: small, Box: small.BoundingBox()},
+		},
+	}
+	bigHits, smallHits := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		in.Seed = seed
+		res := New(MaskRCNN).Run(in, nil)
+		for _, d := range res.Detections {
+			switch d.ObjectID {
+			case 1:
+				bigHits++
+			case 2:
+				smallHits++
+			}
+		}
+	}
+	if bigHits <= smallHits {
+		t.Errorf("big=%d small=%d: small objects should be missed more", bigHits, smallHits)
+	}
+	if bigHits < 55 {
+		t.Errorf("big object detected only %d/60 times", bigHits)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(MaskRCNN).Run(testInput(9), nil)
+	b := New(MaskRCNN).Run(testInput(9), nil)
+	if a.TotalMs() != b.TotalMs() || len(a.Detections) != len(b.Detections) {
+		t.Fatal("same seed produced different results")
+	}
+	for i := range a.Detections {
+		if a.Detections[i].TrueIoU != b.Detections[i].TrueIoU {
+			t.Fatal("detection mismatch")
+		}
+	}
+}
+
+func TestFullGridAnchors(t *testing.T) {
+	got := FullGridAnchors(640, 480)
+	want := 0
+	for _, s := range []int{4, 8, 16, 32, 64} {
+		want += (640 / s) * (480 / s) * 3
+	}
+	if got != want {
+		t.Errorf("FullGridAnchors = %d, want %d", got, want)
+	}
+}
+
+func TestLevelForBox(t *testing.T) {
+	tests := []struct {
+		area int
+		want int
+	}{
+		{224 * 224, 2},
+		{112 * 112, 1},
+		{448 * 448, 3},
+		{10, 0},
+		{0, 0},
+		{4000 * 4000, 4}, // clamped to the top level
+	}
+	for _, tt := range tests {
+		if got := LevelForBox(tt.area); got != tt.want {
+			t.Errorf("LevelForBox(%d) = %d, want %d", tt.area, got, tt.want)
+		}
+	}
+}
+
+func TestAnchorsInBox(t *testing.T) {
+	b := mask.Box{MinX: 0, MinY: 0, MaxX: 64, MaxY: 64}
+	n := AnchorsInBox(b)
+	if n <= 0 {
+		t.Fatal("no anchors for a valid box")
+	}
+	if AnchorsInBox(mask.Box{}) != 0 {
+		t.Error("empty box should contribute no anchors")
+	}
+	// A larger box maps to a coarser level but still more/equal cells.
+	big := mask.Box{MinX: 0, MinY: 0, MaxX: 512, MaxY: 512}
+	if AnchorsInBox(big) <= 0 {
+		t.Error("no anchors for big box")
+	}
+}
+
+func TestDefaultNMS(t *testing.T) {
+	props := []Proposal{
+		{Box: mask.Box{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, Score: 0.9},
+		{Box: mask.Box{MinX: 2, MinY: 2, MaxX: 102, MaxY: 102}, Score: 0.8},     // overlaps first
+		{Box: mask.Box{MinX: 300, MinY: 300, MaxX: 400, MaxY: 400}, Score: 0.7}, // disjoint
+	}
+	kept := DefaultNMS(props, 0.7, 10)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	if kept[0].Score != 0.9 || kept[1].Score != 0.7 {
+		t.Error("wrong survivors")
+	}
+	// maxKeep respected.
+	if got := DefaultNMS(props, 0.99, 1); len(got) != 1 {
+		t.Errorf("maxKeep violated: %d", len(got))
+	}
+}
+
+func TestLatencySplitConsistency(t *testing.T) {
+	res := New(MaskRCNN).Run(testInput(5), nil)
+	if res.AnchorsEvaluated != res.FullGridAnchors {
+		t.Error("vanilla run should evaluate the full grid")
+	}
+	if res.RoIsProcessed > DefaultProfile(MaskRCNN).MaxRoIs {
+		t.Error("RoI budget exceeded")
+	}
+	sum := res.BackboneMs + res.RPNMs + res.SelectionMs + res.HeadMs
+	if math.Abs(sum-res.TotalMs()) > 1e-9 {
+		t.Error("TotalMs != sum of parts")
+	}
+}

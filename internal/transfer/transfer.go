@@ -1,0 +1,366 @@
+// Package transfer implements the mask-prediction half of edgeIS's Motion
+// Aware Mobile Mask Transfer (Section III-C): given the VO's labeled map and
+// pose history plus cached instance masks from earlier frames, it predicts
+// the mask of every known instance on the current frame without running a
+// DL model.
+//
+// For each instance the module (1) selects a source frame that observed the
+// object clearly from a similar viewpoint, (2) extracts the cached mask's
+// contour, (3) assigns each contour pixel the average depth of its k nearest
+// in-mask features (k = 5 in the paper), (4) re-projects the contour through
+// the relative pose into the current frame and (5) rasterizes the resulting
+// polygon back into a dense mask.
+package transfer
+
+import (
+	"errors"
+	"sort"
+
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/vo"
+)
+
+// Errors returned by the mask predictor.
+var (
+	// ErrNoSource indicates no cached mask/frame pair can serve as a
+	// transfer source for the instance.
+	ErrNoSource = errors.New("transfer: no usable source frame")
+	// ErrNoDepth indicates the source frame lacks in-mask features to
+	// estimate contour depth from.
+	ErrNoDepth = errors.New("transfer: no depth features inside mask")
+)
+
+// Config tunes the predictor.
+type Config struct {
+	// K is the number of nearest in-mask features averaged for a contour
+	// pixel's depth (paper: 5).
+	K int
+	// MaxViewAngle is the largest rotation (radians) between source and
+	// current frame for the source to qualify ("the angle between the
+	// frames is not too large"); default 0.5.
+	MaxViewAngle float64
+	// MaxContourPoints subsamples long contours for speed (default 160).
+	MaxContourPoints int
+	// MinMaskArea skips degenerate cached masks (default 16 px).
+	MinMaskArea int
+}
+
+func (c *Config) applyDefaults() {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.MaxViewAngle == 0 {
+		c.MaxViewAngle = 0.5
+	}
+	if c.MaxContourPoints == 0 {
+		c.MaxContourPoints = 160
+	}
+	if c.MinMaskArea == 0 {
+		c.MinMaskArea = 16
+	}
+}
+
+// CachedMask is an instance mask the mobile side holds for a past frame —
+// either received from the edge server or produced by an earlier transfer.
+type CachedMask struct {
+	FrameIndex int
+	InstanceID int
+	Label      int
+	Mask       *mask.Bitmask
+	// FromEdge distinguishes authoritative edge results from chained
+	// transfer outputs; edge masks are preferred as sources.
+	FromEdge bool
+}
+
+// Predictor transfers cached masks to the current frame.
+type Predictor struct {
+	cfg    Config
+	camera geom.Camera
+	// cache maps instance ID -> frame index -> cached mask.
+	cache map[int]map[int]*CachedMask
+}
+
+// NewPredictor builds a predictor for the given camera.
+func NewPredictor(cam geom.Camera, cfg Config) *Predictor {
+	cfg.applyDefaults()
+	return &Predictor{
+		cfg:    cfg,
+		camera: cam,
+		cache:  make(map[int]map[int]*CachedMask),
+	}
+}
+
+// Put stores a cached mask.
+func (p *Predictor) Put(cm *CachedMask) {
+	if cm.Mask == nil || cm.Mask.Area() < p.cfg.MinMaskArea {
+		return
+	}
+	byFrame := p.cache[cm.InstanceID]
+	if byFrame == nil {
+		byFrame = make(map[int]*CachedMask)
+		p.cache[cm.InstanceID] = byFrame
+	}
+	// Edge masks always win over transferred ones for the same frame.
+	if prev, ok := byFrame[cm.FrameIndex]; ok && prev.FromEdge && !cm.FromEdge {
+		return
+	}
+	byFrame[cm.FrameIndex] = cm
+}
+
+// Evict drops cached masks older than keepAfter for all instances, always
+// retaining the newest edge mask per instance. It implements the mobile-side
+// part of the memory-bounding policy of Section VI-F.
+func (p *Predictor) Evict(keepAfter int) int {
+	removed := 0
+	for _, byFrame := range p.cache {
+		newestEdge := -1
+		for idx, cm := range byFrame {
+			if cm.FromEdge && idx > newestEdge {
+				newestEdge = idx
+			}
+		}
+		for idx := range byFrame {
+			if idx < keepAfter && idx != newestEdge {
+				delete(byFrame, idx)
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// CacheSize returns the number of cached masks.
+func (p *Predictor) CacheSize() int {
+	n := 0
+	for _, byFrame := range p.cache {
+		n += len(byFrame)
+	}
+	return n
+}
+
+// Prediction is a transferred mask for one instance.
+type Prediction struct {
+	InstanceID  int
+	Label       int
+	Mask        *mask.Bitmask
+	SourceFrame int
+	// SourceAge is the frame-count distance between the source and the
+	// current frame, a staleness measure for metrics.
+	SourceAge int
+}
+
+// PredictAll transfers all known instances onto the current frame, given the
+// VO system state after the frame was tracked. Instances without a usable
+// source are skipped.
+func (p *Predictor) PredictAll(sys *vo.System, frameIdx int) []Prediction {
+	insts := sys.Instances()
+	out := make([]Prediction, 0, len(insts))
+	for _, inst := range insts {
+		pred, err := p.Predict(sys, inst.ID, frameIdx)
+		if err != nil {
+			continue
+		}
+		out = append(out, *pred)
+	}
+	// Stable output order for deterministic pipelines.
+	sort.Slice(out, func(i, j int) bool { return out[i].InstanceID < out[j].InstanceID })
+	return out
+}
+
+// Predict transfers one instance's mask to the current frame.
+func (p *Predictor) Predict(sys *vo.System, instanceID, frameIdx int) (*Prediction, error) {
+	inst := sys.Instance(instanceID)
+	if inst == nil {
+		return nil, ErrNoSource
+	}
+	cur := sys.FrameRecordAt(frameIdx)
+	if cur == nil {
+		return nil, ErrNoSource
+	}
+	src, srcRec := p.selectSource(sys, instanceID, cur)
+	if src == nil {
+		return nil, ErrNoSource
+	}
+
+	// Relative pose mapping source-camera coordinates to current-camera
+	// coordinates. Using per-object poses handles moving objects: for an
+	// instance, T_rel = T_Ci_O * T_Cj_O^-1; for the degenerate case where
+	// object poses are missing, fall back to world poses.
+	srcPose, okSrc := srcRec.ObjectPoses[instanceID]
+	curPose, okCur := cur.ObjectPoses[instanceID]
+	if !okSrc {
+		srcPose = srcRec.TCW
+	}
+	if !okCur {
+		curPose = cur.TCW
+	}
+	rel := curPose.Compose(srcPose.Inverse())
+
+	// Depth sources: the instance's map points observed in the source
+	// frame, at their source-frame pixel and depth.
+	feats := make([]depthFeat, 0, 64)
+	for _, mp := range sys.Map().InstancePoints(instanceID) {
+		px, depth, ok := observationIn(mp, src.FrameIndex)
+		if !ok || depth <= 0 {
+			continue
+		}
+		feats = append(feats, depthFeat{px: px, depth: depth, edge: mp.NearContour})
+	}
+	if len(feats) == 0 {
+		return nil, ErrNoDepth
+	}
+
+	contours := mask.ExtractContours(src.Mask, p.cfg.MinMaskArea)
+	if len(contours) == 0 {
+		return nil, ErrNoSource
+	}
+	// Use the largest contour; cached instance masks are single components
+	// in practice but occlusion can fragment them.
+	contour := contours[0]
+	for _, c := range contours[1:] {
+		if len(c) > len(contour) {
+			contour = c
+		}
+	}
+	contour = mask.SimplifyContour(contour, p.cfg.MaxContourPoints)
+
+	projected := make([]geom.Vec2, 0, len(contour))
+	for _, s := range contour {
+		depth, ok := p.contourDepth(s, feats)
+		if !ok {
+			continue
+		}
+		// Back-project in the source camera, move through the relative
+		// pose, re-project in the current camera (Section III-C).
+		pc := p.camera.Backproject(s, depth)
+		px, err := p.camera.Project(rel.Apply(pc))
+		if err != nil {
+			continue
+		}
+		projected = append(projected, px)
+	}
+	if len(projected) < 3 {
+		return nil, ErrNoDepth
+	}
+	m := mask.FillPolygon(projected, p.camera.Width, p.camera.Height)
+	if m.Area() < p.cfg.MinMaskArea {
+		return nil, ErrNoSource
+	}
+	pred := &Prediction{
+		InstanceID:  instanceID,
+		Label:       inst.Label,
+		Mask:        m,
+		SourceFrame: src.FrameIndex,
+		SourceAge:   frameIdx - src.FrameIndex,
+	}
+	// Chain: the prediction becomes a cache entry for future transfers.
+	p.Put(&CachedMask{
+		FrameIndex: frameIdx,
+		InstanceID: instanceID,
+		Label:      inst.Label,
+		Mask:       m,
+		FromEdge:   false,
+	})
+	return pred, nil
+}
+
+// selectSource picks the best cached mask for the instance: an edge mask
+// when possible, observed from the closest viewpoint within MaxViewAngle,
+// preferring recent frames.
+func (p *Predictor) selectSource(sys *vo.System, instanceID int, cur *vo.FrameRecord) (*CachedMask, *vo.FrameRecord) {
+	byFrame := p.cache[instanceID]
+	if len(byFrame) == 0 {
+		return nil, nil
+	}
+	type candidate struct {
+		cm    *CachedMask
+		rec   *vo.FrameRecord
+		angle float64
+	}
+	var best *candidate
+	better := func(a, b *candidate) bool {
+		// Edge masks beat transferred masks; then recency wins with the
+		// view angle as tiebreak. Pose error accumulates with source age,
+		// so a fresh mask from a slightly worse viewpoint transfers better
+		// than an old one from the perfect viewpoint.
+		if a.cm.FromEdge != b.cm.FromEdge {
+			return a.cm.FromEdge
+		}
+		if a.cm.FrameIndex != b.cm.FrameIndex {
+			return a.cm.FrameIndex > b.cm.FrameIndex
+		}
+		return a.angle < b.angle
+	}
+	for _, cm := range byFrame {
+		rec := sys.FrameRecordAt(cm.FrameIndex)
+		if rec == nil {
+			continue
+		}
+		angle := cur.TCW.RotationAngle(rec.TCW)
+		if angle > p.cfg.MaxViewAngle {
+			continue
+		}
+		cand := &candidate{cm: cm, rec: rec, angle: angle}
+		if best == nil || better(cand, best) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return best.cm, best.rec
+}
+
+// depthFeat is an in-mask feature usable as a depth source for contour
+// pixels.
+type depthFeat struct {
+	px    geom.Vec2
+	depth float64
+	edge  bool
+}
+
+// contourDepth averages the depths of the K nearest features to the contour
+// pixel (Section III-C: "the actual positions in 3-D space corresponding to
+// a small neighborhood of the object mask are not likely to experience shape
+// changes in depth"). Edge-proximal features are preferred by shrinking
+// their effective distance, since contour pixels are best explained by
+// features near the boundary.
+func (p *Predictor) contourDepth(s geom.Vec2, feats []depthFeat) (float64, bool) {
+	k := p.cfg.K
+	if len(feats) == 0 {
+		return 0, false
+	}
+	if k > len(feats) {
+		k = len(feats)
+	}
+	type scored struct {
+		dist  float64
+		depth float64
+	}
+	ds := make([]scored, 0, len(feats))
+	for _, f := range feats {
+		d := f.px.DistTo(s)
+		if f.edge {
+			d *= 0.7
+		}
+		ds = append(ds, scored{dist: d, depth: f.depth})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dist < ds[j].dist })
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += ds[i].depth
+	}
+	return sum / float64(k), true
+}
+
+// observationIn returns the pixel and depth a map point was observed at in
+// a specific frame.
+func observationIn(mp *vo.MapPoint, frameIdx int) (geom.Vec2, float64, bool) {
+	for i := len(mp.Observations) - 1; i >= 0; i-- {
+		if mp.Observations[i].FrameIndex == frameIdx {
+			return mp.Observations[i].Pixel, mp.Observations[i].Depth, true
+		}
+	}
+	return geom.Vec2{}, 0, false
+}

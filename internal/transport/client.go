@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the mobile side of the wire protocol. Offloads are
+// asynchronous: Send queues a frame, results arrive on the Results channel
+// in server order. A dedicated writer goroutine keeps the camera loop from
+// blocking on the socket.
+type Client struct {
+	conn    net.Conn
+	results chan *ResultMsg
+	sendq   chan *FrameMsg
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	lastErr error
+	sent    int
+}
+
+// Dial connects to an edge server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		results: make(chan *ResultMsg, 16),
+		sendq:   make(chan *FrameMsg, 16),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// Results delivers inference results; the channel closes when the
+// connection ends.
+func (c *Client) Results() <-chan *ResultMsg { return c.results }
+
+// Send queues a frame for offload. It returns false when the queue is full
+// (the uplink is saturated) — the frame is skipped, which is exactly what a
+// real-time client must do rather than blocking its camera loop.
+func (c *Client) Send(f *FrameMsg) bool {
+	select {
+	case <-c.done:
+		return false // closed connections never accept frames
+	default:
+	}
+	select {
+	case c.sendq <- f:
+		c.mu.Lock()
+		c.sent++
+		c.mu.Unlock()
+		return true
+	default:
+		return false
+	}
+}
+
+// Sent returns the number of frames accepted for sending.
+func (c *Client) Sent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Err returns the terminal connection error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+func (c *Client) setErr(err error) {
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	c.mu.Lock()
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case f := <-c.sendq:
+			if err := WriteMessage(c.conn, MarshalFrame(f)); err != nil {
+				c.setErr(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	defer close(c.results)
+	for {
+		payload, err := ReadMessage(c.conn)
+		if err != nil {
+			c.setErr(err)
+			return
+		}
+		if t, terr := MessageType(payload); terr == nil && t == TypeError {
+			if msg, merr := UnmarshalError(payload); merr == nil {
+				c.setErr(fmt.Errorf("transport: server error: %s", msg))
+			} else {
+				c.setErr(merr)
+			}
+			return
+		}
+		res, err := UnmarshalResult(payload)
+		if err != nil {
+			c.setErr(err)
+			return
+		}
+		select {
+		case c.results <- res:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Close shuts the connection down and waits for the loops to exit.
+func (c *Client) Close() error {
+	select {
+	case <-c.done:
+		return nil // already closed
+	default:
+	}
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"edgeis/internal/accel"
+	"edgeis/internal/segmodel"
+)
+
+// Server is the edge node: it accepts mobile connections, decodes offloaded
+// frames, runs the (optionally CIIA-guided) segmentation model and streams
+// results back. One goroutine per connection; inferences across connections
+// serialize on the GPU mutex like they would on a real accelerator.
+type Server struct {
+	model *segmodel.Model
+	// InferScale multiplies simulated inference latency (device profile).
+	inferScale float64
+	// MaxContourVertices bounds result mask payloads.
+	maxContour int
+
+	ln       net.Listener
+	gpu      sync.Mutex // serializes inference, like a single accelerator
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	served   int
+	inferSum float64
+	logf     func(format string, args ...any)
+}
+
+// ServerOption customizes a server.
+type ServerOption func(*Server)
+
+// WithInferScale sets the device latency multiplier.
+func WithInferScale(scale float64) ServerOption {
+	return func(s *Server) { s.inferScale = scale }
+}
+
+// WithLogger routes server logs.
+func WithLogger(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer builds an edge server around the given model.
+func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
+	s := &Server{
+		model:      model,
+		inferScale: 1,
+		maxContour: 160,
+		logf:       func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Listen binds the server to an address ("127.0.0.1:0" for an ephemeral
+// port) and starts accepting connections in the background.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.logf("accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one mobile client until EOF.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		if err := conn.Close(); err != nil {
+			s.logf("close conn: %v", err)
+		}
+	}()
+	for {
+		payload, err := ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("read: %v", err)
+			}
+			return
+		}
+		frame, err := UnmarshalFrame(payload)
+		if err != nil {
+			// Report the failure to the peer before dropping it: a mobile
+			// client stuck sending garbage should learn why.
+			s.logf("decode: %v", err)
+			if werr := WriteMessage(conn, MarshalError(err.Error())); werr != nil {
+				s.logf("write error report: %v", werr)
+			}
+			return
+		}
+		res := s.infer(frame)
+		if err := WriteMessage(conn, MarshalResult(res)); err != nil {
+			s.logf("write: %v", err)
+			return
+		}
+	}
+}
+
+// infer runs the simulated model on a decoded frame.
+func (s *Server) infer(frame *FrameMsg) *ResultMsg {
+	in := segmodel.Input{
+		Width:   int(frame.Width),
+		Height:  int(frame.Height),
+		Objects: frame.Objects,
+		Seed:    frame.Seed,
+	}
+	if len(frame.QualityLevels) > 0 && frame.TileCols > 0 {
+		levels := frame.QualityLevels
+		cols := int(frame.TileCols)
+		in.Quality = func(x, y int) float64 {
+			c := x / 32
+			r := y / 32
+			idx := r*cols + c
+			if idx < 0 || idx >= len(levels) {
+				return 1
+			}
+			return float64(levels[idx])
+		}
+	}
+	var g segmodel.Guidance
+	if len(frame.Areas) > 0 {
+		g = &accel.Plan{Areas: frame.Areas}
+	}
+
+	s.gpu.Lock()
+	out := s.model.Run(in, g)
+	s.gpu.Unlock()
+
+	inferMs := out.TotalMs() * s.inferScale
+	s.mu.Lock()
+	s.served++
+	s.inferSum += inferMs
+	s.mu.Unlock()
+
+	res := &ResultMsg{FrameIndex: frame.FrameIndex, InferMs: inferMs}
+	for _, d := range out.Detections {
+		res.Detections = append(res.Detections, FromDetection(d, s.maxContour))
+	}
+	return res
+}
+
+// Stats returns frames served and mean simulated inference latency.
+func (s *Server) Stats() (served int, meanInferMs float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.served > 0 {
+		meanInferMs = s.inferSum / float64(s.served)
+	}
+	return s.served, meanInferMs
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

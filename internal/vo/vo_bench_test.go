@@ -1,0 +1,45 @@
+package vo
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgeis/internal/geom"
+)
+
+func BenchmarkOptimizePose(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cam := geom.StandardCamera(640, 480)
+	truth := gtPose()
+	obs := synthObservations(rng, 60, truth, cam, 0.3)
+	init := geom.Pose{R: truth.R, T: truth.T.Add(geom.V3(0.1, 0, 0.1))}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizePose(cam, obs, init, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateFundamental(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	_, _, corr, _ := synthTwoView(rng, 80, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EstimateFundamental(corr, 2, 64, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriangulatePoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cam, rel, corr, _ := synthTwoView(rng, 10, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := corr[i%len(corr)]
+		if _, err := TriangulatePoint(cam, geom.IdentityPose(), rel, c.P0, c.P1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
