@@ -1,0 +1,29 @@
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test short race vet fuzz bench check
+
+build: ## Compile every package and binary.
+	$(GO) build ./...
+
+test: ## Run the full test suite.
+	$(GO) test ./...
+
+short: ## Run the suite without the long integration sweeps.
+	$(GO) test -short ./...
+
+race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip).
+	$(GO) test -race ./...
+
+vet: ## Static analysis.
+	$(GO) vet ./...
+
+fuzz: ## Brief fuzz pass over the wire-protocol decoders.
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFrame -fuzztime=$(FUZZTIME) ./internal/transport/
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResult -fuzztime=$(FUZZTIME) ./internal/transport/
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalError -fuzztime=$(FUZZTIME) ./internal/transport/
+
+bench: ## Per-figure benchmarks.
+	$(GO) test -bench=. -benchmem .
+
+check: vet build test ## Everything CI runs, in order.

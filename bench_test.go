@@ -172,7 +172,7 @@ func BenchmarkFig17FieldStudy(b *testing.B) {
 // BenchmarkPowerConsumption regenerates the battery-drain study.
 func BenchmarkPowerConsumption(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.PowerStudy(benchSeed)
+		experiments.PowerStudy(benchSeed, 0)
 	}
 }
 

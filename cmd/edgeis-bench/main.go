@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	edgeis-bench [-seed N] [-frames N] [-fig fig9|fig14|...|all]
+//	edgeis-bench [-seed N] [-frames N] [-workers N] [-fig fig9|fig14|...|all]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"edgeis/internal/experiments"
+	"edgeis/internal/parallel"
 )
 
 func main() {
@@ -26,11 +27,15 @@ func main() {
 
 func run() error {
 	var (
-		seed   = flag.Int64("seed", 42, "experiment seed")
-		frames = flag.Int("frames", 0, "frames per clip (0 = experiment default)")
-		fig    = flag.String("fig", "all", "figure to run: fig2b,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,fig17,power,ablk,ablt,ablbw or all")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		frames  = flag.Int("frames", 0, "frames per clip (0 = experiment default)")
+		fig     = flag.String("fig", "all", "figure to run: fig2b,fig9,fig10,fig11,fig12,fig13,fig14,fig15,fig16,fig17,power,ablk,ablt,ablbw or all")
+		workers = flag.Int("workers", 0, "worker pool size: 0 = all cores (or $EDGEIS_WORKERS), 1 = serial")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	runners := map[string]func() *experiments.Result{
 		"fig2b": func() *experiments.Result { return experiments.Fig2b(*seed) },
@@ -43,22 +48,19 @@ func run() error {
 		"fig15": func() *experiments.Result { return experiments.Fig15(*seed, 0) },
 		"fig16": func() *experiments.Result { return experiments.Fig16(*seed, *frames) },
 		"fig17": func() *experiments.Result { return experiments.Fig17(*seed, 0) },
-		"power": func() *experiments.Result { return experiments.PowerStudy(*seed) },
+		"power": func() *experiments.Result { return experiments.PowerStudy(*seed, 0) },
 		"ablk":  func() *experiments.Result { return experiments.AblationContourK(*seed, *frames) },
 		"ablt":  func() *experiments.Result { return experiments.AblationOffloadThreshold(*seed, *frames) },
 		"ablbw": func() *experiments.Result { return experiments.AblationCompressionBudget(*seed, *frames) },
 	}
 
-	order := []string{
-		"fig2b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "power", "ablk", "ablt", "ablbw",
-	}
-
 	name := strings.ToLower(*fig)
 	if name == "all" {
+		// experiments.All fans the figures out across the worker pool and
+		// returns them in paper order.
 		start := time.Now()
-		for _, k := range order {
-			fmt.Println(runners[k]().Render())
+		for _, r := range experiments.All(*seed, *frames) {
+			fmt.Println(r.Render())
 		}
 		fmt.Printf("total runtime: %v\n", time.Since(start).Round(time.Second))
 		return nil

@@ -39,6 +39,7 @@ import (
 	"edgeis/internal/geom"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/parallel"
 	"edgeis/internal/pipeline"
 	"edgeis/internal/scene"
 	"edgeis/internal/segmodel"
@@ -203,6 +204,18 @@ var DialEdge = transport.Dial
 type (
 	// ExperimentResult is one reproduced table/figure.
 	ExperimentResult = experiments.Result
+)
+
+// Parallelism controls (see DESIGN.md, "Concurrency model"). The experiment
+// harness fans independent clip/arm/figure runs across a bounded worker
+// pool; results are merged in deterministic order, so any pool size
+// produces byte-identical reports.
+var (
+	// SetWorkers overrides the worker pool size (1 = serial, <=0 = all
+	// cores) and returns the previous effective size.
+	SetWorkers = parallel.SetWorkers
+	// Workers returns the effective worker pool size.
+	Workers = parallel.Workers
 )
 
 // Experiment entry points (see DESIGN.md for the index).

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"edgeis/internal/core"
 	"edgeis/internal/dataset"
 	"edgeis/internal/device"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/parallel"
 	"edgeis/internal/pipeline"
 	"edgeis/internal/roisel"
 	"edgeis/internal/transfer"
@@ -24,24 +27,17 @@ func AblationContourK(seed int64, frames int) *Result {
 	cam := EvalCamera()
 
 	r.Addf("%-6s %9s %12s", "k", "IoU", "false@0.75")
-	for _, k := range []int{1, 3, 5, 9, 15} {
-		acc := metrics.NewAccumulator("k")
-		for i, clip := range clips {
-			sys := core.NewSystem(core.Config{
-				Camera: cam, Device: device.IPhone11, Seed: seed + int64(i)*101,
+	lines := parallel.Map([]int{1, 3, 5, 9, 15}, func(_ int, k int) string {
+		out := RunCustomClips("k", clips, netsim.WiFi5, seed, func(cfgSeed int64) pipeline.Strategy {
+			return core.NewSystem(core.Config{
+				Camera: cam, Device: device.IPhone11, Seed: cfgSeed,
 				Transfer: transfer.Config{K: k},
 			})
-			engine := pipeline.NewEngine(pipeline.Config{
-				World: clip.World, Camera: cam, Trajectory: clip.Traj,
-				Frames: clip.Frames, CameraSpeed: clip.CameraSpeed,
-				Medium: netsim.WiFi5, Seed: seed + int64(i)*101,
-			}, sys)
-			evals, _ := engine.Run()
-			acc.Merge(pipeline.EvaluateFrom("k", evals, WarmupFrames))
-		}
-		r.Addf("%-6d %9.3f %12s", k, acc.MeanIoU(),
-			pct(acc.FalseRate(metrics.StrictThreshold)))
-	}
+		})
+		return fmt.Sprintf("%-6d %9.3f %12s", k, out.Acc.MeanIoU(),
+			pct(out.Acc.FalseRate(metrics.StrictThreshold)))
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -57,30 +53,20 @@ func AblationOffloadThreshold(seed int64, frames int) *Result {
 	cam := EvalCamera()
 
 	r.Addf("%-6s %9s %12s %10s %12s", "t", "IoU", "false@0.75", "offloads", "uplink KB")
-	for _, t := range []float64{0.1, 0.25, 0.5, 0.9} {
-		acc := metrics.NewAccumulator("t")
-		offloads := 0
-		uplink := 0
-		for i, clip := range clips {
-			sys := core.NewSystem(core.Config{
-				Camera: cam, Device: device.IPhone11, Seed: seed + int64(i)*101,
+	lines := parallel.Map([]float64{0.1, 0.25, 0.5, 0.9}, func(_ int, t float64) string {
+		out := RunCustomClips("t", clips, netsim.WiFi5, seed, func(cfgSeed int64) pipeline.Strategy {
+			return core.NewSystem(core.Config{
+				Camera: cam, Device: device.IPhone11, Seed: cfgSeed,
 				// The localized cluster trigger is disabled so the sweep
 				// isolates the paper's global threshold t.
 				Selector: roisel.Config{NewContentThreshold: t, DisableClusterTrigger: true},
 			})
-			engine := pipeline.NewEngine(pipeline.Config{
-				World: clip.World, Camera: cam, Trajectory: clip.Traj,
-				Frames: clip.Frames, CameraSpeed: clip.CameraSpeed,
-				Medium: netsim.WiFi5, Seed: seed + int64(i)*101,
-			}, sys)
-			evals, stats := engine.Run()
-			acc.Merge(pipeline.EvaluateFrom("t", evals, WarmupFrames))
-			offloads += stats.Offloads
-			uplink += stats.UplinkBytes
-		}
-		r.Addf("%-6.2f %9.3f %12s %10d %12d", t, acc.MeanIoU(),
-			pct(acc.FalseRate(metrics.StrictThreshold)), offloads, uplink/1024)
-	}
+		})
+		return fmt.Sprintf("%-6.2f %9.3f %12s %10d %12d", t, out.Acc.MeanIoU(),
+			pct(out.Acc.FalseRate(metrics.StrictThreshold)),
+			out.Stats.Offloads, out.Stats.UplinkBytes/1024)
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -93,8 +79,10 @@ func AblationCompressionBudget(seed int64, frames int) *Result {
 	}
 	r := &Result{ID: "AblBW", Title: "CFRS uplink bytes vs uniform encoding"}
 	clips := dataset.KITTI(seed, frames)
-	full := RunClips(SysEdgeISNoCFRS, clips, netsim.WiFi5, device.IPhone11, seed)
-	cfrs := RunClips(SysEdgeIS, clips, netsim.WiFi5, device.IPhone11, seed)
+	arms := parallel.Map([]SystemKind{SysEdgeISNoCFRS, SysEdgeIS}, func(_ int, kind SystemKind) RunOutcome {
+		return RunClips(kind, clips, netsim.WiFi5, device.IPhone11, seed)
+	})
+	full, cfrs := arms[0], arms[1]
 	r.Addf("uniform-high keyframes: %6d KB over %d offloads",
 		full.Stats.UplinkBytes/1024, full.Stats.Offloads)
 	r.Addf("CFRS tile encoding:     %6d KB over %d offloads",
@@ -108,22 +96,41 @@ func AblationCompressionBudget(seed int64, frames int) *Result {
 	return r
 }
 
-// All runs every experiment, in paper order.
+// All runs every experiment, in paper order. The figures themselves fan out
+// across the worker pool on top of their internal arm/clip parallelism;
+// the returned slice is always in paper order regardless of completion
+// order. frames trims the per-clip length of every figure (0 = each
+// figure's default), including the long-run resource and fleet studies.
 func All(seed int64, frames int) []*Result {
-	return []*Result{
-		Fig2b(seed),
-		Fig9(seed, frames),
-		Fig10(seed, frames),
-		Fig11(seed, frames),
-		Fig12(seed, frames),
-		Fig13(seed, frames),
-		Fig14(seed),
-		Fig15(seed, 0),
-		Fig16(seed, frames),
-		Fig17(seed, 0),
-		PowerStudy(seed),
-		AblationContourK(seed, frames),
-		AblationOffloadThreshold(seed, frames),
-		AblationCompressionBudget(seed, frames),
+	figs := []func() *Result{
+		func() *Result { return Fig2b(seed) },
+		func() *Result { return Fig9(seed, frames) },
+		func() *Result { return Fig10(seed, frames) },
+		func() *Result { return Fig11(seed, frames) },
+		func() *Result { return Fig12(seed, frames) },
+		func() *Result { return Fig13(seed, frames) },
+		func() *Result { return Fig14(seed) },
+		func() *Result { return Fig15(seed, scaleFrames(frames, 1800)) },
+		func() *Result { return Fig16(seed, frames) },
+		func() *Result { return Fig17(seed, scaleFrames(frames, 420)) },
+		func() *Result { return PowerStudy(seed, scaleFrames(frames, 600)) },
+		func() *Result { return AblationContourK(seed, frames) },
+		func() *Result { return AblationOffloadThreshold(seed, frames) },
+		func() *Result { return AblationCompressionBudget(seed, frames) },
 	}
+	return parallel.Map(figs, func(_ int, fig func() *Result) *Result { return fig() })
+}
+
+// scaleFrames trims a figure's fixed run length proportionally when the
+// caller shortens the standard clip length, keeping the long-run figures'
+// relative weight. frames = 0 keeps every figure's own default.
+func scaleFrames(frames, def int) int {
+	if frames == 0 {
+		return 0
+	}
+	scaled := frames * def / DefaultClipFrames
+	if scaled < frames {
+		scaled = frames
+	}
+	return scaled
 }

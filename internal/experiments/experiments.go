@@ -17,6 +17,7 @@ import (
 	"edgeis/internal/geom"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/parallel"
 	"edgeis/internal/pipeline"
 )
 
@@ -150,14 +151,32 @@ type RunOutcome struct {
 	Stats pipeline.RunStats
 }
 
+// clipOutcome is one clip's contribution, merged in clip order.
+type clipOutcome struct {
+	acc   *metrics.Accumulator
+	stats pipeline.RunStats
+}
+
 // RunClips executes a system over clips on a network medium. Each clip uses
 // a fresh strategy instance (a new session), matching how the paper runs
 // each video independently.
 func RunClips(kind SystemKind, clips []dataset.Clip, medium netsim.Medium, dev device.Profile, seed int64) RunOutcome {
 	cam := EvalCamera()
-	acc := metrics.NewAccumulator(kind.String())
-	var total pipeline.RunStats
-	for i, clip := range clips {
+	return RunCustomClips(kind.String(), clips, medium, seed, func(cfgSeed int64) pipeline.Strategy {
+		return NewStrategy(kind, cam, dev, cfgSeed)
+	})
+}
+
+// RunCustomClips evaluates a caller-built strategy over clips, fanning the
+// independent clip runs across the worker pool. Every stochastic component
+// is seeded from the per-clip seed and all mutable state (strategy, engine,
+// extractor, links) is constructed inside the clip run, so clips execute
+// concurrently yet the merged outcome is byte-identical to a serial run:
+// results are merged strictly in clip order. build receives the per-clip
+// seed and must return a fresh strategy each call.
+func RunCustomClips(name string, clips []dataset.Clip, medium netsim.Medium, seed int64, build func(cfgSeed int64) pipeline.Strategy) RunOutcome {
+	cam := EvalCamera()
+	outs := parallel.Map(clips, func(i int, clip dataset.Clip) clipOutcome {
 		cfg := pipeline.Config{
 			World:       clip.World,
 			Camera:      cam,
@@ -167,18 +186,18 @@ func RunClips(kind SystemKind, clips []dataset.Clip, medium netsim.Medium, dev d
 			Medium:      medium,
 			Seed:        seed + int64(i)*101,
 		}
-		strategy := NewStrategy(kind, cam, dev, cfg.Seed)
-		engine := pipeline.NewEngine(cfg, strategy)
+		engine := pipeline.NewEngine(cfg, build(cfg.Seed))
 		evals, stats := engine.Run()
-		acc.Merge(pipeline.EvaluateFrom(kind.String(), evals, WarmupFrames))
-		total.Frames += stats.Frames
-		total.Offloads += stats.Offloads
-		total.DroppedFrames += stats.DroppedFrames
-		total.UplinkBytes += stats.UplinkBytes
-		total.DownlinkBytes += stats.DownlinkBytes
-		total.EdgeInferMsSum += stats.EdgeInferMsSum
-		total.EdgeResultCount += stats.EdgeResultCount
-		total.MobileBusyMsSum += stats.MobileBusyMsSum
+		return clipOutcome{
+			acc:   pipeline.EvaluateFrom(name, evals, WarmupFrames),
+			stats: stats,
+		}
+	})
+	acc := metrics.NewAccumulator(name)
+	var total pipeline.RunStats
+	for _, o := range outs {
+		acc.Merge(o.acc)
+		total.Add(o.stats)
 	}
 	return RunOutcome{Acc: acc, Stats: total}
 }

@@ -118,7 +118,7 @@ func TestPowerStudyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")
 	}
-	r := PowerStudy(1)
+	r := PowerStudy(1, 300)
 	out := r.Render()
 	if !strings.Contains(out, "iphone-11") || !strings.Contains(out, "galaxy-s10") {
 		t.Errorf("power report wrong:\n%s", out)

@@ -9,6 +9,7 @@ import (
 	"edgeis/internal/mask"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/parallel"
 	"edgeis/internal/segmodel"
 )
 
@@ -32,7 +33,8 @@ func Fig2b(seed int64) *Result {
 		segmodel.YOLACT:   {0.75, 120},
 	}
 	r.Addf("%-12s %10s %10s %12s %12s", "model", "IoU", "paper", "latency ms", "paper")
-	for _, kind := range []segmodel.Kind{segmodel.YOLOv3, segmodel.MaskRCNN, segmodel.YOLACT} {
+	kinds := []segmodel.Kind{segmodel.YOLOv3, segmodel.MaskRCNN, segmodel.YOLACT}
+	lines := parallel.Map(kinds, func(_ int, kind segmodel.Kind) string {
 		model := segmodel.New(kind)
 		var iouSum, msSum float64
 		var n int
@@ -55,9 +57,10 @@ func Fig2b(seed int64) *Result {
 			}
 		}
 		ref := refs[kind]
-		r.Addf("%-12s %10.3f %10.2f %12.1f %12.0f",
+		return fmt.Sprintf("%-12s %10.3f %10.2f %12.1f %12.0f",
 			kind, iouSum/float64(maxi(n, 1)), ref.iou, msSum/float64(len(frames)), ref.ms)
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -83,17 +86,19 @@ func Fig9(seed int64, frames int) *Result {
 	}
 	r.Addf("%-14s %9s %12s %12s %12s %10s", "system", "IoU",
 		"false@0.75", "paper", "false@0.5", "offloads")
-	var accs []*metrics.Accumulator
-	for _, kind := range []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet, SysBestEffort, SysMobileOnly} {
-		out := RunClips(kind, clips, netsim.WiFi5, device.IPhone11, seed)
-		accs = append(accs, out.Acc)
+	kinds := []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet, SysBestEffort, SysMobileOnly}
+	outs := parallel.Map(kinds, func(_ int, kind SystemKind) RunOutcome {
+		return RunClips(kind, clips, netsim.WiFi5, device.IPhone11, seed)
+	})
+	for i, kind := range kinds {
+		out := outs[i]
 		r.Addf("%-14s %9.3f %12s %12s %12s %10d",
 			kind, out.Acc.MeanIoU(),
 			pct(out.Acc.FalseRate(metrics.StrictThreshold)), pct(paperFalse[kind]),
 			pct(out.Acc.FalseRate(metrics.LooseThreshold)), out.Stats.Offloads)
 	}
 	// CDF points for the edgeIS curve (Fig. 9 plots CDFs).
-	xs, ys := accs[0].CDF(11)
+	xs, ys := outs[0].Acc.CDF(11)
 	line := "edgeIS CDF: "
 	for i := range xs {
 		line += fmt.Sprintf("(%.1f,%.2f) ", xs[i], ys[i])
@@ -116,13 +121,15 @@ func Fig10(seed int64, frames int) *Result {
 	clips = append(clips, dataset.SelfRecorded(seed, frames)...)
 
 	r.Addf("%-14s %14s %14s", "system", "wifi-2.4GHz", "wifi-5GHz")
-	for _, kind := range []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet} {
+	kinds := []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet}
+	lines := parallel.Map(kinds, func(_ int, kind SystemKind) string {
 		w24 := RunClips(kind, clips, netsim.WiFi24, device.IPhone11, seed)
 		w5 := RunClips(kind, clips, netsim.WiFi5, device.IPhone11, seed)
-		r.Addf("%-14s %14s %14s", kind,
+		return fmt.Sprintf("%-14s %14s %14s", kind,
 			pct(w24.Acc.FalseRate(metrics.StrictThreshold)),
 			pct(w5.Acc.FalseRate(metrics.StrictThreshold)))
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	r.Addf("paper: edgeIS 6.1%% / 4.1%%; EAAR - / 21%%; EdgeDuet - / 41%%")
 	return r
 }
@@ -143,17 +150,19 @@ func Fig11(seed int64, frames int) *Result {
 	}
 	r.Addf("%-14s %12s %10s %9s %9s %12s", "system",
 		"latency ms", "paper", "IoU", "paper", "p95 ms")
-	for _, kind := range []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet} {
+	kinds := []SystemKind{SysEdgeIS, SysEAAR, SysEdgeDuet}
+	lines := parallel.Map(kinds, func(_ int, kind SystemKind) string {
 		out := RunClips(kind, clips, netsim.WiFi5, device.IPhone11, seed)
 		ref := refs[kind]
 		// The baselines' local trackers are cheap but their accuracy pays
 		// for it; the paper's per-frame numbers include their full update
 		// paths. We report our measured mobile busy time per frame.
 		meanMs := out.Acc.MeanLatencyMs()
-		r.Addf("%-14s %12.1f %10.0f %9.3f %9.2f %12.1f",
+		return fmt.Sprintf("%-14s %12.1f %10.0f %9.3f %9.2f %12.1f",
 			kind, meanMs, ref.ms, out.Acc.MeanIoU(), ref.iou,
 			out.Acc.LatencyPercentile(0.95))
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -168,12 +177,13 @@ func Fig12(seed int64, frames int) *Result {
 	r := &Result{ID: "Fig12", Title: "Robustness to camera motion (edgeIS)"}
 	paper := map[string]float64{"walk": 0.047, "stride": 0.098, "jog": 0.299}
 	r.Addf("%-10s %12s %12s %9s", "gait", "false@0.75", "paper", "IoU")
-	for _, clip := range dataset.GaitClips(seed, frames) {
+	lines := parallel.Map(dataset.GaitClips(seed, frames), func(_ int, clip dataset.Clip) string {
 		out := RunClips(SysEdgeIS, []dataset.Clip{clip}, netsim.WiFi5, device.IPhone11, seed)
-		r.Addf("%-10s %12s %12s %9.3f", clip.Name,
+		return fmt.Sprintf("%-10s %12s %12s %9.3f", clip.Name,
 			pct(out.Acc.FalseRate(metrics.StrictThreshold)), pct(paper[clip.Name]),
 			out.Acc.MeanIoU())
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 
@@ -188,12 +198,13 @@ func Fig13(seed int64, frames int) *Result {
 	r := &Result{ID: "Fig13", Title: "Robustness to scene complexity (edgeIS)"}
 	paperIoU := map[string]float64{"easy": 0.91, "medium": 0.88, "hard": 0.83}
 	r.Addf("%-10s %9s %9s %12s", "scene", "IoU", "paper", "false@0.75")
-	for _, clip := range dataset.ComplexityClips(seed, frames) {
+	lines := parallel.Map(dataset.ComplexityClips(seed, frames), func(_ int, clip dataset.Clip) string {
 		out := RunClips(SysEdgeIS, []dataset.Clip{clip}, netsim.WiFi5, device.IPhone11, seed)
-		r.Addf("%-10s %9.3f %9.2f %12s", clip.Name,
+		return fmt.Sprintf("%-10s %9.3f %9.2f %12s", clip.Name,
 			out.Acc.MeanIoU(), paperIoU[clip.Name],
 			pct(out.Acc.FalseRate(metrics.StrictThreshold)))
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	r.Addf("paper: hard-scene false rate 19.7%%")
 	return r
 }
@@ -208,13 +219,13 @@ func Fig14(seed int64) *Result {
 	cam := EvalCamera()
 	clip := dataset.KITTI(seed, 90)[0]
 	frames := clip.World.RenderSequence(cam, clip.Traj, 60)
-	model := segmodel.New(segmodel.MaskRCNN)
 
 	type agg struct {
 		rpn, head, total, iou float64
 		n, dets               int
 	}
 	run := func(mode int) agg {
+		model := segmodel.New(segmodel.MaskRCNN)
 		var a agg
 		for i, f := range frames {
 			if len(f.Objects) == 0 {
@@ -262,9 +273,8 @@ func Fig14(seed int64) *Result {
 		return a
 	}
 
-	vanilla := run(0)
-	dap := run(1)
-	full := run(2)
+	arms := parallel.Map([]int{0, 1, 2}, func(_ int, mode int) agg { return run(mode) })
+	vanilla, dap, full := arms[0], arms[1], arms[2]
 	r.Addf("%-16s %9s %11s %10s %8s", "configuration", "RPN ms", "stage2 ms", "total ms", "IoU")
 	r.Addf("%-16s %9.1f %11.1f %10.1f %8.3f", "vanilla", vanilla.rpn, vanilla.head, vanilla.total, vanilla.iou)
 	r.Addf("%-16s %9.1f %11.1f %10.1f %8.3f", "+DAP", dap.rpn, dap.head, dap.total, dap.iou)

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"edgeis/internal/core"
 	"edgeis/internal/dataset"
 	"edgeis/internal/device"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/parallel"
 	"edgeis/internal/pipeline"
 )
 
@@ -65,12 +68,18 @@ func Fig16(seed int64, frames int) *Result {
 	}
 
 	r.Addf("%-16s %12s %12s %14s", "arm", "wifi-2.4", "wifi-5", "paper gain")
+	// All arm x medium runs are independent; the base-relative improvement
+	// is computed afterwards, in arm order, from the gathered IoUs.
+	ious := parallel.Map(arms, func(_ int, arm SystemKind) []float64 {
+		return parallel.Map(media, func(_ int, m netsim.Medium) float64 {
+			return RunClips(arm, clips, m, device.IPhone11, seed).Acc.MeanIoU()
+		})
+	})
 	base := make(map[netsim.Medium]float64, len(media))
-	for _, arm := range arms {
+	for ai, arm := range arms {
 		var cells []string
-		for _, m := range media {
-			out := RunClips(arm, clips, m, device.IPhone11, seed)
-			iou := out.Acc.MeanIoU()
+		for mi, m := range media {
+			iou := ious[ai][mi]
 			if arm == SysBestEffort {
 				base[m] = iou
 				cells = append(cells, pct(0)+" (base)")
@@ -104,25 +113,31 @@ func Fig17(seed int64, frames int) *Result {
 		{device.IPhone11, netsim.LTE, 3},
 	}
 
+	// Expand the fleet into one entry per device so every device session
+	// runs concurrently; merge preserves the fleet order.
+	var sessions []deviceRun
+	for _, fr := range fleet {
+		for d := 0; d < fr.count; d++ {
+			sessions = append(sessions, deviceRun{dev: fr.dev, medium: fr.medium, count: 1})
+		}
+	}
+	accs := parallel.Map(sessions, func(idx int, s deviceRun) *metrics.Accumulator {
+		clip := dataset.FieldClip(seed+int64(idx), frames)
+		return RunClips(SysEdgeIS, []dataset.Clip{clip}, s.medium, s.dev, seed+int64(idx)).Acc
+	})
 	segAcc := metrics.NewAccumulator("field")
 	renderSeen, renderOK := 0, 0
 	falseRender := 0
-	idx := 0
-	for _, fr := range fleet {
-		for d := 0; d < fr.count; d++ {
-			clip := dataset.FieldClip(seed+int64(idx), frames)
-			out := RunClips(SysEdgeIS, []dataset.Clip{clip}, fr.medium, fr.dev, seed+int64(idx))
-			segAcc.Merge(out.Acc)
-			// Rendered-information accuracy: users sample one frame per
-			// second and judge the overlays of the objects they care about
-			// (large or central ones, Section VI-G). A rendered overlay
-			// satisfies when the mask is at least loosely right.
-			seen, ok, falses := renderScore(out.Acc)
-			renderSeen += seen
-			renderOK += ok
-			falseRender += falses
-			idx++
-		}
+	for _, acc := range accs {
+		segAcc.Merge(acc)
+		// Rendered-information accuracy: users sample one frame per
+		// second and judge the overlays of the objects they care about
+		// (large or central ones, Section VI-G). A rendered overlay
+		// satisfies when the mask is at least loosely right.
+		seen, ok, falses := renderScore(acc)
+		renderSeen += seen
+		renderOK += ok
+		falseRender += falses
 	}
 	r.Addf("fleet: 5x DreamGlass (WiFi) + 3x iPhone 11 (LTE), %d frames each", frames)
 	r.Addf("segmentation accuracy: %s  (paper: 87%%)", pct(segAcc.MeanIoU()))
@@ -168,22 +183,27 @@ func renderScore(acc *metrics.Accumulator) (seen, ok, falses int) {
 }
 
 // PowerStudy reproduces the power-consumption measurement: battery drain of
-// a 10-minute session on each phone.
+// a 10-minute session on each phone. frames sizes the representative slice
+// the duty cycle is extrapolated from (0 = the standard 20 s slice).
 //
 // Paper: 4.2% (iPhone 11) and 5.4% (Galaxy S10) in 10 minutes.
-func PowerStudy(seed int64) *Result {
+func PowerStudy(seed int64, frames int) *Result {
+	if frames == 0 {
+		frames = 600
+	}
 	r := &Result{ID: "Power", Title: "Power consumption (10-minute session)"}
 	paper := map[string]float64{"iphone-11": 4.2, "galaxy-s10": 5.4}
 	const minutes = 10.0
 
-	for _, dev := range []device.Profile{device.IPhone11, device.GalaxyS10} {
-		// Run a representative 20 s slice and extrapolate the duty cycle.
+	devs := []device.Profile{device.IPhone11, device.GalaxyS10}
+	lines := parallel.Map(devs, func(_ int, dev device.Profile) string {
+		// Run a representative slice and extrapolate the duty cycle.
 		cam := EvalCamera()
-		clip := dataset.SelfRecorded(seed, 600)[0]
+		clip := dataset.SelfRecorded(seed, frames)[0]
 		sys := core.NewSystem(core.Config{Camera: cam, Device: dev, Seed: seed})
 		engine := pipeline.NewEngine(pipeline.Config{
 			World: clip.World, Camera: cam, Trajectory: clip.Traj,
-			Frames: 600, CameraSpeed: clip.CameraSpeed,
+			Frames: frames, CameraSpeed: clip.CameraSpeed,
 			Medium: netsim.WiFi5, Seed: seed,
 		}, sys)
 		_, stats := engine.Run()
@@ -194,8 +214,9 @@ func PowerStudy(seed int64) *Result {
 		pm := device.NewPowerModel(dev)
 		scale := minutes * 60 / wallS
 		pm.Add(minutes*60, cpu, radioMbits*scale)
-		r.Addf("%-12s drain %.1f%% in %v min (paper %.1f%%), cpu %s, radio %.1f Mbit total",
+		return fmt.Sprintf("%-12s drain %.1f%% in %v min (paper %.1f%%), cpu %s, radio %.1f Mbit total",
 			dev.Name, pm.BatteryDrainPct(), minutes, paper[dev.Name], pct(cpu), radioMbits*scale)
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest determinism sweeps skip under it (the cheap ones still run) to
+// keep `go test -race ./...` inside CI budgets.
+const raceEnabled = true

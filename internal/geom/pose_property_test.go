@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPose draws a rigid transform with a uniformly random rotation axis,
+// an angle up to ~172 degrees (clear of the Rodrigues singularity at pi)
+// and a translation inside a 10 m box — the regime camera poses live in.
+func randomPose(rng *rand.Rand) Pose {
+	axis := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized()
+	angle := rng.Float64() * 3.0
+	return Pose{
+		R: Rodrigues(axis.Scale(angle)),
+		T: V3(rng.Float64()*10-5, rng.Float64()*10-5, rng.Float64()*10-5),
+	}
+}
+
+func randomPoint(rng *rand.Rand) Vec3 {
+	return V3(rng.Float64()*8-4, rng.Float64()*8-4, rng.Float64()*8-4)
+}
+
+func nearVec(a, b Vec3, tol float64) bool { return a.DistTo(b) <= tol }
+func nearIdentity(p Pose, tol float64) bool {
+	return LogRotation(p.R).Norm() <= tol && p.T.Norm() <= tol
+}
+
+// TestPoseComposeInverseRoundTrip: p * p^-1 and p^-1 * p are both the
+// identity, and applying them to points is a no-op — across many random
+// poses from a fixed seed.
+func TestPoseComposeInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := randomPose(rng)
+		if !nearIdentity(p.Compose(p.Inverse()), 1e-9) {
+			t.Fatalf("case %d: p * p^-1 is not identity: %+v", i, p.Compose(p.Inverse()))
+		}
+		if !nearIdentity(p.Inverse().Compose(p), 1e-9) {
+			t.Fatalf("case %d: p^-1 * p is not identity", i)
+		}
+		pt := randomPoint(rng)
+		if got := p.Inverse().Apply(p.Apply(pt)); !nearVec(got, pt, 1e-9) {
+			t.Fatalf("case %d: point did not survive apply/unapply: %v vs %v", i, got, pt)
+		}
+	}
+}
+
+// TestPoseDoubleInverse: (p^-1)^-1 == p.
+func TestPoseDoubleInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := randomPose(rng)
+		q := p.Inverse().Inverse()
+		if LogRotation(p.R.Mul(q.R.Transpose())).Norm() > 1e-9 || p.T.DistTo(q.T) > 1e-9 {
+			t.Fatalf("case %d: double inverse diverged", i)
+		}
+	}
+}
+
+// TestPoseComposeIsApplyHomomorphism: (a*b).Apply(p) == a.Apply(b.Apply(p)),
+// the composition convention documented on Pose.
+func TestPoseComposeIsApplyHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		a, b := randomPose(rng), randomPose(rng)
+		pt := randomPoint(rng)
+		lhs := a.Compose(b).Apply(pt)
+		rhs := a.Apply(b.Apply(pt))
+		if !nearVec(lhs, rhs, 1e-9) {
+			t.Fatalf("case %d: compose/apply mismatch: %v vs %v", i, lhs, rhs)
+		}
+	}
+}
+
+// TestPoseRelativeTo: q composed with T_pq = p.RelativeTo(q) recovers p,
+// and a pose relative to itself is the identity.
+func TestPoseRelativeToProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		p, q := randomPose(rng), randomPose(rng)
+		if !nearIdentity(p.RelativeTo(p), 1e-9) {
+			t.Fatalf("case %d: p relative to itself is not identity", i)
+		}
+		rel := p.RelativeTo(q)
+		back := rel.Compose(q)
+		pt := randomPoint(rng)
+		if !nearVec(back.Apply(pt), p.Apply(pt), 1e-8) {
+			t.Fatalf("case %d: rel * q != p on a point", i)
+		}
+	}
+}
+
+// TestPoseExpZeroIsNoop and small-increment consistency of the optimizer
+// update rule: Exp(0,0) preserves the pose, and the rotation angle moved by
+// Exp(0, phi) equals |phi|.
+func TestPoseExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p := randomPose(rng)
+		same := p.Exp(V3(0, 0, 0), V3(0, 0, 0))
+		if LogRotation(p.R.Mul(same.R.Transpose())).Norm() > 1e-9 || p.T.DistTo(same.T) > 1e-9 {
+			t.Fatalf("case %d: Exp(0,0) moved the pose", i)
+		}
+		phi := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized().Scale(0.3)
+		moved := p.Exp(V3(0, 0, 0), phi)
+		if d := math.Abs(moved.RotationAngle(p) - 0.3); d > 1e-6 {
+			t.Fatalf("case %d: Exp rotation angle off by %g", i, d)
+		}
+	}
+}
+
+// TestRodriguesLogRoundTrip: LogRotation(Rodrigues(w)) == w away from the
+// pi singularity.
+func TestRodriguesLogRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		axis := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized()
+		w := axis.Scale(rng.Float64() * 3.0)
+		got := LogRotation(Rodrigues(w))
+		if !nearVec(got, w, 1e-8) {
+			t.Fatalf("case %d: log(exp(w)) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestProjectBackprojectIdentity: camera-frame round trip at random pixels
+// and depths, pi^-1(pi(p)) == p.
+func TestProjectBackprojectIdentity(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		px := V2(rng.Float64()*640, rng.Float64()*480)
+		depth := 0.2 + rng.Float64()*20
+		pc := cam.Backproject(px, depth)
+		if pc.Z != depth {
+			t.Fatalf("case %d: backprojected depth %g, want %g", i, pc.Z, depth)
+		}
+		got, err := cam.Project(pc)
+		if err != nil {
+			t.Fatalf("case %d: project failed: %v", i, err)
+		}
+		if math.Hypot(got.X-px.X, got.Y-px.Y) > 1e-9*depth {
+			t.Fatalf("case %d: pixel round trip %v -> %v", i, px, got)
+		}
+	}
+}
+
+// TestProjectWorldBackprojectWorldIdentity: the world-frame round trip
+// through a random pose (Eq. 5 and its inverse).
+func TestProjectWorldBackprojectWorldIdentity(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for i := 0; i < 1000 && checked < 300; i++ {
+		tcw := randomPose(rng)
+		pw := randomPoint(rng)
+		pc := tcw.Apply(pw)
+		if pc.Z <= 0.1 {
+			continue // behind or grazing the camera; Project rejects these
+		}
+		px, err := cam.ProjectWorld(tcw, pw)
+		if err != nil {
+			t.Fatalf("case %d: project world failed: %v", i, err)
+		}
+		back := cam.BackprojectWorld(tcw, px, pc.Z)
+		if !nearVec(back, pw, 1e-8) {
+			t.Fatalf("case %d: world round trip %v -> %v", i, pw, back)
+		}
+		checked++
+	}
+	if checked < 300 {
+		t.Fatalf("only %d usable samples; generator too strict", checked)
+	}
+}
+
+// TestProjectRejectsBehindCamera: non-positive depth must return
+// ErrBehindCamera, never coordinates.
+func TestProjectRejectsBehindCamera(t *testing.T) {
+	cam := StandardCamera(640, 480)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		pc := V3(rng.NormFloat64(), rng.NormFloat64(), -rng.Float64()*5)
+		if _, err := cam.Project(pc); err == nil {
+			t.Fatalf("case %d: point %v behind camera projected without error", i, pc)
+		}
+	}
+	if _, err := cam.Project(V3(0, 0, 0)); err == nil {
+		t.Fatal("zero-depth point projected without error")
+	}
+}

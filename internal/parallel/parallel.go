@@ -1,0 +1,144 @@
+// Package parallel is the bounded worker pool that fans independent
+// simulation work — clip runs, experiment arms, whole figures — across CPU
+// cores while keeping results in deterministic order.
+//
+// The pool is global and token-based: the process holds Workers() execution
+// slots, and every Map call draws from the same bucket, so arbitrarily
+// nested fan-outs (All -> figure -> arm -> clip) never multiply concurrency
+// beyond the configured bound. When no token is available the caller runs
+// the item inline on its own goroutine, which both caps goroutine count and
+// makes nesting deadlock-free by construction.
+//
+// Determinism: Map assigns results by index, so callers that merge in input
+// order produce byte-identical output to a serial run. Forcing a serial run
+// (SetWorkers(1)) is therefore an equality check, not a behaviour change —
+// the determinism tests in internal/experiments rely on this.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// EnvWorkers overrides the default pool size (GOMAXPROCS) when set to a
+// positive integer. SetWorkers takes precedence over the environment.
+const EnvWorkers = "EDGEIS_WORKERS"
+
+var (
+	mu       sync.Mutex
+	override int           // SetWorkers value; 0 = auto
+	tokens   chan struct{} // execution slots beyond the caller's own
+	sized    int           // pool size tokens was built for
+)
+
+// Workers returns the effective pool size: the SetWorkers override when
+// set, else a positive EDGEIS_WORKERS, else GOMAXPROCS.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workersLocked()
+}
+
+func workersLocked() int {
+	if override > 0 {
+		return override
+	}
+	if v, err := strconv.Atoi(os.Getenv(EnvWorkers)); err == nil && v > 0 {
+		return v
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool size and returns the previous effective
+// size. n = 1 forces fully serial execution; n <= 0 restores the automatic
+// size. Safe to call while work is in flight: running items finish under
+// the old bound.
+func SetWorkers(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := workersLocked()
+	if n <= 0 {
+		override = 0
+	} else {
+		override = n
+	}
+	tokens, sized = nil, 0
+	return prev
+}
+
+// pool returns the shared token bucket for the current size, or nil when
+// the pool is serial. Each token is one execution slot in addition to the
+// slot every calling goroutine already owns.
+func pool() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	n := workersLocked()
+	if n <= 1 {
+		return nil
+	}
+	if tokens == nil || sized != n {
+		tokens = make(chan struct{}, n-1)
+		sized = n
+	}
+	return tokens
+}
+
+// Map applies fn to every item on the worker pool and returns the results
+// in input order. fn must be safe to call concurrently; a panic in any item
+// is re-raised on the calling goroutine after the remaining items finish.
+func Map[T, R any](items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	Do(len(items), func(i int) { out[i] = fn(i, items[i]) })
+	return out
+}
+
+// Do runs fn(0..n-1) on the worker pool and returns when all calls finish.
+func Do(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	bucket := pool()
+	if bucket == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case bucket <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-bucket }()
+				run(i)
+			}(i)
+		default:
+			// Pool saturated: spend the caller's own slot.
+			run(i)
+		}
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withWorkers runs f under a forced pool size, restoring the prior
+// configuration afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		withWorkers(t, workers, func() {
+			items := make([]int, 100)
+			for i := range items {
+				items[i] = i
+			}
+			out := Map(items, func(i, v int) int { return v * v })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if out := Map(nil, func(i int, v struct{}) int { return 1 }); len(out) != 0 {
+		t.Errorf("empty map returned %d results", len(out))
+	}
+	out := Map([]int{7}, func(i, v int) int { return v + 1 })
+	if len(out) != 1 || out[0] != 8 {
+		t.Errorf("single map = %v", out)
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	const workers = 4
+	withWorkers(t, workers, func() {
+		var active, peak int64
+		Do(64, func(int) {
+			n := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&active, -1)
+		})
+		if p := atomic.LoadInt64(&peak); p > workers {
+			t.Errorf("peak concurrency %d exceeds pool size %d", p, workers)
+		}
+	})
+}
+
+func TestNestedMapNoDeadlock(t *testing.T) {
+	withWorkers(t, 4, func() {
+		done := make(chan []int, 1)
+		go func() {
+			done <- Map(make([]int, 8), func(i, _ int) int {
+				inner := Map(make([]int, 8), func(j, _ int) int { return i*100 + j })
+				sum := 0
+				for _, v := range inner {
+					sum += v
+				}
+				return sum
+			})
+		}()
+		select {
+		case out := <-done:
+			for i, v := range out {
+				want := i*800 + 28
+				if v != want {
+					t.Errorf("out[%d] = %d, want %d", i, v, want)
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("nested Map deadlocked")
+		}
+	})
+}
+
+func TestSerialRunsInline(t *testing.T) {
+	withWorkers(t, 1, func() {
+		order := make([]int, 0, 10)
+		Do(10, func(i int) { order = append(order, i) }) // no locking: must be inline
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("serial order broken: %v", order)
+			}
+		}
+	})
+}
+
+func TestPanicPropagates(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		Do(16, func(i int) {
+			if i == 7 {
+				panic(fmt.Sprintf("boom %d", i))
+			}
+		})
+	})
+}
+
+func TestSetWorkersReturnsPrevious(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if got := SetWorkers(5); got != 3 {
+		t.Errorf("SetWorkers returned %d, want 3", got)
+	}
+	SetWorkers(0) // restore auto
+	if got := Workers(); got < 1 {
+		t.Errorf("auto Workers() = %d", got)
+	}
+}
+
+func TestEnvOverride(t *testing.T) {
+	prev := SetWorkers(0) // auto mode so the env var is consulted
+	defer SetWorkers(prev)
+	t.Setenv(EnvWorkers, "6")
+	if got := Workers(); got != 6 {
+		t.Errorf("Workers() = %d with %s=6", got, EnvWorkers)
+	}
+	t.Setenv(EnvWorkers, "bogus")
+	if got := Workers(); got < 1 {
+		t.Errorf("Workers() = %d with malformed env", got)
+	}
+}

@@ -117,6 +117,18 @@ type RunStats struct {
 	MobileBusyMsSum float64
 }
 
+// Add accumulates another run's accounting into s.
+func (s *RunStats) Add(o RunStats) {
+	s.Frames += o.Frames
+	s.Offloads += o.Offloads
+	s.DroppedFrames += o.DroppedFrames
+	s.UplinkBytes += o.UplinkBytes
+	s.DownlinkBytes += o.DownlinkBytes
+	s.EdgeInferMsSum += o.EdgeInferMsSum
+	s.EdgeResultCount += o.EdgeResultCount
+	s.MobileBusyMsSum += o.MobileBusyMsSum
+}
+
 // Engine runs one strategy through one scenario.
 type Engine struct {
 	cfg       Config

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -12,21 +13,47 @@ import (
 // Client is the mobile side of the wire protocol. Offloads are
 // asynchronous: Send queues a frame, results arrive on the Results channel
 // in server order. A dedicated writer goroutine keeps the camera loop from
-// blocking on the socket.
+// blocking on the socket; when the uplink stalls the bounded send queue
+// fills and Send sheds frames instead of blocking — the backpressure
+// behaviour a real-time client needs.
 type Client struct {
-	conn    net.Conn
-	results chan *ResultMsg
-	sendq   chan *FrameMsg
-	done    chan struct{}
-	wg      sync.WaitGroup
+	conn         net.Conn
+	results      chan *ResultMsg
+	sendq        chan *FrameMsg
+	done         chan struct{}
+	wg           sync.WaitGroup
+	writeTimeout time.Duration
+
+	closeOnce sync.Once
+	closeErr  error
 
 	mu      sync.Mutex
 	lastErr error
 	sent    int
 }
 
+// ClientOption customizes a client connection.
+type ClientOption func(*Client)
+
+// WithSendQueue bounds the number of frames waiting for the socket
+// (default 16). When the queue is full Send rejects the frame.
+func WithSendQueue(depth int) ClientOption {
+	return func(c *Client) {
+		if depth > 0 {
+			c.sendq = make(chan *FrameMsg, depth)
+		}
+	}
+}
+
+// WithWriteTimeout bounds each frame write on the socket. A stalled server
+// then surfaces as a deadline error via Err instead of a silently wedged
+// writer goroutine (default: no deadline; Close still unblocks the writer).
+func WithWriteTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.writeTimeout = d }
+}
+
 // Dial connects to an edge server.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -36,6 +63,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 		results: make(chan *ResultMsg, 16),
 		sendq:   make(chan *FrameMsg, 16),
 		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	c.wg.Add(2)
 	go c.writeLoop()
@@ -97,6 +127,12 @@ func (c *Client) writeLoop() {
 	for {
 		select {
 		case f := <-c.sendq:
+			if c.writeTimeout > 0 {
+				if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+					c.setErr(err)
+					return
+				}
+			}
 			if err := WriteMessage(c.conn, MarshalFrame(f)); err != nil {
 				c.setErr(err)
 				return
@@ -137,15 +173,22 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Close shuts the connection down and waits for the loops to exit.
+// Close shuts the connection down and waits for the loops to exit. Closing
+// the socket unblocks a writer stuck on a stalled peer, so Close never
+// deadlocks; repeated and concurrent calls are safe and return the first
+// call's error.
 func (c *Client) Close() error {
-	select {
-	case <-c.done:
-		return nil // already closed
-	default:
-	}
-	close(c.done)
-	err := c.conn.Close()
-	c.wg.Wait()
-	return err
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.closeErr = c.conn.Close()
+		c.wg.Wait()
+	})
+	return c.closeErr
+}
+
+// timeoutError reports whether err is a network timeout (deadline
+// exceeded), which callers may treat as retryable.
+func timeoutError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded)
 }

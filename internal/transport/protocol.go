@@ -161,6 +161,24 @@ func (r *reader) need(n int) bool {
 	return true
 }
 
+// remaining returns the unread byte count — element-count fields are
+// validated against it before allocating, so a tiny message claiming a
+// huge count is rejected instead of triggering a large allocation.
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// done reports whether the message was consumed exactly. Trailing bytes
+// are a framing violation: the length prefix must match the content.
+func (r *reader) done() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off != len(r.buf) {
+		r.err = ErrBadMessage
+		return false
+	}
+	return true
+}
+
 func (r *reader) u8() uint8 {
 	if !r.need(1) {
 		return 0
@@ -252,6 +270,9 @@ func decodeMask(b []byte) (*mask.Bitmask, error) {
 	if r.err != nil || width <= 0 || height <= 0 || width*height > MaxMessageBytes {
 		return nil, ErrBadMessage
 	}
+	if n < 0 || 4*n > r.remaining() {
+		return nil, ErrBadMessage
+	}
 	m := mask.New(width, height)
 	idx := 0
 	cur := uint8(0)
@@ -268,7 +289,7 @@ func decodeMask(b []byte) (*mask.Bitmask, error) {
 		idx += run
 		cur ^= 1
 	}
-	if idx != len(m.Pix) {
+	if r.err != nil || idx != len(m.Pix) || r.remaining() != 0 {
 		return nil, ErrBadMessage
 	}
 	return m, nil
@@ -331,7 +352,8 @@ func UnmarshalFrame(b []byte) (*FrameMsg, error) {
 		Seed:       r.i64(),
 	}
 	nObj := int(r.i32())
-	if r.err != nil || nObj < 0 || nObj > 4096 {
+	// Each object needs at least its six i32 fields plus a mask header.
+	if r.err != nil || nObj < 0 || nObj > 4096 || 28*nObj > r.remaining() {
 		return nil, ErrBadMessage
 	}
 	f.Objects = make([]segmodel.ObjectTruth, 0, nObj)
@@ -357,7 +379,7 @@ func UnmarshalFrame(b []byte) (*FrameMsg, error) {
 	}
 	f.TileCols = r.i32()
 	nQ := int(r.i32())
-	if r.err != nil || nQ < 0 || nQ > 1<<20 {
+	if r.err != nil || nQ < 0 || nQ > 1<<20 || 4*nQ > r.remaining() {
 		return nil, ErrBadMessage
 	}
 	f.QualityLevels = make([]float32, nQ)
@@ -365,7 +387,7 @@ func UnmarshalFrame(b []byte) (*FrameMsg, error) {
 		f.QualityLevels[i] = r.f32()
 	}
 	nA := int(r.i32())
-	if r.err != nil || nA < 0 || nA > 4096 {
+	if r.err != nil || nA < 0 || nA > 4096 || 24*nA > r.remaining() {
 		return nil, ErrBadMessage
 	}
 	f.Areas = make([]accel.Area, nA)
@@ -380,6 +402,12 @@ func UnmarshalFrame(b []byte) (*FrameMsg, error) {
 	f.PaddingBytes = r.i32()
 	if r.err != nil {
 		return nil, r.err
+	}
+	// The padding must actually be present and account for every byte left:
+	// a truncated or over-long message is rejected rather than silently
+	// reinterpreted.
+	if f.PaddingBytes < 0 || int(f.PaddingBytes) != r.remaining() {
+		return nil, ErrBadMessage
 	}
 	return f, nil
 }
@@ -422,7 +450,8 @@ func UnmarshalResult(b []byte) (*ResultMsg, error) {
 		InferMs:    r.f64(),
 	}
 	n := int(r.i32())
-	if r.err != nil || n < 0 || n > 4096 {
+	// Each detection needs at least its fixed 44-byte header.
+	if r.err != nil || n < 0 || n > 4096 || 44*n > r.remaining() {
 		return nil, ErrBadMessage
 	}
 	m.Detections = make([]WireDetection, 0, n)
@@ -439,7 +468,7 @@ func UnmarshalResult(b []byte) (*ResultMsg, error) {
 		d.Width = r.i32()
 		d.Height = r.i32()
 		nc := int(r.i32())
-		if r.err != nil || nc < 0 || nc > 1<<18 {
+		if r.err != nil || nc < 0 || nc > 1<<18 || 8*nc > r.remaining() {
 			return nil, ErrBadMessage
 		}
 		d.Contour = make([]geom.Vec2, nc)
@@ -448,7 +477,7 @@ func UnmarshalResult(b []byte) (*ResultMsg, error) {
 		}
 		m.Detections = append(m.Detections, d)
 	}
-	if r.err != nil {
+	if !r.done() {
 		return nil, r.err
 	}
 	return m, nil
@@ -470,7 +499,7 @@ func UnmarshalError(b []byte) (string, error) {
 		return "", ErrBadMessage
 	}
 	text := r.bytes()
-	if r.err != nil {
+	if !r.done() {
 		return "", r.err
 	}
 	return string(text), nil

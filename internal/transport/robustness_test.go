@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeis/internal/segmodel"
+)
+
+// stallingPeer accepts TCP connections and never reads from them, so the
+// kernel buffers fill and the client's writer blocks — the shape of a
+// stalled or overloaded edge server.
+type stallingPeer struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newStallingPeer(t *testing.T) *stallingPeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stallingPeer{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Shrink the receive buffer so a handful of large frames is
+			// enough to stall the sender.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetReadBuffer(4096)
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, conn)
+			p.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		p.mu.Lock()
+		for _, c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	})
+	return p
+}
+
+// bigFrame is large enough (1 MiB of padding) that a few of them overwhelm
+// any socket buffering.
+func bigFrame() *FrameMsg {
+	f := sampleFrame()
+	f.PaddingBytes = 1 << 20
+	return f
+}
+
+// within fails the test if fn does not return before the deadline — the
+// watchdog that turns a deadlock into a test failure instead of a hang.
+func within(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not complete within %v", what, d)
+	}
+}
+
+// TestSendBackpressure: when the server stalls, the bounded send queue
+// fills and Send starts shedding frames (returning false) instead of
+// blocking the caller — the real-time contract of the client.
+func TestSendBackpressure(t *testing.T) {
+	peer := newStallingPeer(t)
+	c, err := Dial(peer.ln.Addr().String(), time.Second, WithSendQueue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	shed := false
+	for i := 0; i < 64 && !shed; i++ {
+		shed = !c.Send(bigFrame())
+	}
+	if !shed {
+		t.Fatal("Send never returned false against a stalled server")
+	}
+	if c.Sent() == 0 {
+		t.Error("expected at least one frame to be accepted before the stall")
+	}
+}
+
+// TestCloseNeverDeadlocks: Close must return promptly even while the
+// writer goroutine is blocked mid-write on a stalled peer, and repeated or
+// concurrent Close calls must be safe.
+func TestCloseNeverDeadlocks(t *testing.T) {
+	peer := newStallingPeer(t)
+	c, err := Dial(peer.ln.Addr().String(), time.Second, WithSendQueue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if !c.Send(bigFrame()) {
+			break
+		}
+	}
+	// Give the writer a moment to park inside a blocked Write call.
+	time.Sleep(50 * time.Millisecond)
+
+	within(t, 2*time.Second, "concurrent Close", func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Close()
+			}()
+		}
+		wg.Wait()
+	})
+	if c.Send(sampleFrame()) {
+		t.Error("Send accepted a frame after Close")
+	}
+}
+
+// TestClientWriteTimeout: with a write deadline configured, a stalled
+// server surfaces as a timeout through Err instead of a silently wedged
+// writer.
+func TestClientWriteTimeout(t *testing.T) {
+	peer := newStallingPeer(t)
+	c, err := Dial(peer.ln.Addr().String(), time.Second,
+		WithSendQueue(8), WithWriteTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Send(bigFrame())
+		if err := c.Err(); err != nil {
+			if !timeoutError(err) {
+				t.Fatalf("expected a timeout error, got %v", err)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("write deadline never fired against a stalled server")
+}
+
+// TestServerCloseWithIdleClients: Close must force-close connections whose
+// serving goroutines are parked in ReadMessage waiting for a frame that
+// will never come, instead of deadlocking on the WaitGroup.
+func TestServerCloseWithIdleClients(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.YOLACT))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, 0, 3)
+	for i := 0; i < 3; i++ {
+		c, err := Dial(addr.String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	// Let the server's per-connection goroutines reach ReadMessage.
+	time.Sleep(50 * time.Millisecond)
+
+	within(t, 2*time.Second, "Server.Close with idle clients", func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	within(t, 2*time.Second, "second Server.Close", func() { srv.Close() })
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// TestServerReadTimeout: an idle connection is dropped once the configured
+// read deadline lapses, freeing the serving goroutine.
+func TestServerReadTimeout(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.YOLACT),
+		WithConnReadTimeout(100*time.Millisecond))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The server should hang up on us; the client observes the results
+	// channel closing.
+	select {
+	case _, ok := <-c.Results():
+		if ok {
+			t.Fatal("unexpected result from an idle connection")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("idle connection was never dropped by the read deadline")
+	}
+}
+
+// TestServerStillServesWithinReadTimeout: the read deadline is re-armed per
+// frame, so a client that keeps sending inside the window is never dropped.
+func TestServerStillServesWithinReadTimeout(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.YOLACT),
+		WithConnReadTimeout(500*time.Millisecond),
+		WithConnWriteTimeout(time.Second))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		f := sampleFrame()
+		f.FrameIndex = int32(i)
+		if !c.Send(f) {
+			t.Fatalf("send %d rejected", i)
+		}
+		select {
+		case res, ok := <-c.Results():
+			if !ok {
+				t.Fatalf("connection dropped mid-stream: %v", c.Err())
+			}
+			if res.FrameIndex != int32(i) {
+				t.Fatalf("result order: got frame %d, want %d", res.FrameIndex, i)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatalf("no result for frame %d", i)
+		}
+		time.Sleep(100 * time.Millisecond) // idle, but inside the window
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"edgeis/internal/accel"
 	"edgeis/internal/segmodel"
@@ -21,12 +22,16 @@ type Server struct {
 	inferScale float64
 	// MaxContourVertices bounds result mask payloads.
 	maxContour int
+	// Per-message socket deadlines; zero means none.
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	ln       net.Listener
 	gpu      sync.Mutex // serializes inference, like a single accelerator
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
+	conns    map[net.Conn]struct{}
 	served   int
 	inferSum float64
 	logf     func(format string, args ...any)
@@ -45,12 +50,25 @@ func WithLogger(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithConnReadTimeout drops connections that stay idle longer than d
+// between frames, so abandoned mobiles cannot pin server goroutines forever.
+func WithConnReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithConnWriteTimeout bounds each result write, so a mobile that stops
+// draining its socket cannot wedge the serving goroutine.
+func WithConnWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
 // NewServer builds an edge server around the given model.
 func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 	s := &Server{
 		model:      model,
 		inferScale: 1,
 		maxContour: 160,
+		conns:      make(map[net.Conn]struct{}),
 		logf:       func(string, ...any) {},
 	}
 	for _, o := range opts {
@@ -86,25 +104,57 @@ func (s *Server) acceptLoop() {
 			s.logf("accept: %v", err)
 			return
 		}
+		if !s.track(conn) {
+			// Raced with Close: drop the connection instead of serving it.
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			s.serveConn(conn)
 		}()
 	}
 }
 
+// track registers a live connection so Close can force it shut; it reports
+// false when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
 // serveConn handles one mobile client until EOF.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
-		if err := conn.Close(); err != nil {
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			s.logf("close conn: %v", err)
 		}
 	}()
 	for {
+		if s.readTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
+				s.logf("set read deadline: %v", err)
+				return
+			}
+		}
 		payload, err := ReadMessage(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if timeoutError(err) {
+				s.logf("idle connection dropped: %v", err)
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("read: %v", err)
 			}
 			return
@@ -114,17 +164,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Report the failure to the peer before dropping it: a mobile
 			// client stuck sending garbage should learn why.
 			s.logf("decode: %v", err)
-			if werr := WriteMessage(conn, MarshalError(err.Error())); werr != nil {
+			if werr := s.write(conn, MarshalError(err.Error())); werr != nil {
 				s.logf("write error report: %v", werr)
 			}
 			return
 		}
 		res := s.infer(frame)
-		if err := WriteMessage(conn, MarshalResult(res)); err != nil {
+		if err := s.write(conn, MarshalResult(res)); err != nil {
 			s.logf("write: %v", err)
 			return
 		}
 	}
+}
+
+// write sends one framed message, honouring the configured write deadline.
+func (s *Server) write(conn net.Conn, payload []byte) error {
+	if s.writeTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	return WriteMessage(conn, payload)
 }
 
 // infer runs the simulated model on a decoded frame.
@@ -180,14 +240,26 @@ func (s *Server) Stats() (served int, meanInferMs float64) {
 	return s.served, meanInferMs
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, force-closes every live connection and waits for
+// the serving goroutines. Closing the sockets unblocks goroutines parked in
+// ReadMessage on idle clients, so Close returns promptly instead of
+// deadlocking on them; it is safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
+
 	var err error
-	if s.ln != nil {
+	if s.ln != nil && !alreadyClosed {
 		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err
