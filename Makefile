@@ -26,4 +26,4 @@ fuzz: ## Brief fuzz pass over the wire-protocol decoders.
 bench: ## Per-figure benchmarks.
 	$(GO) test -bench=. -benchmem .
 
-check: vet build test ## Everything CI runs, in order.
+check: vet build test race ## Everything CI runs, in order.

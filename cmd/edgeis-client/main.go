@@ -77,8 +77,8 @@ func run() error {
 	}
 
 	fmt.Println(out.Acc.Row())
-	fmt.Printf("session: init attempts %d (failures %d), losses %d, edge results %d, sent %d, skipped %d\n",
+	fmt.Printf("session: init attempts %d (failures %d), losses %d, edge results %d, sent %d, dropped %d, discarded %d\n",
 		out.Session.InitAttempts, out.Session.InitFailures, out.Session.LostEvents,
-		out.Session.EdgeResults, out.Sent, out.Skipped)
+		out.Session.EdgeResults, out.Sent, out.DroppedOffloads, out.DiscardedResults)
 	return nil
 }

@@ -37,6 +37,7 @@ import (
 	"edgeis/internal/device"
 	"edgeis/internal/experiments"
 	"edgeis/internal/geom"
+	"edgeis/internal/live"
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
 	"edgeis/internal/parallel"
@@ -133,6 +134,43 @@ type (
 
 // NewEngine prepares a simulation run.
 func NewEngine(cfg EngineConfig, s Strategy) *Engine { return pipeline.NewEngine(cfg, s) }
+
+// Edge backends: the pluggable serving side of the offload loop. One engine
+// drives all of them — set EngineConfig.Backend, or leave it nil for the
+// default simulated model+network backend.
+type (
+	// EdgeBackend serves offloaded frames and delivers asynchronous results
+	// with explicit queue-depth and drop accounting.
+	EdgeBackend = pipeline.EdgeBackend
+	// BackendStats is the accounting every backend reports.
+	BackendStats = pipeline.BackendStats
+	// SimBackendConfig assembles the simulated edge backend.
+	SimBackendConfig = pipeline.SimBackendConfig
+)
+
+var (
+	// NewSimBackend builds the simulated model+network edge.
+	NewSimBackend = pipeline.NewSimBackend
+	// NewLoopbackBackend builds the in-process co-located edge.
+	NewLoopbackBackend = pipeline.NewLoopbackBackend
+	// NewTCPBackend adapts a dialed EdgeClient into an EdgeBackend, running
+	// the engine against a real edge server over the wire.
+	NewTCPBackend = live.NewTCPBackend
+	// NewLiveDriver couples a mobile runtime to a live edge connection.
+	NewLiveDriver = live.NewDriver
+)
+
+// Stage instrumentation: per-stage wall-clock timings of the mobile
+// pipeline's tracking path (MAMT transfer, CFRS selection, CIIA planning).
+type (
+	// StageObserver receives per-stage timings via System.SetStageObserver.
+	StageObserver = core.StageObserver
+	// StageTimer is a StageObserver aggregating counts and totals.
+	StageTimer = core.StageTimer
+)
+
+// NewStageTimer returns an empty aggregating stage observer.
+var NewStageTimer = core.NewStageTimer
 
 // Evaluate folds per-frame evals into an accumulator, skipping warmup.
 func Evaluate(name string, evals []FrameEval, warmup int) *Accumulator {

@@ -17,8 +17,6 @@
 package core
 
 import (
-	"sort"
-
 	"edgeis/internal/accel"
 	"edgeis/internal/baseline"
 	"edgeis/internal/codec"
@@ -106,6 +104,7 @@ type System struct {
 	mem                  *device.MemoryModel
 	lastMemSampleFrame   int
 	offloadedThisSession int
+	stageObs             StageObserver
 }
 
 var _ pipeline.Strategy = (*System)(nil)
@@ -141,6 +140,11 @@ func (s *System) Name() string {
 
 // VO exposes the odometry (read-only use in tests/metrics).
 func (s *System) VO() *vo.System { return s.vo }
+
+// AwaitingEdgeResult implements pipeline.ResultAwaiter: until the VO reaches
+// tracking, the system is blocked on edge masks (the initialization window),
+// so a live engine may block briefly for the in-flight result.
+func (s *System) AwaitingEdgeResult() bool { return s.vo.State() != vo.StatusTracking }
 
 // Selector exposes the CFRS selector for reason accounting.
 func (s *System) Selector() *roisel.Selector { return s.sel }
@@ -243,111 +247,41 @@ func (s *System) handleInitPair(f *scene.Frame) pipeline.FrameOutput {
 	return pipeline.FrameOutput{Offloads: offs}
 }
 
-// handleTracking runs mask transfer and the CFRS offload decision.
+// handleTracking drives the tracking path as a sequence of named stages —
+// MAMT's transfer and z-clipped display, CFRS's content analysis, offload
+// decision and encode, and CIIA's plan build — each reported through the
+// StageObserver hook when one is installed.
 func (s *System) handleTracking(f *scene.Frame) pipeline.FrameOutput {
-	preds := s.pred.PredictAll(s.vo, f.Index)
-	s.lastPredictions = preds
+	ts := &trackingState{}
 
-	// Z-order clipping: transferred masks are full silhouettes, but what
-	// the user sees (and the ground truth annotates) is the visible part.
-	// The VO knows each instance's camera depth, so nearer masks clip
-	// farther ones exactly like the renderer's painter pass.
-	order := make([]int, len(preds))
-	for i := range order {
-		order[i] = i
-	}
-	depth := func(i int) float64 {
-		if inst := s.vo.Instance(preds[i].InstanceID); inst != nil {
-			return inst.MeanDepth
-		}
-		return 1e18
-	}
-	sort.Slice(order, func(a, b int) bool { return depth(order[a]) < depth(order[b]) })
-	occluded := mask.New(s.cfg.Camera.Width, s.cfg.Camera.Height)
-	clipped := make([]*mask.Bitmask, len(preds))
-	for _, i := range order {
-		m := preds[i].Mask.Clone()
-		m.Subtract(occluded)
-		occluded.Union(preds[i].Mask)
-		clipped[i] = m
-	}
+	done := s.stageStart(f.Index, StageMAMTPredict)
+	s.stagePredict(f, ts)
+	done()
 
-	masks := make([]metrics.PredictedMask, 0, len(preds))
-	boxes := make([]mask.Box, 0, len(preds))
-	priors := make([]accel.ObjectPrior, 0, len(preds))
-	tms := make([]baseline.TrackedMask, 0, len(preds))
-	for i, p := range preds {
-		masks = append(masks, metrics.PredictedMask{Label: p.Label, Mask: clipped[i]})
-		b := p.Mask.BoundingBox()
-		boxes = append(boxes, b)
-		priors = append(priors, accel.ObjectPrior{Box: b, Label: p.Label})
-		tms = append(tms, baseline.TrackedMask{Label: p.Label, Mask: clipped[i].Clone(), SourceFrame: f.Index})
-	}
-	if len(tms) > 0 {
-		// Keep the fallback tracker primed with the latest good masks so a
-		// later tracking loss degrades to classical MV tracking instead of
-		// a blank screen.
-		s.fallback.SetMasks(tms)
-	}
+	done = s.stageStart(f.Index, StageMAMTZClip)
+	s.stageZClip(f, ts)
+	done()
 
-	// Unlabeled feature pixels drive new-area detection.
-	s.lastUnlabeledPix = s.lastUnlabeledPix[:0]
-	if rec := s.vo.FrameRecordAt(f.Index); rec != nil {
-		for i, pid := range rec.PointIDs {
-			unlabeled := pid == 0
-			if !unlabeled {
-				if mp := s.vo.Map().ByID(pid); mp != nil && mp.Label == vo.LabelUnknown {
-					unlabeled = true
-				}
-			}
-			if unlabeled {
-				px := rec.Keypoints[i].Pixel
-				s.lastUnlabeledPix = append(s.lastUnlabeledPix,
-					struct{ X, Y float64 }{px.X, px.Y})
-			}
-		}
-	}
-	newAreas := expandAreas(roisel.NewAreasFromUnlabeled(s.grid, s.lastUnlabeledPix, 2),
-		codec.TileSize, s.cfg.Camera.Width, s.cfg.Camera.Height)
+	done = s.stageStart(f.Index, StageCFRSNewAreas)
+	s.stageNewAreas(f, ts)
+	done()
 
-	moving := 0
-	for _, inst := range s.vo.Instances() {
-		if inst.Moving {
-			moving++
-		}
-	}
-	fs := roisel.FrameState{
-		Index:             f.Index,
-		UnlabeledFraction: s.vo.UnlabeledFraction(),
-		MovingObjects:     moving,
-		ObjectBoxes:       boxes,
-		NewAreas:          newAreas,
-	}
+	out := pipeline.FrameOutput{Masks: ts.masks}
 
-	out := pipeline.FrameOutput{Masks: masks}
-
-	offload := false
-	if s.cfg.DisableCFRS {
-		offload = s.framesSinceKeyframe >= s.cfg.KeyframeInterval
-	} else {
-		offload, _ = s.sel.Decide(fs)
-	}
+	done = s.stageStart(f.Index, StageCFRSDecide)
+	offload := s.stageDecide(ts)
+	done()
 	if !offload {
 		return out
 	}
 	s.framesSinceKeyframe = 0
 	s.offloadedThisSession++
 
-	var ef *codec.EncodedFrame
-	if s.cfg.DisableCFRS {
-		ef = codec.EncodeUniform(s.grid, codec.QualityHigh, nil)
-	} else {
-		levels, cover := s.sel.Partition(s.grid, fs)
-		var err error
-		ef, err = codec.Encode(s.grid, levels, cover)
-		if err != nil {
-			return out // cannot happen: levels sized from grid
-		}
+	done = s.stageStart(f.Index, StageCFRSEncode)
+	ef := s.stageEncode(ts)
+	done()
+	if ef == nil {
+		return out // cannot happen: levels sized from grid
 	}
 	req := &pipeline.OffloadRequest{
 		FrameIndex:   f.Index,
@@ -356,7 +290,9 @@ func (s *System) handleTracking(f *scene.Frame) pipeline.FrameOutput {
 		Quality:      ef.QualityAt,
 	}
 	if !s.cfg.DisableGuidance {
-		req.Guidance = accel.BuildPlan(priors, newAreas, s.cfg.Camera.Width, s.cfg.Camera.Height, 0)
+		done = s.stageStart(f.Index, StageCIIAPlan)
+		req.Guidance = s.stagePlan(ts)
+		done()
 	}
 	out.Offloads = []*pipeline.OffloadRequest{req}
 	return out

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"edgeis/internal/pipeline"
+)
+
+// TestStageObserverCoversTrackingPath runs a clip with a StageTimer
+// installed and checks every named tracking stage reports, with counts that
+// respect the pipeline's structure.
+func TestStageObserverCoversTrackingPath(t *testing.T) {
+	pcfg, ccfg := testConfig(3)
+	pcfg.Frames = 120
+	sys := NewSystem(ccfg)
+	timer := NewStageTimer()
+	sys.SetStageObserver(timer)
+	_, stats := pipeline.NewEngine(pcfg, sys).Run()
+
+	perFrame := []string{StageMAMTPredict, StageMAMTZClip, StageCFRSNewAreas, StageCFRSDecide}
+	for _, stage := range perFrame {
+		if timer.Count(stage) == 0 {
+			t.Errorf("stage %s never observed", stage)
+		}
+	}
+	// Predict and z-clip run in lockstep, once per tracked frame.
+	if timer.Count(StageMAMTPredict) != timer.Count(StageMAMTZClip) {
+		t.Errorf("predict observed %d times, zclip %d", timer.Count(StageMAMTPredict), timer.Count(StageMAMTZClip))
+	}
+	// Encode and plan only run on offloaded frames, decide on every tracked
+	// frame — so the offload stages must be strictly rarer.
+	if timer.Count(StageCFRSEncode) == 0 || timer.Count(StageCFRSEncode) >= timer.Count(StageCFRSDecide) {
+		t.Errorf("encode observed %d times vs decide %d", timer.Count(StageCFRSEncode), timer.Count(StageCFRSDecide))
+	}
+	if timer.Count(StageCIIAPlan) != timer.Count(StageCFRSEncode) {
+		t.Errorf("plan observed %d times, encode %d", timer.Count(StageCIIAPlan), timer.Count(StageCFRSEncode))
+	}
+	if stats.Offloads == 0 {
+		t.Fatal("clip never offloaded; stage ratios unchecked")
+	}
+
+	sum := timer.Summary()
+	for _, stage := range perFrame {
+		if !strings.Contains(sum, stage) {
+			t.Errorf("summary missing stage %s:\n%s", stage, sum)
+		}
+	}
+}
+
+// TestStageObserverOffByDefault checks the hook costs nothing when unset
+// and can be cleared again.
+func TestStageObserverOffByDefault(t *testing.T) {
+	sys := NewSystem(Config{})
+	done := sys.stageStart(0, StageMAMTPredict)
+	done() // must not panic with no observer
+
+	timer := NewStageTimer()
+	sys.SetStageObserver(timer)
+	sys.stageStart(1, StageMAMTPredict)()
+	if timer.Count(StageMAMTPredict) != 1 {
+		t.Fatalf("count = %d, want 1", timer.Count(StageMAMTPredict))
+	}
+	if timer.Total(StageMAMTPredict) < 0 {
+		t.Fatal("negative elapsed time")
+	}
+	sys.SetStageObserver(nil)
+	sys.stageStart(2, StageMAMTPredict)()
+	if timer.Count(StageMAMTPredict) != 1 {
+		t.Fatal("observer still firing after clear")
+	}
+	if timer.Total("missing") != time.Duration(0) || timer.Count("missing") != 0 {
+		t.Fatal("unobserved stage must read zero")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAllGoldenReport pins the full experiment report byte-for-byte. The
+// suite's claim to determinism — same seeds, same event ordering, any
+// worker count — is only credible if the rendered output never moves; this
+// catches both scheduler regressions in the engine and map-iteration
+// nondeterminism anywhere under it.
+func TestAllGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full experiment suite")
+	}
+	if raceEnabled {
+		t.Skip("full-suite replay exceeds the race-detector budget")
+	}
+	var b strings.Builder
+	for _, res := range All(11, 66) {
+		b.WriteString(res.Render())
+	}
+	want, err := os.ReadFile("testdata/golden_all_seed11_frames66.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Error("experiment report diverged from golden; regenerate only if the change is intended")
+	}
+}

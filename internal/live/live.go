@@ -1,29 +1,28 @@
-// Package live drives the edgeIS mobile runtime against a real TCP edge
-// server (package transport): the deployable counterpart of the simulation
-// engine in package pipeline. A synthetic camera renders ground-truth
-// frames, the full mobile pipeline processes them, offloads travel over the
-// socket, and results feed back into the tracker.
+// Package live runs the edgeIS mobile runtime against a real TCP edge
+// server (package transport). Since the backend refactor it is a thin
+// wall-clock adapter: TCPBackend plugs a transport.Client into the same
+// pipeline.Engine that drives simulated experiments, plus the wire
+// conversions between engine types and transport messages.
 package live
 
 import (
-	"fmt"
 	"time"
 
 	"edgeis/internal/accel"
 	"edgeis/internal/codec"
 	"edgeis/internal/core"
 	"edgeis/internal/dataset"
-	"edgeis/internal/feature"
 	"edgeis/internal/geom"
 	"edgeis/internal/metrics"
 	"edgeis/internal/pipeline"
 	"edgeis/internal/scene"
 	"edgeis/internal/segmodel"
 	"edgeis/internal/transport"
-	"edgeis/internal/vo"
 )
 
 // Driver couples a mobile runtime to a live edge connection for one clip.
+// It assembles a pipeline.Engine around a TCPBackend, so the live path and
+// the simulation share one scheduler.
 type Driver struct {
 	sys    *core.System
 	client *transport.Client
@@ -53,110 +52,51 @@ type Outcome struct {
 	Acc     *metrics.Accumulator
 	Session core.SessionStats
 	Sent    int
-	// Skipped counts offloads dropped because the uplink queue was full.
-	Skipped int
+	// DroppedOffloads counts offloads dropped because the uplink send
+	// queue was full — the same accounting the simulated backend keeps.
+	DroppedOffloads int
+	// DiscardedResults counts edge results thrown away because their frame
+	// index was out of range for the clip.
+	DiscardedResults int
 }
 
 // Run executes the clip and returns accuracy statistics.
 func (d *Driver) Run() (*Outcome, error) {
-	ex := feature.NewExtractor(d.clip.World, d.cam, feature.DefaultConfig(), d.seed)
-	frames := d.clip.World.RenderSequence(d.cam, d.clip.Traj, d.clip.Frames)
-	grid := codec.NewGrid(d.cam.Width, d.cam.Height)
+	backend := NewTCPBackend(d.client, d.seed)
+	backend.onResult = d.onResult
 	acc := metrics.NewAccumulator("edgeIS-live")
-	skipped := 0
 
-	outstanding := 0
-	for _, f := range frames {
-		// While the VO has not reached tracking, the mobile has nothing
-		// useful to compute and real deployments simply wait for the next
-		// camera frame; blocking briefly here lets in-flight results land
-		// even when the clip is replayed far faster than wall time.
-		block := outstanding > 0 && d.sys.VO().State() != vo.StatusTracking
-		n, err := d.drainResults(frames, f.Index, block)
-		if err != nil {
-			return nil, err
-		}
-		outstanding -= n
-
-		out := d.sys.ProcessFrame(f, ex.Extract(f, d.clip.CameraSpeed),
-			float64(f.Index)*pipeline.FrameBudgetMs)
-		for _, off := range out.Offloads {
-			if !d.client.Send(ToFrameMsg(off, frames[off.FrameIndex], grid, d.seed)) {
-				skipped++
-			} else {
-				outstanding++
+	eng := pipeline.NewEngine(pipeline.Config{
+		World:       d.clip.World,
+		Camera:      d.cam,
+		Trajectory:  d.clip.Traj,
+		Frames:      d.clip.Frames,
+		CameraSpeed: d.clip.CameraSpeed,
+		Seed:        d.seed,
+		Backend:     backend,
+		OnFrame: func(ev pipeline.FrameEval) {
+			acc.AddFrame(ev.IoUs, ev.LatencyMs)
+			if d.Realtime {
+				budget := pipeline.FrameBudgetMs
+				time.Sleep(time.Duration(budget * float64(time.Millisecond)))
 			}
-		}
+			if d.Progress != nil && ev.Index%progressEvery == progressEvery-1 {
+				d.Progress(ev.Index, acc.MeanIoU())
+			}
+		},
+	}, d.sys)
 
-		truths := make([]metrics.TruthMask, 0, len(f.Objects))
-		for _, gt := range f.Objects {
-			truths = append(truths, metrics.TruthMask{
-				ObjectID: gt.ObjectID, Label: int(gt.Class), Mask: gt.Visible,
-			})
-		}
-		acc.AddFrame(metrics.MatchFrame(out.Masks, truths), out.ComputeMs)
-
-		if d.Realtime {
-			budget := pipeline.FrameBudgetMs
-			time.Sleep(time.Duration(budget * float64(time.Millisecond)))
-		}
-		if d.Progress != nil && f.Index%progressEvery == progressEvery-1 {
-			d.Progress(f.Index, acc.MeanIoU())
-		}
+	_, stats := eng.Run()
+	if err := backend.Err(); err != nil {
+		return nil, err
 	}
 	return &Outcome{
-		Acc:     acc,
-		Session: d.sys.Stats(),
-		Sent:    d.client.Sent(),
-		Skipped: skipped,
+		Acc:              acc,
+		Session:          d.sys.Stats(),
+		Sent:             d.client.Sent(),
+		DroppedOffloads:  stats.DroppedOffloads,
+		DiscardedResults: stats.DiscardedResults,
 	}, nil
-}
-
-// drainResults applies every already-delivered edge result and returns how
-// many were consumed. With block set, it waits up to one frame budget for
-// the first result.
-func (d *Driver) drainResults(frames []*scene.Frame, frameIdx int, block bool) (int, error) {
-	consumed := 0
-	budgetMs := pipeline.FrameBudgetMs
-	deadline := time.NewTimer(time.Duration(budgetMs * float64(time.Millisecond)))
-	defer deadline.Stop()
-	for {
-		if block && consumed == 0 {
-			select {
-			case res, ok := <-d.client.Results():
-				if !ok {
-					return consumed, fmt.Errorf("live: connection lost: %w", d.client.Err())
-				}
-				consumed++
-				d.applyResult(res, frames, frameIdx)
-			case <-deadline.C:
-				return consumed, nil
-			}
-			continue
-		}
-		select {
-		case res, ok := <-d.client.Results():
-			if !ok {
-				return consumed, fmt.Errorf("live: connection lost: %w", d.client.Err())
-			}
-			consumed++
-			d.applyResult(res, frames, frameIdx)
-		default:
-			return consumed, nil
-		}
-	}
-}
-
-// applyResult feeds one wire result into the mobile runtime.
-func (d *Driver) applyResult(res *transport.ResultMsg, frames []*scene.Frame, frameIdx int) {
-	if d.onResult != nil {
-		d.onResult(res.FrameIndex)
-	}
-	if int(res.FrameIndex) < 0 || int(res.FrameIndex) >= len(frames) {
-		return
-	}
-	d.sys.HandleEdgeResult(ToEdgeResult(res), frames[res.FrameIndex],
-		float64(frameIdx)*pipeline.FrameBudgetMs)
 }
 
 // ToFrameMsg converts an engine offload request into a wire message,

@@ -10,7 +10,11 @@ import (
 	"edgeis/internal/device"
 	"edgeis/internal/geom"
 	"edgeis/internal/mask"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
 	"edgeis/internal/pipeline"
+	"edgeis/internal/pipeline/backendtest"
+	"edgeis/internal/scene"
 	"edgeis/internal/segmodel"
 	"edgeis/internal/transport"
 )
@@ -137,5 +141,65 @@ func TestToEdgeResultConversion(t *testing.T) {
 	}
 	if iou := mask.IoU(res.Detections[0].Mask, m); iou < 0.85 {
 		t.Errorf("mask round trip IoU = %.3f", iou)
+	}
+}
+
+// TestTCPBackendConformance runs the shared EdgeBackend contract against a
+// real server over a socket. Queue overflow cannot be forced
+// deterministically through a wall-clock socket, so the drop subtest is
+// skipped (Drop nil); the sim and loopback backends cover it.
+func TestTCPBackendConformance(t *testing.T) {
+	backendtest.Conformance(t, backendtest.Target{
+		Name:      "tcp",
+		WallClock: true,
+		New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
+			_, client := startServer(t)
+			b := NewTCPBackend(client, 41)
+			b.Bind(frames, queueDepth)
+			return b
+		},
+	})
+}
+
+// TestSimAndTCPBackendsAgree is the tentpole's acceptance check: ONE engine
+// runs the same clip against the simulated backend and against a real TCP
+// server, and the steady-state accuracy agrees closely. The backends differ
+// only in where results come from and when they land, so past the VO
+// warmup the displayed masks should be nearly identical.
+func TestSimAndTCPBackendsAgree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector skews wall-clock result arrival vs the simulated clock")
+	}
+	cam := geom.StandardCamera(320, 240)
+	clip := dataset.SelfRecorded(3, 150)[0]
+	clip.Frames = 150
+	const warmup = 60
+
+	run := func(backend pipeline.EdgeBackend) *metrics.Accumulator {
+		sys := core.NewSystem(core.Config{Camera: cam, Device: device.IPhone11, Seed: 3})
+		evals, _ := pipeline.NewEngine(pipeline.Config{
+			World:       clip.World,
+			Camera:      cam,
+			Trajectory:  clip.Traj,
+			Frames:      clip.Frames,
+			CameraSpeed: clip.CameraSpeed,
+			Medium:      netsim.WiFi5,
+			Seed:        3,
+			Backend:     backend,
+		}, sys).Run()
+		return pipeline.EvaluateFrom("run", evals, warmup)
+	}
+
+	simAcc := run(nil) // nil Backend builds the default simulated edge
+	_, client := startServer(t)
+	tcpAcc := run(NewTCPBackend(client, 3))
+
+	simIoU, tcpIoU := simAcc.MeanIoU(), tcpAcc.MeanIoU()
+	t.Logf("steady-state mean IoU: sim=%.4f tcp=%.4f", simIoU, tcpIoU)
+	if simIoU <= 0 || tcpIoU <= 0 {
+		t.Fatalf("degenerate accuracy: sim=%.4f tcp=%.4f", simIoU, tcpIoU)
+	}
+	if diff := simIoU - tcpIoU; diff > 0.02 || diff < -0.02 {
+		t.Errorf("sim and TCP backends disagree: sim=%.4f tcp=%.4f (|diff| > 0.02)", simIoU, tcpIoU)
 	}
 }

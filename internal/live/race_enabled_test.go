@@ -1,0 +1,9 @@
+//go:build race
+
+package live
+
+// raceEnabled reports whether the race detector is compiled in. The
+// sim-vs-TCP equivalence test skips under it: the detector slows the mobile
+// side ~20x in wall time, which shifts when socket results land relative to
+// the simulated clock and moves the accuracy outside the equivalence bound.
+const raceEnabled = true

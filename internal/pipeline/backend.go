@@ -1,0 +1,351 @@
+package pipeline
+
+import (
+	"time"
+
+	"edgeis/internal/netsim"
+	"edgeis/internal/scene"
+	"edgeis/internal/segmodel"
+)
+
+// DropPolicy names a backend's behaviour when its offload queue is full.
+type DropPolicy uint8
+
+const (
+	// DropOldest replaces the oldest waiting offload with the newcomer:
+	// latest-wins, the discipline a real-time edge queue wants.
+	DropOldest DropPolicy = iota
+	// DropNewest rejects the incoming offload when the queue is full — the
+	// behaviour of a bounded send queue in front of a socket.
+	DropNewest
+)
+
+// BackendStats is the accounting every backend reports, so simulated and
+// live runs describe offload loss and edge work identically.
+type BackendStats struct {
+	// Submitted counts offloads the backend accepted.
+	Submitted int
+	// DroppedOffloads counts offloads lost to queue overflow (either end).
+	DroppedOffloads int
+	// DiscardedResults counts results thrown away because their frame index
+	// was out of range for the running clip.
+	DiscardedResults int
+	// Results counts inference results produced (sim) or received (live).
+	Results int
+	// InferMsSum accumulates edge inference latency across Results.
+	InferMsSum float64
+	// UplinkBytes and DownlinkBytes account the modelled wire volume.
+	UplinkBytes   int
+	DownlinkBytes int
+}
+
+// ScheduledResult is an edge result with its simulated delivery time. Live
+// backends stamp results with the poll time — the earliest simulated instant
+// the mobile could observe them.
+type ScheduledResult struct {
+	At  float64
+	Res EdgeResult
+}
+
+// EdgeBackend is the edge half of the offload loop: the engine submits
+// encoded frames and receives asynchronous EdgeResult deliveries. A backend
+// owns its queue discipline (depth, drop policy) and reports drops and
+// discards through Stats, so every engine run accounts offload loss the same
+// way regardless of what serves the inferences.
+//
+// Submit and Advance return result deliveries as soon as their timing is
+// known; the engine turns them into edge-result events on its scheduler.
+// All methods are called from the engine goroutine only.
+type EdgeBackend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Bind hands the backend the rendered clip and the strategy's preferred
+	// queue depth before the run starts (depth <= 0 keeps the default).
+	Bind(frames []*scene.Frame, queueDepth int)
+	// Submit ships an offload at simulated time sendAt.
+	Submit(req *OffloadRequest, sendAt float64) []ScheduledResult
+	// Advance drives backend bookkeeping to simulated time now: simulated
+	// backends service their queue; live backends drain their socket without
+	// blocking. Returned results may be due at or before now.
+	Advance(now float64) []ScheduledResult
+	// Outstanding reports offloads submitted but not yet surfaced as results.
+	Outstanding() int
+	// Wait blocks up to d of wall-clock time for a result to become
+	// available. Simulated backends return false immediately: their results
+	// only move on Advance.
+	Wait(d time.Duration) bool
+	// Stats returns the accounting so far.
+	Stats() BackendStats
+	// Close releases backend resources.
+	Close() error
+}
+
+// waitingOffload is a request queued for the simulated edge.
+type waitingOffload struct {
+	arrival float64
+	req     *OffloadRequest
+}
+
+// SimBackend is the simulated edge: an uplink and downlink from netsim and a
+// segmodel edge model, with a bounded latest-wins queue in front of a single
+// accelerator. It reproduces the legacy Engine.Run scheduling exactly — the
+// order of link and model calls is load-bearing for determinism, since links
+// carry RNG state and a busy horizon.
+type SimBackend struct {
+	model      *segmodel.Model
+	inferScale float64
+	uplink     *netsim.Link
+	downlink   *netsim.Link
+	seed       int64
+	frames     []*scene.Frame
+	queueDepth int
+	edgeFreeAt float64
+	waiting    []waitingOffload
+	stats      BackendStats
+}
+
+// SimBackendConfig assembles a simulated edge.
+type SimBackendConfig struct {
+	// Model is the edge model; nil defaults to Mask R-CNN.
+	Model *segmodel.Model
+	// InferScale multiplies inference latency (device.Profile.InferScale);
+	// zero means 1.
+	InferScale float64
+	// Profile is the link behaviour for both directions.
+	Profile netsim.Profile
+	// Seed derives the two link RNG streams and per-frame model noise.
+	Seed int64
+}
+
+// NewSimBackend builds the simulated edge backend.
+func NewSimBackend(cfg SimBackendConfig) *SimBackend {
+	if cfg.Model == nil {
+		cfg.Model = segmodel.New(segmodel.MaskRCNN)
+	}
+	if cfg.InferScale == 0 {
+		cfg.InferScale = 1
+	}
+	return &SimBackend{
+		model:      cfg.Model,
+		inferScale: cfg.InferScale,
+		uplink:     netsim.NewLink(cfg.Profile, cfg.Seed+1),
+		downlink:   netsim.NewLink(cfg.Profile, cfg.Seed+2),
+		seed:       cfg.Seed,
+		queueDepth: 1,
+	}
+}
+
+// Name implements EdgeBackend.
+func (b *SimBackend) Name() string { return "sim" }
+
+// Bind implements EdgeBackend.
+func (b *SimBackend) Bind(frames []*scene.Frame, queueDepth int) {
+	b.frames = frames
+	if queueDepth > 0 {
+		b.queueDepth = queueDepth
+	}
+}
+
+// Submit models the uplink and enqueues at the edge. Queue overflow drops
+// the oldest waiting offload (latest-wins) and counts it.
+func (b *SimBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResult {
+	b.stats.Submitted++
+	b.stats.UplinkBytes += req.PayloadBytes
+	upMs := b.uplink.TransferMs(sendAt, req.PayloadBytes)
+	arrive := sendAt + upMs
+	out := b.advance(arrive)
+	if b.edgeFreeAt <= arrive && len(b.waiting) == 0 {
+		return append(out, b.startInference(req, arrive))
+	}
+	b.waiting = append(b.waiting, waitingOffload{arrival: arrive, req: req})
+	if len(b.waiting) > b.queueDepth {
+		b.waiting = b.waiting[1:]
+		b.stats.DroppedOffloads++
+	}
+	return out
+}
+
+// Advance implements EdgeBackend: it services waiting requests (FIFO) while
+// the edge is free.
+func (b *SimBackend) Advance(now float64) []ScheduledResult { return b.advance(now) }
+
+func (b *SimBackend) advance(now float64) []ScheduledResult {
+	var out []ScheduledResult
+	for len(b.waiting) > 0 && b.edgeFreeAt <= now {
+		item := b.waiting[0]
+		start := b.edgeFreeAt
+		if item.arrival > start {
+			start = item.arrival
+		}
+		if start > now {
+			break
+		}
+		b.waiting = b.waiting[1:]
+		out = append(out, b.startInference(item.req, start))
+	}
+	return out
+}
+
+// startInference runs the model for a request whose service begins at
+// startAt and schedules the result delivery over the downlink.
+func (b *SimBackend) startInference(req *OffloadRequest, startAt float64) ScheduledResult {
+	in := modelInput(b.frames, b.seed, req)
+	res := b.model.Run(in, req.Guidance)
+	inferMs := res.TotalMs() * b.inferScale
+	b.edgeFreeAt = startAt + inferMs
+	b.stats.InferMsSum += inferMs
+	b.stats.Results++
+
+	resultBytes := 256
+	for _, d := range res.Detections {
+		if d.Mask != nil {
+			resultBytes += 16 + d.Mask.BoundingBox().Area()/64
+		} else {
+			resultBytes += 32
+		}
+	}
+	b.stats.DownlinkBytes += resultBytes
+	downMs := b.downlink.TransferMs(b.edgeFreeAt, resultBytes)
+	return ScheduledResult{
+		At: b.edgeFreeAt + downMs,
+		Res: EdgeResult{
+			FrameIndex: req.FrameIndex,
+			Detections: res.Detections,
+			InferMs:    inferMs,
+		},
+	}
+}
+
+// modelInput converts the offloaded frame's ground truth plus the encode
+// quality map into the simulated model's input.
+func modelInput(frames []*scene.Frame, seed int64, req *OffloadRequest) segmodel.Input {
+	f := frames[req.FrameIndex]
+	objs := make([]segmodel.ObjectTruth, 0, len(f.Objects))
+	for _, gt := range f.Objects {
+		objs = append(objs, segmodel.ObjectTruth{
+			ObjectID: gt.ObjectID,
+			Label:    int(gt.Class),
+			Visible:  gt.Visible,
+			Box:      gt.Box,
+		})
+	}
+	return segmodel.Input{
+		Width:   f.Camera.Width,
+		Height:  f.Camera.Height,
+		Objects: objs,
+		Quality: req.Quality,
+		Seed:    seed*1_000_003 + int64(req.FrameIndex),
+	}
+}
+
+// Outstanding implements EdgeBackend.
+func (b *SimBackend) Outstanding() int { return len(b.waiting) }
+
+// Wait implements EdgeBackend: simulated results only move on Advance.
+func (b *SimBackend) Wait(time.Duration) bool { return false }
+
+// Stats implements EdgeBackend.
+func (b *SimBackend) Stats() BackendStats { return b.stats }
+
+// Close implements EdgeBackend.
+func (b *SimBackend) Close() error { return nil }
+
+// LoopbackBackend runs the edge model synchronously in-process: offloads
+// incur inference latency on a single simulated accelerator but no network
+// transfer — an idealized co-located edge. Its queue bounds the number of
+// results still in flight; overflow rejects the incoming offload
+// (DropNewest), mirroring a bounded send queue.
+type LoopbackBackend struct {
+	model      *segmodel.Model
+	inferScale float64
+	seed       int64
+	frames     []*scene.Frame
+	queueDepth int
+	edgeFreeAt float64
+	inflight   int
+	stats      BackendStats
+}
+
+// NewLoopbackBackend builds an in-process backend around a model (nil
+// defaults to Mask R-CNN). InferScale <= 0 means 1.
+func NewLoopbackBackend(model *segmodel.Model, inferScale float64, seed int64) *LoopbackBackend {
+	if model == nil {
+		model = segmodel.New(segmodel.MaskRCNN)
+	}
+	if inferScale <= 0 {
+		inferScale = 1
+	}
+	return &LoopbackBackend{model: model, inferScale: inferScale, seed: seed, queueDepth: 4}
+}
+
+// Name implements EdgeBackend.
+func (b *LoopbackBackend) Name() string { return "loopback" }
+
+// Bind implements EdgeBackend.
+func (b *LoopbackBackend) Bind(frames []*scene.Frame, queueDepth int) {
+	b.frames = frames
+	if queueDepth > 0 {
+		b.queueDepth = queueDepth
+	}
+}
+
+// Submit implements EdgeBackend: the model runs immediately; delivery is due
+// when the single accelerator finishes the request.
+func (b *LoopbackBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResult {
+	if b.inflight >= b.queueDepth {
+		b.stats.DroppedOffloads++
+		return nil
+	}
+	b.stats.Submitted++
+	b.stats.UplinkBytes += req.PayloadBytes
+	in := modelInput(b.frames, b.seed, req)
+	res := b.model.Run(in, req.Guidance)
+	inferMs := res.TotalMs() * b.inferScale
+	start := sendAt
+	if b.edgeFreeAt > start {
+		start = b.edgeFreeAt
+	}
+	b.edgeFreeAt = start + inferMs
+	b.stats.InferMsSum += inferMs
+	b.stats.Results++
+	b.inflight++
+	return []ScheduledResult{{
+		At: b.edgeFreeAt,
+		Res: EdgeResult{
+			FrameIndex: req.FrameIndex,
+			Detections: res.Detections,
+			InferMs:    inferMs,
+		},
+	}}
+}
+
+// Advance implements EdgeBackend; loopback work completes at Submit time.
+func (b *LoopbackBackend) Advance(float64) []ScheduledResult { return nil }
+
+// Outstanding implements EdgeBackend. Results scheduled at Submit count as
+// surfaced, so loopback never reports unfinished work to the engine; the
+// inflight cap is released as deliveries are consumed via NoteDelivered.
+func (b *LoopbackBackend) Outstanding() int { return 0 }
+
+// NoteDelivered releases one in-flight slot; the engine calls it when a
+// scheduled result reaches the strategy.
+func (b *LoopbackBackend) NoteDelivered() {
+	if b.inflight > 0 {
+		b.inflight--
+	}
+}
+
+// Wait implements EdgeBackend.
+func (b *LoopbackBackend) Wait(time.Duration) bool { return false }
+
+// Stats implements EdgeBackend.
+func (b *LoopbackBackend) Stats() BackendStats { return b.stats }
+
+// Close implements EdgeBackend.
+func (b *LoopbackBackend) Close() error { return nil }
+
+// resultDeliveryObserver lets a backend learn when a scheduled result was
+// handed to the strategy (loopback uses it to release queue slots).
+type resultDeliveryObserver interface {
+	NoteDelivered()
+}

@@ -1,0 +1,44 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/pipeline/backendtest"
+	"edgeis/internal/scene"
+)
+
+// TestBackendConformance runs the shared EdgeBackend contract against the
+// two in-process backends. The TCP backend runs the same table from
+// package live, where a real server is available.
+func TestBackendConformance(t *testing.T) {
+	dropOldest := pipeline.DropOldest
+	dropNewest := pipeline.DropNewest
+	targets := []backendtest.Target{
+		{
+			Name: "sim",
+			New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
+				b := pipeline.NewSimBackend(pipeline.SimBackendConfig{
+					Profile: netsim.DefaultProfile(netsim.WiFi5),
+					Seed:    5,
+				})
+				b.Bind(frames, queueDepth)
+				return b
+			},
+			Drop: &dropOldest,
+		},
+		{
+			Name: "loopback",
+			New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
+				b := pipeline.NewLoopbackBackend(nil, 1, 5)
+				b.Bind(frames, queueDepth)
+				return b
+			},
+			Drop: &dropNewest,
+		},
+	}
+	for _, tg := range targets {
+		t.Run(tg.Name, func(t *testing.T) { backendtest.Conformance(t, tg) })
+	}
+}

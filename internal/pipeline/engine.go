@@ -1,16 +1,22 @@
-// Package pipeline is the end-to-end simulation engine: a simulated clock
-// drives camera frames at 30 fps through a mobile-side strategy (edgeIS or
-// a baseline), an uplink/downlink pair, and an edge inference server. The
-// engine accounts for mobile compute time, encode time, transmission,
-// edge queueing and inference, and scores what is actually ON SCREEN at
-// each frame's display deadline against ground truth — reproducing the
+// Package pipeline is the end-to-end engine: a simulated clock drives camera
+// frames at 30 fps through a mobile-side strategy (edgeIS or a baseline) and
+// an EdgeBackend serving inference — the simulated model+netsim backend, an
+// in-process loopback, or a real TCP edge server. The engine accounts for
+// mobile compute time, encode time, transmission, edge queueing and
+// inference, and scores what is actually ON SCREEN at each frame's display
+// deadline against ground truth — reproducing the
 // latency-accumulates-into-staleness coupling the paper describes
 // ("latency longer than 33ms accumulates and eventually results in a
 // delayed mask rendering on a later frame").
+//
+// Run is an event-queue scheduler: frame arrivals, display deadlines and
+// edge-result deliveries are events on a min-heap, popped in (time, kind)
+// order. Equal-time ties resolve as result < deadline < arrival, which is
+// exactly the order the legacy frame loop processed them in.
 package pipeline
 
 import (
-	"sort"
+	"time"
 
 	"edgeis/internal/feature"
 	"edgeis/internal/geom"
@@ -76,7 +82,7 @@ type Config struct {
 	CameraSpeed float64
 	// Extractor configuration; zero value uses feature.DefaultConfig.
 	FeatureConfig feature.Config
-	// Network medium for both directions.
+	// Network medium for both directions (simulated backend only).
 	Medium netsim.Medium
 	// NetworkProfile, when non-nil, overrides the medium's default link
 	// parameters — failure-injection tests degrade it.
@@ -87,6 +93,13 @@ type Config struct {
 	EdgeInferScale float64
 	// Seed drives all stochastic components.
 	Seed int64
+	// Backend overrides the edge serving the run. Nil builds the default
+	// simulated backend from Medium/NetworkProfile/EdgeModel/Seed; a
+	// LoopbackBackend or a live TCP adapter plugs in here.
+	Backend EdgeBackend
+	// OnFrame, when non-nil, observes each frame's eval as its display
+	// deadline resolves — progress reporting and wall-clock pacing hook.
+	OnFrame func(ev FrameEval)
 }
 
 // FrameEval is the per-frame outcome.
@@ -115,6 +128,13 @@ type RunStats struct {
 	EdgeInferMsSum  float64
 	EdgeResultCount int
 	MobileBusyMsSum float64
+	// DroppedOffloads counts offloads lost to edge/uplink queue overflow —
+	// the silent `waiting = waiting[1:]` loss of the legacy loop, now
+	// accounted identically by simulated and live backends.
+	DroppedOffloads int
+	// DiscardedResults counts edge results thrown away because their frame
+	// index was out of range for the clip.
+	DiscardedResults int
 }
 
 // Add accumulates another run's accounting into s.
@@ -127,6 +147,8 @@ func (s *RunStats) Add(o RunStats) {
 	s.EdgeInferMsSum += o.EdgeInferMsSum
 	s.EdgeResultCount += o.EdgeResultCount
 	s.MobileBusyMsSum += o.MobileBusyMsSum
+	s.DroppedOffloads += o.DroppedOffloads
+	s.DiscardedResults += o.DiscardedResults
 }
 
 // Engine runs one strategy through one scenario.
@@ -134,9 +156,8 @@ type Engine struct {
 	cfg       Config
 	strategy  Strategy
 	extractor *feature.Extractor
-	uplink    *netsim.Link
-	downlink  *netsim.Link
 	frames    []*scene.Frame
+	backend   EdgeBackend
 }
 
 // NewEngine prepares a run. The frames are pre-rendered so repeated runs
@@ -152,40 +173,45 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 	if cfg.EdgeModel == nil {
 		cfg.EdgeModel = segmodel.New(segmodel.MaskRCNN)
 	}
-	profile := netsim.DefaultProfile(cfg.Medium)
-	if cfg.NetworkProfile != nil {
-		profile = *cfg.NetworkProfile
+	backend := cfg.Backend
+	if backend == nil {
+		profile := netsim.DefaultProfile(cfg.Medium)
+		if cfg.NetworkProfile != nil {
+			profile = *cfg.NetworkProfile
+		}
+		backend = NewSimBackend(SimBackendConfig{
+			Model:      cfg.EdgeModel,
+			InferScale: cfg.EdgeInferScale,
+			Profile:    profile,
+			Seed:       cfg.Seed,
+		})
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		strategy:  strategy,
 		extractor: feature.NewExtractor(cfg.World, cfg.Camera, fcfg, cfg.Seed),
-		uplink:    netsim.NewLink(profile, cfg.Seed+1),
-		downlink:  netsim.NewLink(profile, cfg.Seed+2),
 		frames:    cfg.World.RenderSequence(cfg.Camera, cfg.Trajectory, cfg.Frames),
+		backend:   backend,
 	}
+	queueDepth := 0
+	if qp, ok := strategy.(QueuePreference); ok && qp.PreferredQueueDepth() > 0 {
+		queueDepth = qp.PreferredQueueDepth()
+	}
+	backend.Bind(e.frames, queueDepth)
+	return e
 }
 
 // Frames exposes the rendered ground-truth sequence.
 func (e *Engine) Frames() []*scene.Frame { return e.frames }
 
-// pendingResult is an edge result in flight.
-type pendingResult struct {
-	deliverAt float64
-	res       EdgeResult
-}
+// Backend exposes the edge backend serving the run.
+func (e *Engine) Backend() EdgeBackend { return e.backend }
 
 // displayedState is the strategy output visible on screen.
 type displayedState struct {
 	masks    []metrics.PredictedMask
 	readyAt  float64
 	frameIdx int
-}
-
-// waitingOffload is a request queued for the edge.
-type waitingOffload struct {
-	arrival float64
-	req     *OffloadRequest
 }
 
 // QueuePreference lets a strategy choose the edge queue discipline. The
@@ -198,172 +224,170 @@ type QueuePreference interface {
 	PreferredQueueDepth() int
 }
 
+// ResultAwaiter lets a strategy signal that it cannot make progress until an
+// in-flight edge result lands (the edgeIS VO initialization window). Against
+// a live backend the engine then blocks briefly in wall-clock time for the
+// result; simulated backends ignore it — their results only move with the
+// simulated clock.
+type ResultAwaiter interface {
+	AwaitingEdgeResult() bool
+}
+
+// resultWaitBudget bounds the wall-clock wait for an awaited live result to
+// one frame budget, matching the legacy live driver's blocking drain.
+const resultWaitBudget = 33 * time.Millisecond
+
 // Run executes the scenario and returns per-frame evaluations plus stats.
+//
+// The scheduler pops events in simulated-time order. At every frame boundary
+// it first advances the backend and delivers results due at or before that
+// instant (in delivery order, with the delivery timestamp as the strategy's
+// nowMs), then performs the boundary's own work — byte-identical to the
+// legacy loop's advance/deliver/act sequence.
 func (e *Engine) Run() ([]FrameEval, RunStats) {
-	queueDepth := 1
-	if qp, ok := e.strategy.(QueuePreference); ok && qp.PreferredQueueDepth() > 0 {
-		queueDepth = qp.PreferredQueueDepth()
-	}
 	var (
 		evals           = make([]FrameEval, 0, len(e.frames))
 		stats           RunStats
-		pending         []pendingResult
 		mobileBusyUntil float64
-		edgeFreeAt      float64
-		waiting         []waitingOffload
 		display         displayedState
 		displayValid    bool
 	)
 	stats.Frames = len(e.frames)
+	// Results due after the final display deadline are never observed.
+	horizon := float64(len(e.frames)-1)*FrameBudgetMs + FrameBudgetMs
+	awaiter, hasAwaiter := e.strategy.(ResultAwaiter)
 
-	// startInference runs the model for a request whose service begins at
-	// startAt, scheduling the result delivery.
-	startInference := func(req *OffloadRequest, startAt float64) {
-		in := e.modelInput(req)
-		res := e.cfg.EdgeModel.Run(in, req.Guidance)
-		inferMs := res.TotalMs() * e.cfg.EdgeInferScale
-		edgeFreeAt = startAt + inferMs
-		stats.EdgeInferMsSum += inferMs
-		stats.EdgeResultCount++
-
-		resultBytes := 256
-		for _, d := range res.Detections {
-			if d.Mask != nil {
-				resultBytes += 16 + d.Mask.BoundingBox().Area()/64
-			} else {
-				resultBytes += 32
-			}
-		}
-		stats.DownlinkBytes += resultBytes
-		downMs := e.downlink.TransferMs(edgeFreeAt, resultBytes)
-		pending = append(pending, pendingResult{
-			deliverAt: edgeFreeAt + downMs,
-			res: EdgeResult{
-				FrameIndex: req.FrameIndex,
-				Detections: res.Detections,
-				InferMs:    inferMs,
-			},
-		})
-	}
-
-	// advanceEdge services waiting requests (FIFO) while the edge is free.
-	advanceEdge := func(now float64) {
-		for len(waiting) > 0 && edgeFreeAt <= now {
-			item := waiting[0]
-			start := edgeFreeAt
-			if item.arrival > start {
-				start = item.arrival
-			}
-			if start > now {
-				return
-			}
-			waiting = waiting[1:]
-			startInference(item.req, start)
-		}
-	}
-
-	// submitOffload models the uplink and enqueues at the edge.
-	submitOffload := func(req *OffloadRequest, sendAt float64) {
-		stats.UplinkBytes += req.PayloadBytes
-		upMs := e.uplink.TransferMs(sendAt, req.PayloadBytes)
-		arrive := sendAt + upMs
-		advanceEdge(arrive)
-		if edgeFreeAt <= arrive && len(waiting) == 0 {
-			startInference(req, arrive)
-			return
-		}
-		waiting = append(waiting, waitingOffload{arrival: arrive, req: req})
-		if len(waiting) > queueDepth {
-			// Queue overflow drops the oldest waiting frame.
-			waiting = waiting[1:]
-		}
-	}
-
-	deliverDue := func(now float64) {
-		sort.Slice(pending, func(i, j int) bool { return pending[i].deliverAt < pending[j].deliverAt })
-		for len(pending) > 0 && pending[0].deliverAt <= now {
-			p := pending[0]
-			pending = pending[1:]
-			e.strategy.HandleEdgeResult(p.res, e.frames[p.res.FrameIndex], p.deliverAt)
-		}
-	}
-
-	for i, f := range e.frames {
+	q := &eventQueue{}
+	pend := make([]FrameEval, len(e.frames))
+	for i := range e.frames {
 		arrival := float64(i) * FrameBudgetMs
-		advanceEdge(arrival)
-		deliverDue(arrival)
+		q.push(event{at: arrival, kind: evFrameArrival, frame: i})
+		// The deadline event is KEYED at the next frame's arrival instant so
+		// the (time, kind) order is exact — float64(i)*B + B can differ from
+		// float64(i+1)*B by one ulp, which would invert the tie-break. The
+		// handler recomputes the legacy arrival+budget value for semantics.
+		q.push(event{at: float64(i+1) * FrameBudgetMs, kind: evDisplayDeadline, frame: i})
+		pend[i] = FrameEval{Index: i, LatencyMs: FrameBudgetMs}
+	}
 
-		ev := FrameEval{Index: i, LatencyMs: FrameBudgetMs}
-		if mobileBusyUntil <= arrival {
-			feats := e.extractor.Extract(f, e.cfg.CameraSpeed)
-			out := e.strategy.ProcessFrame(f, feats, arrival)
-			compute := out.ComputeMs
-			for _, off := range out.Offloads {
-				compute += off.EncodeMs
+	deliver := func(ev event) {
+		e.strategy.HandleEdgeResult(ev.res, e.frames[ev.res.FrameIndex], ev.at)
+		if obs, ok := e.backend.(resultDeliveryObserver); ok {
+			obs.NoteDelivered()
+		}
+	}
+	schedule := func(rs []ScheduledResult) {
+		for _, r := range rs {
+			q.push(event{at: r.At, kind: evEdgeResult, res: r.Res})
+		}
+	}
+	// drainDue hands over every result due at or before now — results the
+	// backend scheduled during the current event must land before the
+	// event's action. A due result can sit behind a non-result event on the
+	// heap (its delivery time may exceed the next frame's arrival key by one
+	// ulp), so the drain pops past such events and restores them, keeping
+	// their relative order.
+	var stash []event
+	drainDue := func(now float64) {
+		stash = stash[:0]
+		for q.len() > 0 && q.peek().at <= now {
+			top := q.pop()
+			if top.kind == evEdgeResult {
+				deliver(top)
+			} else {
+				stash = append(stash, top)
 			}
-			mobileBusyUntil = arrival + compute
-			stats.MobileBusyMsSum += compute
-			ev.LatencyMs = compute
+		}
+		for _, s := range stash {
+			q.push(s)
+		}
+	}
 
-			if len(out.Masks) > 0 || !displayValid {
-				display = displayedState{
-					masks:    out.Masks,
-					readyAt:  mobileBusyUntil,
-					frameIdx: i,
+	for q.len() > 0 {
+		ev := q.pop()
+		switch ev.kind {
+		case evEdgeResult:
+			if ev.at > horizon {
+				continue
+			}
+			deliver(ev)
+
+		case evFrameArrival:
+			schedule(e.backend.Advance(ev.at))
+			drainDue(ev.at)
+			if hasAwaiter && awaiter.AwaitingEdgeResult() && e.backend.Outstanding() > 0 {
+				// A live backend can block for the awaited result; the sim
+				// backend declines and the simulated clock stays authoritative.
+				if e.backend.Wait(resultWaitBudget) {
+					schedule(e.backend.Advance(ev.at))
+					drainDue(ev.at)
 				}
-				displayValid = true
 			}
 
-			for _, off := range out.Offloads {
-				stats.Offloads++
-				ev.Offloaded = true
-				submitOffload(off, mobileBusyUntil)
-			}
-		} else {
-			ev.Dropped = true
-			stats.DroppedFrames++
-		}
+			arrival := ev.at
+			f := e.frames[ev.frame]
+			fe := &pend[ev.frame]
+			if mobileBusyUntil <= arrival {
+				feats := e.extractor.Extract(f, e.cfg.CameraSpeed)
+				out := e.strategy.ProcessFrame(f, feats, arrival)
+				compute := out.ComputeMs
+				for _, off := range out.Offloads {
+					compute += off.EncodeMs
+				}
+				mobileBusyUntil = arrival + compute
+				stats.MobileBusyMsSum += compute
+				fe.LatencyMs = compute
 
-		// Score what is on screen at the display deadline.
-		deadline := arrival + FrameBudgetMs
-		advanceEdge(deadline)
-		deliverDue(deadline)
-		var shown []metrics.PredictedMask
-		if displayValid && display.readyAt <= deadline {
-			shown = display.masks
-			ev.StalenessMs = deadline - float64(display.frameIdx)*FrameBudgetMs
-		} else if displayValid {
-			// The fresh output missed the deadline; the previous screen
-			// content persists. Conservatively charge full staleness.
-			ev.StalenessMs = deadline
+				if len(out.Masks) > 0 || !displayValid {
+					display = displayedState{
+						masks:    out.Masks,
+						readyAt:  mobileBusyUntil,
+						frameIdx: ev.frame,
+					}
+					displayValid = true
+				}
+
+				for _, off := range out.Offloads {
+					stats.Offloads++
+					fe.Offloaded = true
+					schedule(e.backend.Submit(off, mobileBusyUntil))
+				}
+			} else {
+				fe.Dropped = true
+				stats.DroppedFrames++
+			}
+
+		case evDisplayDeadline:
+			// Score what is on screen at the display deadline.
+			deadline := float64(ev.frame)*FrameBudgetMs + FrameBudgetMs
+			schedule(e.backend.Advance(deadline))
+			drainDue(deadline)
+			fe := &pend[ev.frame]
+			var shown []metrics.PredictedMask
+			if displayValid && display.readyAt <= deadline {
+				shown = display.masks
+				fe.StalenessMs = deadline - float64(display.frameIdx)*FrameBudgetMs
+			} else if displayValid {
+				// The fresh output missed the deadline; the previous screen
+				// content persists. Conservatively charge full staleness.
+				fe.StalenessMs = deadline
+			}
+			fe.IoUs = metrics.MatchFrame(shown, truthsOf(e.frames[ev.frame]))
+			evals = append(evals, *fe)
+			if e.cfg.OnFrame != nil {
+				e.cfg.OnFrame(*fe)
+			}
 		}
-		truths := truthsOf(f)
-		ev.IoUs = metrics.MatchFrame(shown, truths)
-		evals = append(evals, ev)
 	}
+
+	bs := e.backend.Stats()
+	stats.UplinkBytes = bs.UplinkBytes
+	stats.DownlinkBytes = bs.DownlinkBytes
+	stats.EdgeInferMsSum = bs.InferMsSum
+	stats.EdgeResultCount = bs.Results
+	stats.DroppedOffloads = bs.DroppedOffloads
+	stats.DiscardedResults = bs.DiscardedResults
 	return evals, stats
-}
-
-// modelInput converts the offloaded frame's ground truth plus the encode
-// quality map into the simulated model's input.
-func (e *Engine) modelInput(req *OffloadRequest) segmodel.Input {
-	f := e.frames[req.FrameIndex]
-	objs := make([]segmodel.ObjectTruth, 0, len(f.Objects))
-	for _, gt := range f.Objects {
-		objs = append(objs, segmodel.ObjectTruth{
-			ObjectID: gt.ObjectID,
-			Label:    int(gt.Class),
-			Visible:  gt.Visible,
-			Box:      gt.Box,
-		})
-	}
-	return segmodel.Input{
-		Width:   e.cfg.Camera.Width,
-		Height:  e.cfg.Camera.Height,
-		Objects: objs,
-		Quality: req.Quality,
-		Seed:    e.cfg.Seed*1_000_003 + int64(req.FrameIndex),
-	}
 }
 
 // truthsOf converts a frame's ground truth for scoring.

@@ -1,0 +1,73 @@
+package pipeline
+
+import "container/heap"
+
+// eventKind orders simultaneous events. Edge results land before the frame
+// work scheduled at the same instant (matching the legacy loop, which drained
+// due results at every boundary before acting), and a frame's display
+// deadline — which shares its timestamp with the next frame's arrival —
+// resolves before that arrival.
+type eventKind uint8
+
+const (
+	evEdgeResult eventKind = iota
+	evDisplayDeadline
+	evFrameArrival
+)
+
+// event is one entry on the engine's min-heap: a camera frame arriving, a
+// display deadline, or an edge result delivery.
+type event struct {
+	at   float64
+	kind eventKind
+	// seq breaks exact (at, kind) ties in insertion order.
+	seq uint64
+	// frame identifies the camera frame for arrival/deadline events.
+	frame int
+	// res is the payload of an edge-result event.
+	res EdgeResult
+}
+
+// eventQueue is a deterministic min-heap over (at, kind, seq).
+type eventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (q *eventQueue) push(ev event) {
+	ev.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, ev)
+}
+
+func (q *eventQueue) pop() event { return heap.Pop(&q.h).(event) }
+
+func (q *eventQueue) peek() event { return q.h[0] }
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,108 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"edgeis/internal/baseline"
+	"edgeis/internal/core"
+	"edgeis/internal/device"
+	"edgeis/internal/geom"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+)
+
+// goldenDump renders a run's evals and stats in the fixed golden format.
+func goldenDump(name string, evals []pipeline.FrameEval, stats pipeline.RunStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", name)
+	for _, ev := range evals {
+		fmt.Fprintf(&b, "frame=%d lat=%.9g drop=%v off=%v stale=%.9g ious=",
+			ev.Index, ev.LatencyMs, ev.Dropped, ev.Offloaded, ev.StalenessMs)
+		for i, iou := range ev.IoUs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.9g", iou)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "stats frames=%d offloads=%d dropped=%d up=%d down=%d inferSum=%.9g results=%d busy=%.9g\n",
+		stats.Frames, stats.Offloads, stats.DroppedFrames, stats.UplinkBytes, stats.DownlinkBytes,
+		stats.EdgeInferMsSum, stats.EdgeResultCount, stats.MobileBusyMsSum)
+	return b.String()
+}
+
+func goldenScenario(seed int64, frames int) pipeline.Config {
+	return pipeline.Config{
+		World:       scene.StreetScene(scene.PresetConfig{Seed: seed, ObjectCount: 3}),
+		Camera:      geom.StandardCamera(320, 240),
+		Trajectory:  scene.InspectionRoute(scene.WalkSpeed),
+		Frames:      frames,
+		CameraSpeed: scene.WalkSpeed,
+		Medium:      netsim.WiFi5,
+		Seed:        seed,
+	}
+}
+
+// TestEngineGoldenEvals pins the refactored event-queue engine to the exact
+// per-frame output of the legacy frame loop (captured in testdata before the
+// refactor, after the vo determinism fixes). Any scheduling change — event
+// ordering, tie-breaks, backend call order — shows up as a byte diff here.
+func TestEngineGoldenEvals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay runs three full scenarios")
+	}
+	var b strings.Builder
+
+	cfg := goldenScenario(17, 210)
+	sys := core.NewSystem(core.Config{Camera: cfg.Camera, Device: device.IPhone11, Seed: cfg.Seed})
+	evals, stats := pipeline.NewEngine(cfg, sys).Run()
+	b.WriteString(goldenDump("edgeIS seed=17 frames=210 wifi5", evals, stats))
+
+	cfg2 := goldenScenario(23, 120)
+	evals2, stats2 := pipeline.NewEngine(cfg2, baseline.NewBestEffort(cfg2.Camera, device.IPhone11)).Run()
+	b.WriteString(goldenDump("best-effort seed=23 frames=120 wifi5", evals2, stats2))
+
+	cfg3 := goldenScenario(29, 120)
+	cfg3.Medium = netsim.WiFi24
+	evals3, stats3 := pipeline.NewEngine(cfg3, baseline.NewEAAR(cfg3.Camera, device.IPhone11)).Run()
+	b.WriteString(goldenDump("EAAR seed=29 frames=120 wifi24", evals3, stats3))
+
+	want, err := os.ReadFile("testdata/golden_evals.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		diffLine := firstDiffLine(got, string(want))
+		t.Errorf("engine output diverged from golden (first differing line %d)\ngot:  %s\nwant: %s",
+			diffLine.n, diffLine.got, diffLine.want)
+	}
+}
+
+type lineDiff struct {
+	n         int
+	got, want string
+}
+
+// firstDiffLine locates the first line where two dumps differ.
+func firstDiffLine(got, want string) lineDiff {
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			return lineDiff{n: i + 1, got: g, want: w}
+		}
+	}
+	return lineDiff{n: 0, got: "<identical>", want: "<identical>"}
+}

@@ -120,7 +120,10 @@ func (m *Map) Remove(id int) {
 	}
 }
 
-// InstancePoints returns all points of a VO instance.
+// InstancePoints returns all points of a VO instance, sorted by ID. The
+// order is load-bearing: callers feed these points into distance sorts and
+// averaging, so a map-iteration order would leak nondeterminism into poses
+// and transferred masks.
 func (m *Map) InstancePoints(instanceID int) []*MapPoint {
 	var out []*MapPoint
 	for _, p := range m.points {
@@ -128,6 +131,7 @@ func (m *Map) InstancePoints(instanceID int) []*MapPoint {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -196,7 +200,15 @@ func (m *Map) Cleanup(policy CleanupPolicy, currentFrame int) int {
 		for _, p := range m.points {
 			ids = append(ids, p)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i].LastSeen < ids[j].LastSeen })
+		// LastSeen ties are broken by ID: the candidate slice is collected in
+		// map-iteration order, so an unstable single-key sort would cull a
+		// different subset on every run.
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].LastSeen != ids[j].LastSeen {
+				return ids[i].LastSeen < ids[j].LastSeen
+			}
+			return ids[i].ID < ids[j].ID
+		})
 		for _, p := range ids[:len(m.points)-policy.MaxPoints] {
 			m.Remove(p.ID)
 			removed++

@@ -612,7 +612,20 @@ func (s *System) CompleteInitialization(masksRef, masksCur []LabeledMask) error 
 		p.cur.PointIDs[sm.curIdx] = mp.ID
 	}
 
-	for k, ids := range instPoints {
+	// Deterministic (mask-pair) order: instance IDs are assigned inside the
+	// loop, so map-iteration order would permute them between runs.
+	instKeys := make([]instKey, 0, len(instPoints))
+	for k := range instPoints {
+		instKeys = append(instKeys, k)
+	}
+	sort.Slice(instKeys, func(i, j int) bool {
+		if instKeys[i].mi != instKeys[j].mi {
+			return instKeys[i].mi < instKeys[j].mi
+		}
+		return instKeys[i].mj < instKeys[j].mj
+	})
+	for _, k := range instKeys {
+		ids := instPoints[k]
 		if len(ids) < minObservationsForPose {
 			// Too small/far for estimation (Section III-B); leave points
 			// labeled but instance-less.
@@ -690,12 +703,21 @@ func (s *System) track(idx int, kps []Keypoint) Status {
 	}
 	_ = matchedLabeled
 
+	// Observation order feeds least-squares accumulators, so every loop over
+	// instObs walks instance IDs in sorted order — map-iteration order would
+	// perturb the solved poses in the last ulps and diverge runs.
+	instOrder := make([]int, 0, len(instObs))
+	for instID := range instObs {
+		instOrder = append(instOrder, instID)
+	}
+	sort.Ints(instOrder)
+
 	// First camera solve: background + unflagged instances.
 	camObs := make([]Observation, 0, len(bgObs)+64)
 	camObs = append(camObs, bgObs...)
-	for instID, obs := range instObs {
+	for _, instID := range instOrder {
 		if inst := s.instances[instID]; inst != nil && !inst.Moving {
-			camObs = append(camObs, obs...)
+			camObs = append(camObs, instObs[instID]...)
 		}
 	}
 	res, err := OptimizePose(s.cfg.Camera, camObs, s.CurrentPose(), 10)
@@ -753,7 +775,7 @@ func (s *System) track(idx int, kps []Keypoint) Status {
 		// smearing or camera drag in the current gauge can hide it.
 		if agedPose, err := OptimizePose(s.cfg.Camera, bgAged, rec.TCW, 8); err == nil {
 			norm := math.Max(medianResidual(s.cfg.Camera, agedPose.Pose, bgAged), 1)
-			for instID := range instObs {
+			for _, instID := range instOrder {
 				inst := s.instances[instID]
 				if inst == nil || inst.Moving {
 					continue
@@ -775,12 +797,12 @@ func (s *System) track(idx int, kps []Keypoint) Status {
 	if len(suspects) > 0 {
 		camObs = camObs[:0]
 		camObs = append(camObs, bgObs...)
-		for instID, obs := range instObs {
+		for _, instID := range instOrder {
 			if suspects[instID] {
 				continue
 			}
 			if inst := s.instances[instID]; inst != nil && !inst.Moving {
-				camObs = append(camObs, obs...)
+				camObs = append(camObs, instObs[instID]...)
 			}
 		}
 		if res2, err2 := OptimizePose(s.cfg.Camera, camObs, rec.TCW, 10); err2 == nil {
@@ -789,7 +811,8 @@ func (s *System) track(idx int, kps []Keypoint) Status {
 	}
 
 	// Per-object poses (Eq. 6-7).
-	for instID, obs := range instObs {
+	for _, instID := range instOrder {
+		obs := instObs[instID]
 		inst := s.instances[instID]
 		if inst == nil || len(obs) < minObservationsForPose {
 			continue
@@ -1148,7 +1171,15 @@ func (s *System) AnnotateFrame(idx int, masks []LabeledMask) error {
 		})
 	}
 
-	for mi, pts := range byMask {
+	// Deterministic mask order: fresh instance IDs are assigned inside the
+	// loop, so map-iteration order would permute them between runs.
+	maskOrder := make([]int, 0, len(byMask))
+	for mi := range byMask {
+		maskOrder = append(maskOrder, mi)
+	}
+	sort.Ints(maskOrder)
+	for _, mi := range maskOrder {
+		pts := byMask[mi]
 		label := masks[mi].Label
 		// Majority vote over existing SAME-LABEL instance assignments. A
 		// point previously swallowed by a different-label instance (mask
@@ -1165,7 +1196,9 @@ func (s *System) AnnotateFrame(idx int, masks []LabeledMask) error {
 		instID := 0
 		bestVotes := 0
 		for id, v := range votes {
-			if v > bestVotes {
+			// Vote ties break toward the smaller (older) instance ID so the
+			// winner does not depend on map-iteration order.
+			if v > bestVotes || (v == bestVotes && v > 0 && id < instID) {
 				instID, bestVotes = id, v
 			}
 		}
