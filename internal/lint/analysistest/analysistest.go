@@ -1,0 +1,130 @@
+// Package analysistest runs lint analyzers over fixture packages and checks
+// reported findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in testdata/src/<pkg>/*.go. A line that should produce a
+// finding carries a trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// with one quoted regexp per expected finding on that line. Lines without a
+// want comment must produce no findings; leftover wants and unexpected
+// findings both fail the test.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"edgeis/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies the
+// analyzer, and diffs findings against // want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(a.Name+"/"+pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (err=%v)", dir, err)
+	}
+	sort.Strings(files)
+	pkg, err := lint.TypeCheck(pkgPath, files, nil)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := lint.CheckPackage(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected finding [%s]: %s", key.file, key.line, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses // want comments from the fixture's ASTs.
+func collectWants(t *testing.T, pkg *lint.Package) map[posKey][]want {
+	t.Helper()
+	wants := map[posKey][]want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					unq, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %q: %v", key.file, key.line, m[0], err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", key.file, key.line, unq, err)
+					}
+					wants[key] = append(wants[key], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"edgeis/internal/lint"
+)
+
+// checkSource type-checks one in-memory file as package pkgPath and runs
+// the full analyzer suite over it.
+func checkSource(t *testing.T, pkgPath, src string) []lint.Diagnostic {
+	t.Helper()
+	pkg, err := lint.TypeCheck(pkgPath, []string{"fix.go"}, map[string][]byte{"fix.go": []byte(src)})
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	diags, err := lint.CheckPackage(pkg, lint.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	return diags
+}
+
+func messages(diags []lint.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestUnknownDirectiveReported(t *testing.T) {
+	diags := checkSource(t, "vo", `package vo
+
+//edgeis:bogus this directive does not exist
+func f() {}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown suppression directive "//edgeis:bogus"`) {
+		t.Fatalf("want one unknown-directive finding, got %q", messages(diags))
+	}
+}
+
+func TestDirectiveWithoutReasonReported(t *testing.T) {
+	diags := checkSource(t, "vo", `package vo
+
+func f(m map[string]int) {
+	//edgeis:ordered
+	for k := range m {
+		g(k)
+	}
+}
+
+func g(string) {}
+`)
+	var gotReason, gotMapiter bool
+	for _, d := range diags {
+		if d.Analyzer == "directive" && strings.Contains(d.Message, "needs a reason") {
+			gotReason = true
+		}
+		// A reasonless directive must NOT suppress the underlying finding.
+		if d.Analyzer == "mapiter" {
+			gotMapiter = true
+		}
+	}
+	if !gotReason || !gotMapiter || len(diags) != 2 {
+		t.Fatalf("want needs-a-reason + unsuppressed mapiter findings, got %q", messages(diags))
+	}
+}
+
+func TestReasonedDirectiveSuppresses(t *testing.T) {
+	diags := checkSource(t, "vo", `package vo
+
+func f(m map[string]int) {
+	//edgeis:ordered g is an order-insensitive sink
+	for k := range m {
+		g(k)
+	}
+}
+
+func g(string) {}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no findings, got %q", messages(diags))
+	}
+}
+
+func TestTrailingDirectiveSuppresses(t *testing.T) {
+	diags := checkSource(t, "pipeline", `package pipeline
+
+func isNaN(x float64) bool {
+	return x != x //edgeis:floateq standard NaN self-test
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no findings, got %q", messages(diags))
+	}
+}
+
+func TestDirectiveDoesNotLeakAcrossAnalyzers(t *testing.T) {
+	// A wallclock directive must not suppress a mapiter finding.
+	diags := checkSource(t, "vo", `package vo
+
+func f(m map[string]int) {
+	//edgeis:wallclock wrong directive for this finding
+	for k := range m {
+		g(k)
+	}
+}
+
+func g(string) {}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "mapiter" {
+		t.Fatalf("want one mapiter finding, got %q", messages(diags))
+	}
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPkgs are the scheduler and geometry packages where float ordering
+// decisions live: the event-queue tie-breaking PR 2 fixed showed rounding
+// can invert an exact-equality branch there.
+var floatEqPkgs = map[string]bool{
+	"pipeline": true,
+	"geom":     true,
+	"linalg":   true,
+	"mask":     true,
+	"vo":       true,
+}
+
+// FloatEq flags == and != between floating-point operands in scheduler and
+// geometry packages. Comparing against the literal 0 is allowed: an exact
+// zero test is the idiomatic guard before division or normalization and
+// involves no accumulated rounding.
+var FloatEq = &Analyzer{
+	Name:      "floateq",
+	Directive: "floateq",
+	Doc: `flags exact float equality in scheduler/geometry code
+
+Two float expressions that are mathematically equal can compare unequal
+after rounding, silently inverting tie-breaks and ordering decisions (the
+PR-2 event-queue bug class). Compare against an epsilon, restructure the
+tie-break over exact integers, or annotate //edgeis:floateq <reason>.
+Comparisons against the literal 0 are exempt (exactness guards).`,
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	if !floatEqPkgs[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+				return true
+			}
+			if isZeroLiteral(pass, bin.X) || isZeroLiteral(pass, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"%s on float operands in package %q: rounding can invert this decision; compare with an epsilon or annotate //edgeis:floateq <reason>",
+				bin.Op, pass.PkgBase())
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroLiteral reports whether e is a compile-time constant equal to zero.
+func isZeroLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exportLookup resolves import paths to compiler export-data files. It is
+// seeded from a `go list -deps -export` run and falls back to invoking
+// `go list -export` for stray paths (used by the fixture harness, whose
+// stdlib imports are not known up front).
+type exportLookup struct {
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func (e *exportLookup) lookup(ipath string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	f, ok := e.exports[ipath]
+	e.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(nil, "-export", ipath)
+		if err != nil || len(pkgs) != 1 || pkgs[0].Export == "" {
+			return nil, fmt.Errorf("no export data for %q: %v", ipath, err)
+		}
+		f = pkgs[0].Export
+		e.mu.Lock()
+		e.exports[ipath] = f
+		e.mu.Unlock()
+	}
+	return os.Open(f)
+}
+
+func (e *exportLookup) add(ipath, file string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if file != "" {
+		e.exports[ipath] = file
+	}
+}
+
+// sharedLookup caches export data across Load calls and fixture runs in one
+// process, so repeated `go list` invocations for stdlib imports are avoided.
+var sharedLookup = &exportLookup{exports: map[string]string{}}
+
+// goList runs `go list` in dir ("" = current directory) and decodes the
+// JSON package stream.
+func goList(extraEnv []string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error"}, args...)...)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves the given `go list` patterns (e.g. "./..."), type-checks
+// every matched non-test package from source, and returns them sorted by
+// import path. Dependencies are imported from compiler export data, so no
+// network or GOPATH layout is required — only a working `go` command.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := goList(nil, append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		sharedLookup.add(p.ImportPath, p.Export)
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var out []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := TypeCheck(t.ImportPath, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck parses and type-checks one package from the given source files.
+// src maps a filename to its content for in-memory sources (may be nil, in
+// which case files are read from disk). Imports resolve via export data.
+func TypeCheck(pkgPath string, filenames []string, src map[string][]byte) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", sharedLookup.lookup),
+		Error:    func(error) {}, // collect everything; fail on the first below
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// CheckPackage runs the analyzers over one loaded package.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Path, pkg.Info, analyzers)
+}

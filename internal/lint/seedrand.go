@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seedRandAllowed are the math/rand package-level names that construct or
+// name generator state rather than consuming the shared global source.
+var seedRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true, // type, in *rand.Rand value declarations
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// SeedRand flags use of math/rand's global generator (rand.Intn,
+// rand.Float64, rand.Seed, rand.Shuffle, ...) anywhere in the tree. The
+// global source is shared process-wide, so two experiment arms running
+// under the parallel runner would interleave draws and silently couple:
+// each component must own an injected *rand.Rand derived from its seed.
+var SeedRand = &Analyzer{
+	Name:      "seedrand",
+	Directive: "globalrand",
+	Doc: `flags math/rand global-state use
+
+rand.Intn and friends draw from one process-global source. Under the
+parallel experiment runner that source is shared across arms, so draws
+interleave nondeterministically and seeds stop pinning runs. Construct
+rand.New(rand.NewSource(seed)) and thread the *rand.Rand instead, or
+annotate //edgeis:globalrand <reason> for a site that is provably safe.`,
+	Run: runSeedRand,
+}
+
+func runSeedRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			p := pn.Imported().Path()
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if seedRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			// Only function/value references touch global state; type names
+			// other than the allowed ones don't exist in math/rand today,
+			// but be precise anyway.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s uses math/rand's process-global source, which couples parallel experiment arms; thread an injected *rand.Rand (or annotate //edgeis:globalrand <reason>)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

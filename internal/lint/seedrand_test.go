@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"edgeis/internal/lint"
+	"edgeis/internal/lint/analysistest"
+)
+
+func TestSeedRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.SeedRand, "scene")
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"edgeis/internal/lint"
+)
+
+// TestTreeIsClean runs the full analyzer suite over the whole module and
+// requires zero findings: the analyzers ship with the tree clean, and any
+// regression (a new unsorted map range in vo, a wall-clock read in the sim
+// path, a global rand draw) fails the ordinary test suite, not just lint.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	pkgs, err := lint.Load("edgeis/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader broken?", len(pkgs))
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.CheckPackage(pkg, lint.All())
+		if err != nil {
+			t.Fatalf("checking %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			total++
+		}
+	}
+	if total > 0 {
+		t.Fatalf("%d findings; the tree must lint clean (fix or annotate with //edgeis:* <reason>)", total)
+	}
+}

@@ -1,0 +1,5 @@
+// Fixture: package "codec" is outside the floateq scheduler/geometry set,
+// so float equality here is not flagged.
+package codec
+
+func quantMatch(a, b float64) bool { return a == b }

@@ -1,0 +1,9 @@
+// Fixture: core/stages.go is the one core file exempt from walltime — it
+// hosts the real-time StageTimer profiling hooks.
+package core
+
+import "time"
+
+func stageStart() time.Time { return time.Now() }
+
+func stageElapsed(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -1,0 +1,8 @@
+// Fixture: any other file in package core is sim-clock code.
+package core
+
+import "time"
+
+func trackNow() time.Time {
+	return time.Now() // want "time.Now in sim-clock package \"core\""
+}

@@ -1,0 +1,35 @@
+// Fixture for the walltime analyzer: netsim models time with the virtual
+// clock, so wall-clock reads are flagged unless annotated.
+package netsim
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want "time.Now in sim-clock package \"netsim\""
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in sim-clock package"
+}
+
+func pause() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in sim-clock package"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in sim-clock package"
+}
+
+// Constructing durations and formatting timestamps is fine: only observing
+// or consuming real elapsed time is flagged.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}
+
+const tick = 5 * time.Millisecond
+
+// A reviewed real-time site can be annotated.
+func profiled() time.Time {
+	//edgeis:wallclock one-shot profiling log line, never feeds the sim clock
+	return time.Now()
+}

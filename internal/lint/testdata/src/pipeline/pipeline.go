@@ -1,0 +1,43 @@
+// Fixture for the floateq analyzer: package "pipeline" is scheduler code,
+// where exact float equality decided the PR-2 event-queue tie-breaks.
+package pipeline
+
+import "math"
+
+func tie(a, b float64) bool {
+	return a == b // want "== on float operands in package \"pipeline\""
+}
+
+func tie32(a, b float32) bool {
+	return a != b // want "!= on float operands"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "== on float operands"
+}
+
+// Exact-zero guards before division are deliberate and exempt.
+func zeroGuard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+func nonZero(x float64) bool {
+	return x != 0.0
+}
+
+// Integer equality is not flagged.
+func intEq(a, b int) bool { return a == b }
+
+// Epsilon comparison is the sanctioned form.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// NaN self-test is a classic deliberate float equality.
+func isNaN(x float64) bool {
+	//edgeis:floateq x != x is the standard NaN test, rounding-independent
+	return x != x
+}

@@ -1,0 +1,40 @@
+// Fixture for the seedrand analyzer: global math/rand state couples
+// parallel experiment arms; injected *rand.Rand is the sanctioned form.
+package scene
+
+import "math/rand"
+
+func globalDraw() int {
+	return rand.Intn(10) // want "rand.Intn uses math/rand's process-global source"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "rand.Float64 uses math/rand's process-global source"
+}
+
+func globalSeed() {
+	rand.Seed(42) // want "rand.Seed uses math/rand's process-global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses math/rand's process-global source"
+}
+
+// Constructing a seeded generator is the sanctioned pattern — clean.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Drawing from an injected generator is clean.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Naming the types is clean.
+var _ rand.Source = nil
+
+// A reviewed global site can be annotated.
+func annotated() int {
+	//edgeis:globalrand one-shot CLI jitter, never runs under the parallel runner
+	return rand.Intn(3)
+}

@@ -1,0 +1,17 @@
+// Fixture: package "transport" is outside the deterministic set (mapiter)
+// and inside the real-time set (walltime), so nothing here is flagged.
+package transport
+
+import "time"
+
+func sink(string, int) {}
+
+func visitAll(m map[string]int) {
+	for k, v := range m {
+		sink(k, v)
+	}
+}
+
+func stamp() time.Time { return time.Now() }
+
+func wait() { time.Sleep(time.Millisecond) }

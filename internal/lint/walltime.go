@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// wallClockPkgs are the packages that legitimately run on real goroutines
+// against real sockets and timers; everything else models time with the
+// simulator's virtual clock and must not read the wall clock. backendtest
+// is test infrastructure: it polls real TCP/loopback backends from the
+// conformance suite, so its deadlines are genuinely wall-clock.
+var wallClockPkgs = map[string]bool{
+	"transport":   true,
+	"live":        true,
+	"parallel":    true,
+	"backendtest": true,
+}
+
+// wallTimeFuncs are the time-package entry points that observe or consume
+// real elapsed time.
+var wallTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+// WallTime flags time.Now/Since/Until/Sleep in sim-clock packages, where
+// virtual time must be used so runs are seed-reproducible and latency
+// figures come from the modeled clock, not host scheduling jitter.
+var WallTime = &Analyzer{
+	Name:      "walltime",
+	Directive: "wallclock",
+	Doc: `flags wall-clock reads in virtual-time packages
+
+The sim pipeline advances a virtual clock; reading the host clock there
+makes latency figures depend on machine load and breaks seed
+reproducibility. Real-time packages (transport, live, parallel) and the
+core/stages.go profiling hooks are exempt, as are tests. Other genuine
+wall-clock sites must be annotated //edgeis:wallclock <reason>.`,
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) error {
+	if wallClockPkgs[pass.PkgBase()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// core/stages.go hosts the StageTimer profiling hooks, which time
+		// real work on purpose and feed no simulated quantity.
+		if pass.PkgBase() == "core" && filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "stages.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || !isPkgName(pass, pkgID, "time") || !wallTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in sim-clock package %q: use the virtual clock, or annotate //edgeis:wallclock <reason>",
+				sel.Sel.Name, pass.PkgBase())
+			return true
+		})
+	}
+	return nil
+}
