@@ -17,6 +17,7 @@ func ConvexHull(points []Vec2) []Vec2 {
 	pts := make([]Vec2, len(points))
 	copy(pts, points)
 	sort.Slice(pts, func(i, j int) bool {
+		//edgeis:floateq lexicographic sort compares stored values verbatim, no arithmetic involved
 		if pts[i].X != pts[j].X {
 			return pts[i].X < pts[j].X
 		}
@@ -26,6 +27,7 @@ func ConvexHull(points []Vec2) []Vec2 {
 	uniq := pts[:1]
 	for _, p := range pts[1:] {
 		last := uniq[len(uniq)-1]
+		//edgeis:floateq dedup drops exact bit-for-bit duplicates only; near-equal points must survive
 		if p.X != last.X || p.Y != last.Y {
 			uniq = append(uniq, p)
 		}

@@ -51,6 +51,7 @@ type eventHeap []event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
+	//edgeis:floateq compares stored event times verbatim; exact ties fall through to kind then seq
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

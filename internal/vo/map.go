@@ -135,7 +135,8 @@ func (m *Map) InstancePoints(instanceID int) []*MapPoint {
 	return out
 }
 
-// BackgroundPoints returns all background-labeled points.
+// BackgroundPoints returns all background-labeled points, sorted by ID so
+// callers see a seed-stable order rather than map-iteration order.
 func (m *Map) BackgroundPoints() []*MapPoint {
 	out := make([]*MapPoint, 0, len(m.points))
 	for _, p := range m.points {
@@ -143,6 +144,7 @@ func (m *Map) BackgroundPoints() []*MapPoint {
 			out = append(out, p)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -188,6 +190,7 @@ type CleanupPolicy struct {
 func (m *Map) Cleanup(policy CleanupPolicy, currentFrame int) int {
 	removed := 0
 	if policy.MaxAge > 0 {
+		//edgeis:ordered culls exactly the aged keys; Remove touches only the visited entry, so the culled set is order-independent
 		for id, p := range m.points {
 			if currentFrame-p.LastSeen > policy.MaxAge {
 				m.Remove(id)

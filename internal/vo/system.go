@@ -955,6 +955,7 @@ func (s *System) localBundleAdjustment(cur *FrameRecord) {
 				os.pixels = append(os.pixels, rec.Keypoints[i].Pixel)
 			}
 		}
+		//edgeis:ordered each pid refines its own point from its own observations; no cross-entry state
 		for pid, os := range pointObs {
 			if len(os.poses) < 2 {
 				continue
@@ -1195,6 +1196,7 @@ func (s *System) AnnotateFrame(idx int, masks []LabeledMask) error {
 		}
 		instID := 0
 		bestVotes := 0
+		//edgeis:ordered argmax with an explicit smaller-ID tie-break; the winner is order-independent
 		for id, v := range votes {
 			// Vote ties break toward the smaller (older) instance ID so the
 			// winner does not depend on map-iteration order.
@@ -1268,6 +1270,7 @@ func (s *System) retireUnconfirmed(rec *FrameRecord, masks []LabeledMask) {
 			}
 		}
 	}
+	//edgeis:ordered per-instance bookkeeping against read-only tallies; each entry deletes at most its own key
 	for instID, inst := range s.instances {
 		if observed[instID] < minObservationsForPose {
 			continue // not visible in this frame; no evidence either way
