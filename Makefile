@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test short race vet fuzz bench check
+.PHONY: build test short race vet lint fuzz bench check
 
 build: ## Compile every package and binary.
 	$(GO) build ./...
@@ -15,8 +15,11 @@ short: ## Run the suite without the long integration sweeps.
 race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip).
 	$(GO) test -race ./...
 
-vet: ## Static analysis.
+vet: ## Standard static analysis.
 	$(GO) vet ./...
+
+lint: ## Repo-specific determinism/concurrency analyzers (see DESIGN.md §11).
+	$(GO) run ./cmd/edgeis-lint ./...
 
 fuzz: ## Brief fuzz pass over the wire-protocol decoders.
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalFrame -fuzztime=$(FUZZTIME) ./internal/transport/
@@ -26,4 +29,4 @@ fuzz: ## Brief fuzz pass over the wire-protocol decoders.
 bench: ## Per-figure benchmarks.
 	$(GO) test -bench=. -benchmem .
 
-check: vet build test race ## Everything CI runs, in order.
+check: vet lint build test race ## Everything CI runs, in order.
