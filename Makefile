@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 30s
+BENCHTIME ?= 200ms
 
-.PHONY: build test short race vet lint fuzz bench check
+.PHONY: build test short race vet lint fuzz bench kernelbench check
 
 build: ## Compile every package and binary.
 	$(GO) build ./...
@@ -26,7 +27,10 @@ fuzz: ## Brief fuzz pass over the wire-protocol decoders.
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalResult -fuzztime=$(FUZZTIME) ./internal/transport/
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalError -fuzztime=$(FUZZTIME) ./internal/transport/
 
-bench: ## Per-figure benchmarks.
+bench: kernelbench ## Per-figure benchmarks plus the packed-kernel sweep.
 	$(GO) test -bench=. -benchmem .
+
+kernelbench: ## Packed-vs-scalar mask kernel sweep; refreshes BENCH_kernels.json.
+	$(GO) run ./cmd/edgeis-kernelbench -benchtime $(BENCHTIME) -out BENCH_kernels.json
 
 check: vet lint build test race ## Everything CI runs, in order.

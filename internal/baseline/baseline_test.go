@@ -239,10 +239,15 @@ func TestVariantDefaults(t *testing.T) {
 }
 
 func TestMedianHelper(t *testing.T) {
-	if got := median([]float64{3, 1, 2}); got != 2 {
+	tr := NewTracker(TrackMotionVector)
+	in := []float64{3, 1, 2}
+	if got := tr.median(in); got != 2 {
 		t.Errorf("median = %v", got)
 	}
-	if got := median([]float64{5}); got != 5 {
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("median mutated its input: %v", in)
+	}
+	if got := tr.median([]float64{5}); got != 5 {
 		t.Errorf("median = %v", got)
 	}
 }

@@ -34,31 +34,71 @@ const (
 	TrackKCF
 )
 
+// graveDepth is how many Steps a replaced mask survives before its storage
+// is recycled. Consumers alias tracker masks into frame outputs (the
+// pipeline engine keeps the latest output as display state for one more
+// frame), so retired masks must outlive those short-lived references; three
+// steps is comfortably past every reader in the tree.
+const graveDepth = 3
+
 // Tracker updates cached masks frame to frame using feature matches — the
 // "track" half of the classical track+detect paradigm (Section II-A).
+//
+// Masks handed to SetMasks are owned by the tracker from then on: their
+// storage is recycled through the pool a few Steps after they are replaced.
+// Callers must pass masks nothing else will touch (a Clone, typically) and
+// must treat masks read via Masks() as valid only for the current and next
+// few frames, not retained indefinitely.
 type Tracker struct {
 	Kind      TrackerKind
 	prevFeats []feature.Feature
 	masks     []TrackedMask
+
+	pool  *mask.Pool
+	grave [graveDepth][]*mask.Bitmask // grave[i] = masks retired i Steps ago
+
+	// Per-step scratch, reused so steady-state stepping allocates nothing.
+	dxs, dys, med []float64
+	p0s, p1s      []struct{ X, Y float64 }
 }
 
-// NewTracker builds a tracker.
+// NewTracker builds a tracker with its own private mask pool.
 func NewTracker(kind TrackerKind) *Tracker {
-	return &Tracker{Kind: kind}
+	return NewTrackerPooled(kind, mask.NewPool())
 }
 
-// SetMasks replaces the cached masks (a keyframe result arrived).
+// NewTrackerPooled builds a tracker drawing scratch masks from the given
+// pool (nil allocates). Sharing one pool across components keeps the total
+// number of live mask buffers at the working-set size.
+func NewTrackerPooled(kind TrackerKind, pool *mask.Pool) *Tracker {
+	return &Tracker{Kind: kind, pool: pool}
+}
+
+// SetMasks replaces the cached masks (a keyframe result arrived), taking
+// ownership of the new masks. The previous masks enter the reclaim ring.
 func (t *Tracker) SetMasks(masks []TrackedMask) {
+	for i := range t.masks {
+		t.grave[0] = append(t.grave[0], t.masks[i].Mask)
+	}
 	t.masks = masks
 }
 
-// Masks returns the current cached masks.
+// Masks returns the current cached masks. The mask pixels are valid until
+// graveDepth further Steps have run; clone to retain longer.
 func (t *Tracker) Masks() []TrackedMask { return t.masks }
 
 // Step advances every cached mask using matches between the previous and
 // the current frame's features, then stores the current features for the
 // next step.
 func (t *Tracker) Step(feats []feature.Feature) {
+	// Rotate the reclaim ring: masks retired graveDepth Steps ago can no
+	// longer be referenced by any consumer and return to the pool.
+	last := graveDepth - 1
+	t.pool.Put(t.grave[last]...)
+	oldest := t.grave[last][:0]
+	copy(t.grave[1:], t.grave[:last])
+	t.grave[0] = oldest
+
 	defer func() {
 		t.prevFeats = feats
 	}()
@@ -67,19 +107,24 @@ func (t *Tracker) Step(feats []feature.Feature) {
 	}
 	matches := feature.MatchFeatures(t.prevFeats, feats)
 	for i := range t.masks {
-		t.masks[i].Mask = t.advance(t.masks[i].Mask, matches, feats)
+		next := t.advance(t.masks[i].Mask, matches, feats)
+		if next != t.masks[i].Mask {
+			t.grave[0] = append(t.grave[0], t.masks[i].Mask)
+			t.masks[i].Mask = next
+		}
 	}
 }
 
-// advance applies the tracker's motion model to one mask.
+// advance applies the tracker's motion model to one mask, returning either
+// a pooled replacement or m itself when there is nothing to go on.
 func (t *Tracker) advance(m *mask.Bitmask, matches []feature.Match, feats []feature.Feature) *mask.Bitmask {
 	box := m.BoundingBox()
 	if box.Empty() {
 		return m
 	}
 	// Collect displacements of features that started inside the mask box.
-	var dxs, dys []float64
-	var p0s, p1s []struct{ X, Y float64 }
+	dxs, dys := t.dxs[:0], t.dys[:0]
+	p0s, p1s := t.p0s[:0], t.p1s[:0]
 	for _, mt := range matches {
 		p0 := t.prevFeats[mt.A].Pixel
 		if !box.Contains(int(p0.X), int(p0.Y)) {
@@ -91,12 +136,14 @@ func (t *Tracker) advance(m *mask.Bitmask, matches []feature.Match, feats []feat
 		p0s = append(p0s, struct{ X, Y float64 }{p0.X, p0.Y})
 		p1s = append(p1s, struct{ X, Y float64 }{p1.X, p1.Y})
 	}
+	t.dxs, t.dys, t.p0s, t.p1s = dxs, dys, p0s, p1s
 	if len(dxs) < 2 {
 		return m // nothing to go on; keep the stale mask
 	}
-	dx := median(dxs)
-	dy := median(dys)
-	out := m.Translate(int(math.Round(dx)), int(math.Round(dy)))
+	dx := t.median(dxs)
+	dy := t.median(dys)
+	out := t.pool.Get(m.Width, m.Height)
+	m.TranslateInto(out, int(math.Round(dx)), int(math.Round(dy)))
 
 	if t.Kind == TrackKCF && len(p0s) >= 4 {
 		// Scale estimate: ratio of mean pairwise spreads (the scale term a
@@ -105,17 +152,21 @@ func (t *Tracker) advance(m *mask.Bitmask, matches []feature.Match, feats []feat
 		if s > 0.5 && s < 2 && math.Abs(s-1) > 0.01 {
 			c, ok := out.CenterOfMass()
 			if ok {
-				out = out.ScaleAround(c.X, c.Y, s)
+				scaled := t.pool.Get(out.Width, out.Height)
+				out.ScaleAroundInto(scaled, c.X, c.Y, s)
+				t.pool.Put(out) // never escaped; reclaim immediately
+				out = scaled
 			}
 		}
 	}
 	return out
 }
 
-// median returns the median of a small slice (destructive sort-free
-// selection is unnecessary at these sizes).
-func median(vs []float64) float64 {
-	cp := append([]float64(nil), vs...)
+// median returns the median of a small slice, sorting into the tracker's
+// scratch buffer so the caller's slice is untouched.
+func (t *Tracker) median(vs []float64) float64 {
+	cp := append(t.med[:0], vs...)
+	t.med = cp
 	// Insertion sort: n is tens at most.
 	for i := 1; i < len(cp); i++ {
 		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {

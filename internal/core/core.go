@@ -78,6 +78,25 @@ type SessionStats struct {
 	InitEmpty    int // initialization results with no usable masks
 }
 
+// cacheHorizon is how many frames transfer-cache entries stay usable as
+// transfer sources before eviction reclaims them (and their pooled
+// storage); see transfer.Predictor.Evict.
+const cacheHorizon = 90
+
+// compactAge is how many frames behind the present the transfer cache parks
+// chained entries in run-length form (transfer.Predictor.Compact), returning
+// their dense buffers to the mask pool. Must stay above 1: the engine reads
+// the last frame's prediction masks (Guidance/CIIA) until the next frame
+// replaces them, so the freshest chained entries must keep their buffers.
+const compactAge = 3
+
+// displayRingDepth is how many display mask sets stay live before their
+// storage is recycled. The pipeline engine retains the latest non-empty
+// output as display state until the next non-empty output replaces it, and
+// per-frame evaluation reads the current output; three sets comfortably
+// outlive both.
+const displayRingDepth = 3
+
 // System is the edgeIS mobile runtime. It implements pipeline.Strategy.
 type System struct {
 	cfg  Config
@@ -85,6 +104,14 @@ type System struct {
 	pred *transfer.Predictor
 	sel  *roisel.Selector
 	grid codec.Grid
+
+	// pool recycles per-frame mask scratch (z-clip chain, display clones,
+	// fallback tracker updates, transfer rasterization) so steady-state
+	// tracking frames allocate no masks.
+	pool *mask.Pool
+	// displayRing holds the last displayRingDepth non-empty output mask
+	// sets; pushing a new set recycles the oldest (see retireDisplay).
+	displayRing [displayRingDepth][]*mask.Bitmask
 
 	// fallback is a motion-vector tracker that keeps masks on screen while
 	// the VO (re-)initializes — without it the screen would be empty for
@@ -112,16 +139,20 @@ var _ pipeline.Strategy = (*System)(nil)
 // NewSystem builds the edgeIS runtime.
 func NewSystem(cfg Config) *System {
 	cfg.applyDefaults()
-	return &System{
+	pool := mask.NewPool()
+	s := &System{
 		cfg:         cfg,
 		vo:          vo.NewSystem(cfg.VO),
 		pred:        transfer.NewPredictor(cfg.Camera, cfg.Transfer),
 		sel:         roisel.NewSelector(cfg.Selector),
 		grid:        codec.NewGrid(cfg.Camera.Width, cfg.Camera.Height),
-		fallback:    baseline.NewTracker(baseline.TrackMotionVector),
+		pool:        pool,
+		fallback:    baseline.NewTrackerPooled(baseline.TrackMotionVector, pool),
 		initResults: make(map[int][]vo.LabeledMask),
 		mem:         device.NewMemoryModel(cfg.Device),
 	}
+	s.pred.SetPool(pool)
+	return s
 }
 
 // Name implements pipeline.Strategy.
@@ -191,7 +222,10 @@ func (s *System) ProcessFrame(f *scene.Frame, feats []feature.Feature, nowMs flo
 	case vo.StatusLost:
 		s.stats.LostEvents++
 		s.vo.Reset()
+		// The old predictor's pooled cache masks are abandoned to the GC;
+		// the pool itself carries over to the replacement.
 		s.pred = transfer.NewPredictor(s.cfg.Camera, s.cfg.Transfer)
+		s.pred.SetPool(s.pool)
 		out.Masks = s.fallbackMasks()
 	default: // collecting
 		out.Masks = s.fallbackMasks()
@@ -207,14 +241,40 @@ func (s *System) ProcessFrame(f *scene.Frame, feats []feature.Feature, nowMs flo
 	return out
 }
 
-// fallbackMasks converts the MV tracker state for display.
+// fallbackMasks converts the MV tracker state for display. The masks are
+// pool-cloned and pushed through the display ring so the engine never
+// aliases tracker-owned storage, which the tracker recycles on its own
+// schedule.
 func (s *System) fallbackMasks() []metrics.PredictedMask {
 	tms := s.fallback.Masks()
-	out := make([]metrics.PredictedMask, 0, len(tms))
-	for _, tm := range tms {
-		out = append(out, metrics.PredictedMask{Label: tm.Label, Mask: tm.Mask})
+	if len(tms) == 0 {
+		return nil
 	}
+	out := make([]metrics.PredictedMask, 0, len(tms))
+	set := make([]*mask.Bitmask, 0, len(tms))
+	for _, tm := range tms {
+		c := s.pool.Get(tm.Mask.Width, tm.Mask.Height)
+		c.CopyFrom(tm.Mask)
+		set = append(set, c)
+		out = append(out, metrics.PredictedMask{Label: tm.Label, Mask: c})
+	}
+	s.retireDisplay(set)
 	return out
+}
+
+// retireDisplay records a non-empty mask set that is about to become the
+// engine's display state and recycles the set pushed displayRingDepth
+// non-empty outputs ago. By then the engine has replaced it as display at
+// least twice over, so no reference can remain. Empty outputs never reach
+// the ring — the engine keeps the previous display on those frames.
+func (s *System) retireDisplay(set []*mask.Bitmask) {
+	if len(set) == 0 {
+		return
+	}
+	last := displayRingDepth - 1
+	s.pool.Put(s.displayRing[last]...)
+	copy(s.displayRing[1:], s.displayRing[:last])
+	s.displayRing[0] = set
 }
 
 // handleInitPair ships both staged initialization frames at full quality.
@@ -349,15 +409,17 @@ func (s *System) HandleEdgeResult(res pipeline.EdgeResult, f *scene.Frame, nowMs
 	}
 	s.seedCache(res.FrameIndex, labeled)
 	s.sel.NoteEdgeResult(res.FrameIndex)
-	s.pred.Evict(res.FrameIndex - 90)
+	s.pred.Evict(res.FrameIndex - cacheHorizon)
 }
 
 // primeFallback feeds edge masks into the MV fallback tracker.
 func (s *System) primeFallback(labeled []vo.LabeledMask, frameIdx int) {
 	tms := make([]baseline.TrackedMask, 0, len(labeled))
 	for _, lm := range labeled {
+		c := s.pool.Get(lm.Mask.Width, lm.Mask.Height)
+		c.CopyFrom(lm.Mask)
 		tms = append(tms, baseline.TrackedMask{
-			Label: lm.Label, Mask: lm.Mask.Clone(), SourceFrame: frameIdx,
+			Label: lm.Label, Mask: c, SourceFrame: frameIdx,
 		})
 	}
 	s.fallback.SetMasks(tms)

@@ -130,6 +130,13 @@ type trackingState struct {
 // stagePredict is MAMT's transfer step: reproject every cached mask into the
 // current frame through the VO poses.
 func (s *System) stagePredict(f *scene.Frame, ts *trackingState) {
+	// Park aged chained entries in run-length form on the frame clock, not
+	// only on edge results: when CFRS decides nothing needs offloading, no
+	// results arrive, and without this the chained predictions would bleed
+	// the mask pool dry at one set per frame. Compacting (unlike evicting
+	// here) leaves every entry selectable, so transfer outputs are
+	// byte-identical with or without it.
+	s.pred.Compact(f.Index - compactAge)
 	ts.preds = s.pred.PredictAll(s.vo, f.Index)
 	s.lastPredictions = ts.preds
 }
@@ -152,14 +159,16 @@ func (s *System) stageZClip(f *scene.Frame, ts *trackingState) {
 		return 1e18
 	}
 	sort.Slice(order, func(a, b int) bool { return depth(order[a]) < depth(order[b]) })
-	occluded := mask.New(s.cfg.Camera.Width, s.cfg.Camera.Height)
+	occluded := s.pool.Get(s.cfg.Camera.Width, s.cfg.Camera.Height)
 	clipped := make([]*mask.Bitmask, len(preds))
 	for _, i := range order {
-		m := preds[i].Mask.Clone()
+		m := s.pool.Get(preds[i].Mask.Width, preds[i].Mask.Height)
+		m.CopyFrom(preds[i].Mask)
 		m.Subtract(occluded)
 		occluded.Union(preds[i].Mask)
 		clipped[i] = m
 	}
+	s.pool.Put(occluded) // never escapes this stage
 
 	ts.masks = make([]metrics.PredictedMask, 0, len(preds))
 	ts.boxes = make([]mask.Box, 0, len(preds))
@@ -170,12 +179,18 @@ func (s *System) stageZClip(f *scene.Frame, ts *trackingState) {
 		b := p.Mask.BoundingBox()
 		ts.boxes = append(ts.boxes, b)
 		ts.priors = append(ts.priors, accel.ObjectPrior{Box: b, Label: p.Label})
-		tms = append(tms, baseline.TrackedMask{Label: p.Label, Mask: clipped[i].Clone(), SourceFrame: f.Index})
+		tm := s.pool.Get(clipped[i].Width, clipped[i].Height)
+		tm.CopyFrom(clipped[i])
+		tms = append(tms, baseline.TrackedMask{Label: p.Label, Mask: tm, SourceFrame: f.Index})
 	}
+	// The clipped set becomes this frame's display output; route it through
+	// the ring so its storage returns to the pool once the engine has moved
+	// past it.
+	s.retireDisplay(clipped)
 	if len(tms) > 0 {
 		// Keep the fallback tracker primed with the latest good masks so a
 		// later tracking loss degrades to classical MV tracking instead of
-		// a blank screen.
+		// a blank screen. The tracker takes ownership of the clones.
 		s.fallback.SetMasks(tms)
 	}
 }

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"testing"
+
+	"edgeis/internal/core"
+	"edgeis/internal/device"
+	"edgeis/internal/feature"
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/scene"
+)
+
+// allocProbe wraps the edgeIS system and records how many mask backing
+// arrays each ProcessFrame call allocates.
+type allocProbe struct {
+	inner  *core.System
+	deltas []uint64
+}
+
+func (p *allocProbe) Name() string { return p.inner.Name() }
+
+func (p *allocProbe) ProcessFrame(f *scene.Frame, feats []feature.Feature, nowMs float64) pipeline.FrameOutput {
+	before := mask.Allocs()
+	out := p.inner.ProcessFrame(f, feats, nowMs)
+	p.deltas = append(p.deltas, mask.Allocs()-before)
+	return out
+}
+
+func (p *allocProbe) HandleEdgeResult(res pipeline.EdgeResult, f *scene.Frame, nowMs float64) {
+	p.inner.HandleEdgeResult(res, f, nowMs)
+}
+
+func (p *allocProbe) AwaitingEdgeResult() bool { return p.inner.AwaitingEdgeResult() }
+
+// TestSteadyStateTrackingAllocatesNoMasks pins the pooling tentpole: once
+// the system is warm (pool filled to the working-set high-water mark, cache
+// eviction horizons reached), per-frame processing on the tracking path
+// performs zero mask allocations. Mask allocations are counted
+// process-globally, so the probe snapshots around each ProcessFrame;
+// edge-result handling (decode, VO annotation) is allowed to allocate — it
+// runs per offload, not per frame.
+func TestSteadyStateTrackingAllocatesNoMasks(t *testing.T) {
+	cfg := pipeline.Config{
+		World:       scene.StreetScene(scene.PresetConfig{Seed: 17, ObjectCount: 3}),
+		Camera:      geom.StandardCamera(320, 240),
+		Trajectory:  scene.InspectionRoute(scene.WalkSpeed),
+		Frames:      400,
+		CameraSpeed: scene.WalkSpeed,
+		Medium:      netsim.WiFi5,
+		Seed:        17,
+	}
+	probe := &allocProbe{inner: core.NewSystem(core.Config{
+		Camera: cfg.Camera, Device: device.IPhone11, Seed: cfg.Seed,
+	})}
+	pipeline.NewEngine(cfg, probe).Run()
+
+	if len(probe.deltas) != cfg.Frames {
+		t.Fatalf("probe saw %d frames, want %d", len(probe.deltas), cfg.Frames)
+	}
+	// Warmup covers initialization and the offload-heavy early phase, during
+	// which the pool grows to the working-set high-water mark (last observed
+	// allocation is around frame 61; per-frame cache compaction keeps the
+	// chained working set bounded after that).
+	const warmup = 120
+	total := uint64(0)
+	for i := warmup; i < len(probe.deltas); i++ {
+		if probe.deltas[i] != 0 {
+			t.Errorf("frame %d allocated %d masks", i, probe.deltas[i])
+		}
+		total += probe.deltas[i]
+	}
+	if total != 0 {
+		t.Fatalf("steady-state frames allocated %d masks, want 0", total)
+	}
+}

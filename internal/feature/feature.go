@@ -67,6 +67,7 @@ type Extractor struct {
 	camera geom.Camera
 	cfg    Config
 	rng    *rand.Rand
+	occl   *mask.Bitmask // per-frame occlusion scratch, reused across Extract calls
 }
 
 // NewExtractor builds an extractor over the given world. The seed makes
@@ -75,7 +76,11 @@ func NewExtractor(w *scene.World, cam geom.Camera, cfg Config, seed int64) *Extr
 	if cfg.MaxFeatures == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Extractor{world: w, camera: cam, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &Extractor{
+		world: w, camera: cam, cfg: cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		occl: mask.New(cam.Width, cam.Height),
+	}
 }
 
 // Extract detects features in the frame. camSpeed is the instantaneous
@@ -88,7 +93,9 @@ func (e *Extractor) Extract(f *scene.Frame, camSpeed float64) []Feature {
 	camCenter := f.TCW.CameraCenter()
 
 	// Union of visible instance masks, for background occlusion tests.
-	occluded := mask.New(e.camera.Width, e.camera.Height)
+	// The scratch mask persists across frames so extraction allocates none.
+	occluded := e.occl
+	occluded.Reset()
 	for _, gt := range f.Objects {
 		occluded.Union(gt.Visible)
 	}
@@ -183,10 +190,17 @@ type Match struct {
 }
 
 // MatchFeatures returns index pairs of features sharing a descriptor.
+// When several A-side features carry the same descriptor (possible when a
+// corrupted rng.Uint64 descriptor collides), the first (lowest-index)
+// occurrence wins — matching the strongest detection, since extraction
+// emits features strongest-first. Last-write-wins here used to silently
+// rewire such matches to the weakest duplicate.
 func MatchFeatures(a, b []Feature) []Match {
 	byDesc := make(map[uint64]int, len(a))
 	for i := range a {
-		byDesc[a[i].Descriptor] = i
+		if _, dup := byDesc[a[i].Descriptor]; !dup {
+			byDesc[a[i].Descriptor] = i
+		}
 	}
 	out := make([]Match, 0, len(b))
 	for j := range b {

@@ -1,0 +1,60 @@
+package feature
+
+import (
+	"testing"
+
+	"edgeis/internal/geom"
+	"edgeis/internal/mask"
+	"edgeis/internal/scene"
+)
+
+// TestMatchFeaturesDuplicateDescriptorKeepsFirst pins the documented
+// tie-break: when the A side carries the same descriptor more than once
+// (e.g. a corrupted rng.Uint64 descriptor colliding), matches pair against
+// the first (lowest-index, strongest) occurrence — last-write-wins used to
+// silently rewire them to the weakest duplicate.
+func TestMatchFeaturesDuplicateDescriptorKeepsFirst(t *testing.T) {
+	a := []Feature{
+		{Descriptor: 10},
+		{Descriptor: 77},
+		{Descriptor: 77}, // duplicate: must lose to index 1
+		{Descriptor: 20},
+	}
+	b := []Feature{
+		{Descriptor: 77},
+		{Descriptor: 20},
+	}
+	got := MatchFeatures(a, b)
+	want := []Match{{A: 1, B: 0}, {A: 3, B: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExtractReusesOcclusionScratch verifies repeated extraction performs no
+// per-frame mask allocations (the occlusion union reuses one scratch mask).
+func TestExtractReusesOcclusionScratch(t *testing.T) {
+	w := scene.NewWorld(scene.WorldConfig{Seed: 1}, []*scene.Object{
+		{Class: scene.Car, Center: geom.V3(0, 1, 8), Half: geom.V3(1.5, 1, 1)},
+	})
+	cam := geom.StandardCamera(320, 240)
+	tcw := scene.LookAtPose(geom.V3(0, 1.6, 0), geom.V3(0, 1, 8))
+	e := NewExtractor(w, cam, DefaultConfig(), 7)
+	e.Extract(w.Render(cam, tcw, 0, 0), 0.1) // warm-up
+	frames := make([]*scene.Frame, 5)
+	for i := range frames {
+		frames[i] = w.Render(cam, tcw, float64(i+1)*0.033, i+1)
+	}
+	before := mask.Allocs()
+	for _, f := range frames {
+		e.Extract(f, 0.1)
+	}
+	if got := mask.Allocs() - before; got != 0 {
+		t.Fatalf("Extract performed %d mask allocations over 5 frames, want 0", got)
+	}
+}

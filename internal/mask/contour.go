@@ -2,7 +2,7 @@ package mask
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 
 	"edgeis/internal/geom"
 )
@@ -18,7 +18,14 @@ type Contour []geom.Vec2
 // RETR_EXTERNAL mode. Components are returned in scan order; components
 // smaller than minArea pixels are skipped.
 func ExtractContours(m *Bitmask, minArea int) []Contour {
-	visited := New(m.Width, m.Height)
+	return ExtractContoursPooled(m, minArea, nil)
+}
+
+// ExtractContoursPooled is ExtractContours drawing its visited-pixel
+// scratch mask from the pool (nil allocates); the scratch never escapes.
+func ExtractContoursPooled(m *Bitmask, minArea int, pool *Pool) []Contour {
+	visited := pool.Get(m.Width, m.Height)
+	defer pool.Put(visited)
 	var contours []Contour
 
 	labels := connectedComponents(m)
@@ -41,32 +48,39 @@ func ExtractContours(m *Bitmask, minArea int) []Contour {
 	return contours
 }
 
-// connectedComponents labels 4-connected components starting at 1.
+// connectedComponents labels 4-connected components starting at 1. Seed
+// pixels are found by scanning the packed rows a word at a time (zero words
+// — the vast majority of a typical frame — cost one compare), then each
+// component is flood-filled.
 func connectedComponents(m *Bitmask) []int {
-	labels := make([]int, len(m.Pix))
+	labels := make([]int, m.Width*m.Height)
 	next := 0
 	var stack [][2]int
 	for y := 0; y < m.Height; y++ {
-		for x := 0; x < m.Width; x++ {
-			if m.Pix[y*m.Width+x] == 0 || labels[y*m.Width+x] != 0 {
-				continue
-			}
-			next++
-			stack = stack[:0]
-			stack = append(stack, [2]int{x, y})
-			labels[y*m.Width+x] = next
-			for len(stack) > 0 {
-				p := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-					nx, ny := p[0]+d[0], p[1]+d[1]
-					if nx < 0 || ny < 0 || nx >= m.Width || ny >= m.Height {
-						continue
-					}
-					idx := ny*m.Width + nx
-					if m.Pix[idx] != 0 && labels[idx] == 0 {
-						labels[idx] = next
-						stack = append(stack, [2]int{nx, ny})
+		for k, w := range m.row(y) {
+			for w != 0 {
+				x := k*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				if labels[y*m.Width+x] != 0 {
+					continue
+				}
+				next++
+				stack = stack[:0]
+				stack = append(stack, [2]int{x, y})
+				labels[y*m.Width+x] = next
+				for len(stack) > 0 {
+					p := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+						nx, ny := p[0]+d[0], p[1]+d[1]
+						if !m.At(nx, ny) {
+							continue
+						}
+						idx := ny*m.Width + nx
+						if labels[idx] == 0 {
+							labels[idx] = next
+							stack = append(stack, [2]int{nx, ny})
+						}
 					}
 				}
 			}
@@ -124,7 +138,7 @@ func traceBoundary(m *Bitmask, labels []int, lbl, sx, sy int, visited *Bitmask) 
 	const east = 4
 	dir := east
 
-	maxSteps := 8 * len(m.Pix)
+	maxSteps := 8 * m.Width * m.Height
 	for step := 0; step < maxSteps; step++ {
 		found := false
 		start := (dir + 5) % 8 // one past the backtrack neighbour
@@ -155,11 +169,35 @@ func traceBoundary(m *Bitmask, labels []int, lbl, sx, sy int, visited *Bitmask) 
 // into a dense mask (Section III-C).
 func FillPolygon(vertices []geom.Vec2, width, height int) *Bitmask {
 	out := New(width, height)
+	fillPolygonInto(out, vertices)
+	return out
+}
+
+// FillPolygonInto rasterizes the polygon into dst, reshaping it to the
+// given size and reusing its storage. It is FillPolygon for pooled masks —
+// the mask-transfer predictor calls it once per cached instance per frame.
+func FillPolygonInto(dst *Bitmask, vertices []geom.Vec2, width, height int) {
+	dst.reshape(width, height)
+	fillPolygonInto(dst, vertices)
+}
+
+// scanEdge is one polygon edge prepared for scanline filling. Endpoint order
+// is preserved — the crossing x must be interpolated with exactly the
+// expression the scalar reference uses, or rasterization would drift by a
+// bit at ties — and the rows the edge crosses are precomputed so the per-row
+// loop touches only active edges instead of testing every edge per scanline.
+type scanEdge struct {
+	ax, ay, bx, by float64
+	row0, row1     int // scanline rows the edge crosses: [row0, row1)
+}
+
+func fillPolygonInto(out *Bitmask, vertices []geom.Vec2) {
+	width, height := out.Width, out.Height
 	if len(vertices) < 3 {
 		for _, v := range vertices {
 			out.Set(int(math.Round(v.X)), int(math.Round(v.Y)))
 		}
-		return out
+		return
 	}
 
 	minY, maxY := math.Inf(1), math.Inf(-1)
@@ -169,26 +207,105 @@ func FillPolygon(vertices []geom.Vec2, width, height int) *Bitmask {
 	}
 	y0 := max(0, int(math.Floor(minY)))
 	y1 := min(height-1, int(math.Ceil(maxY)))
+	if y1 < y0 {
+		// Polygon entirely outside the vertical band (or NaN vertices):
+		// no scanline can cross it, only the boundary stamps remain.
+		for _, v := range vertices {
+			out.Set(int(math.Round(v.X)), int(math.Round(v.Y)))
+		}
+		return
+	}
+
+	// Edge table: an edge crosses the scanline through fy = y+0.5 iff
+	// min(ay,by) <= fy < max(ay,by) — the same even-odd rule as testing
+	// (ay <= fy) != (by <= fy) per row, hoisted out of the row loop. The
+	// boundary rows come from a floor estimate corrected with the exact
+	// comparisons, so activation agrees bit-for-bit with the per-row test.
+	edges := make([]scanEdge, 0, len(vertices))
+	for i := range vertices {
+		a := vertices[i]
+		b := vertices[(i+1)%len(vertices)]
+		lo, hi := a.Y, b.Y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if !(lo < hi) {
+			continue // horizontal (or degenerate) edges never cross
+		}
+		r0 := int(math.Floor(lo)) // first y with lo <= y+0.5
+		for r0 > y0 && lo <= float64(r0-1)+0.5 {
+			r0--
+		}
+		for r0 <= y1 && !(lo <= float64(r0)+0.5) {
+			r0++
+		}
+		r1 := int(math.Floor(hi)) // first y with hi <= y+0.5
+		for r1 > r0 && hi <= float64(r1-1)+0.5 {
+			r1--
+		}
+		for r1 <= y1 && !(hi <= float64(r1)+0.5) {
+			r1++
+		}
+		r0 = max(r0, y0)
+		r1 = min(r1, y1+1)
+		if r0 < r1 {
+			edges = append(edges, scanEdge{a.X, a.Y, b.X, b.Y, r0, r1})
+		}
+	}
+	// Group edges by first active row. row0 is clamped to [y0, y1], so a
+	// counting sort places every edge in two linear passes — comparison
+	// sorting the 56-byte structs costs as much as the fill itself.
+	counts := make([]int, y1-y0+2)
+	for _, e := range edges {
+		counts[e.row0-y0+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	sorted := make([]scanEdge, len(edges))
+	for _, e := range edges {
+		sorted[counts[e.row0-y0]] = e
+		counts[e.row0-y0]++
+	}
+	edges = sorted
 
 	xs := make([]float64, 0, 16)
+	active := make([]scanEdge, 0, 8)
+	next := 0
 	for y := y0; y <= y1; y++ {
+		for next < len(edges) && edges[next].row0 <= y {
+			active = append(active, edges[next])
+			next++
+		}
+		k := 0
+		for _, e := range active {
+			if e.row1 > y {
+				active[k] = e
+				k++
+			}
+		}
+		active = active[:k]
+		if len(active) == 0 {
+			continue
+		}
 		fy := float64(y) + 0.5
 		xs = xs[:0]
-		for i := range vertices {
-			a := vertices[i]
-			b := vertices[(i+1)%len(vertices)]
-			if (a.Y <= fy) == (b.Y <= fy) {
-				continue // edge does not cross the scanline
-			}
-			t := (fy - a.Y) / (b.Y - a.Y)
-			xs = append(xs, a.X+t*(b.X-a.X))
+		for _, e := range active {
+			t := (fy - e.ay) / (e.by - e.ay)
+			xs = append(xs, e.ax+t*(e.bx-e.ax))
 		}
-		sort.Float64s(xs)
+		// Crossing lists are tiny (typically 2): insertion sort beats the
+		// generic sort by a wide margin and yields the same ordering.
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
 		for i := 0; i+1 < len(xs); i += 2 {
 			xa := max(0, int(math.Ceil(xs[i]-0.5)))
 			xb := min(width-1, int(math.Floor(xs[i+1]-0.5)))
-			for x := xa; x <= xb; x++ {
-				out.Pix[y*width+x] = 1
+			if xa <= xb {
+				out.setRowSpan(y, xa, xb+1)
 			}
 		}
 	}
@@ -197,7 +314,6 @@ func FillPolygon(vertices []geom.Vec2, width, height int) *Bitmask {
 		x, y := int(math.Round(v.X)), int(math.Round(v.Y))
 		out.Set(x, y)
 	}
-	return out
 }
 
 // SimplifyContour subsamples a contour to at most maxPoints, preserving

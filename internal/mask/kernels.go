@@ -1,0 +1,309 @@
+package mask
+
+import "math"
+
+// This file holds the geometric kernels of the packed representation:
+// translation, morphology, crop/paste and the BoundaryNoise error model.
+// All of them operate a word (64 pixels) at a time; the only per-pixel loop
+// left is ScaleAround's inverse nearest-neighbour gather, which has no
+// word-parallel form. Each allocating kernel has an Into variant that
+// reuses a destination mask (typically from a Pool) so the tracking loop
+// runs allocation-free.
+
+// maskN returns a word with the low n bits set (n in [0, 64]).
+func maskN(n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// fetch64 reads 64 bits of src starting at bit offset off, zero-extending
+// past the end of the slice.
+func fetch64(src []uint64, off int) uint64 {
+	w, b := off>>6, uint(off&63)
+	if w >= len(src) {
+		return 0
+	}
+	v := src[w] >> b
+	if b != 0 && w+1 < len(src) {
+		v |= src[w+1] << (wordBits - b)
+	}
+	return v
+}
+
+// copyBitsInto copies n bits from src starting at bit srcOff into dst
+// starting at bit dstOff, replacing (not ORing) the destination bits.
+// The slices must not alias.
+func copyBitsInto(dst []uint64, dstOff int, src []uint64, srcOff, n int) {
+	for n > 0 {
+		dw, db := dstOff>>6, dstOff&63
+		take := wordBits - db
+		if take > n {
+			take = n
+		}
+		mm := maskN(take)
+		v := fetch64(src, srcOff) & mm
+		dst[dw] = dst[dw]&^(mm<<uint(db)) | v<<uint(db)
+		dstOff += take
+		srcOff += take
+		n -= take
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Translate returns a copy of m shifted by (dx, dy); pixels shifted outside
+// the image are dropped. This is the operation a motion-vector tracker
+// (the EAAR baseline) applies to cached masks.
+func (m *Bitmask) Translate(dx, dy int) *Bitmask {
+	out := New(m.Width, m.Height)
+	m.translateInto(out, dx, dy)
+	return out
+}
+
+// TranslateInto writes the translation of m into dst (reshaped to m's
+// size), reusing dst's storage. dst must not be m.
+func (m *Bitmask) TranslateInto(dst *Bitmask, dx, dy int) {
+	dst.reshape(m.Width, m.Height)
+	m.translateInto(dst, dx, dy)
+}
+
+// translateInto shifts m by (dx, dy) into the already-zeroed out. Each
+// surviving row is one bit-aligned copy of the surviving column range.
+func (m *Bitmask) translateInto(out *Bitmask, dx, dy int) {
+	n := m.Width - abs(dx)
+	if n <= 0 {
+		return
+	}
+	srcX, dstX := max(0, -dx), max(0, dx)
+	for y := 0; y < m.Height; y++ {
+		ny := y + dy
+		if ny < 0 || ny >= m.Height {
+			continue
+		}
+		copyBitsInto(out.row(ny), dstX, m.row(y), srcX, n)
+	}
+}
+
+// morphStep writes one 4-neighbour erosion (dilate=false) or dilation
+// (dilate=true) of src into dst. Out-of-bounds neighbours read as unset,
+// matching the At semantics of the scalar reference. Each output word is
+// built from the row word, its lateral shifts (with carry bits from the
+// adjacent words) and the rows above and below. dst must not alias src.
+func morphStep(dst, src *Bitmask, dilate bool) {
+	wpr := src.wpr
+	tail := src.tailMask()
+	for y := 0; y < src.Height; y++ {
+		row := src.row(y)
+		out := dst.row(y)
+		var up, down []uint64
+		if y > 0 {
+			up = src.row(y - 1)
+		}
+		if y+1 < src.Height {
+			down = src.row(y + 1)
+		}
+		for k := 0; k < wpr; k++ {
+			w := row[k]
+			west := w << 1
+			if k > 0 {
+				west |= row[k-1] >> (wordBits - 1)
+			}
+			east := w >> 1
+			if k+1 < wpr {
+				east |= row[k+1] << (wordBits - 1)
+			}
+			var u, d uint64
+			if up != nil {
+				u = up[k]
+			}
+			if down != nil {
+				d = down[k]
+			}
+			if dilate {
+				out[k] = w | west | east | u | d
+			} else {
+				out[k] = w & west & east & u & d
+			}
+		}
+		if dilate {
+			out[wpr-1] &= tail
+		}
+	}
+}
+
+// morphN applies radius morphology steps to cur using scratch as the
+// double buffer; the result ends up in cur. Both must have equal sizes.
+func morphN(cur, scratch *Bitmask, radius int, dilate bool) {
+	for r := 0; r < radius; r++ {
+		morphStep(scratch, cur, dilate)
+		cur.words, scratch.words = scratch.words, cur.words
+	}
+}
+
+// Erode removes set pixels that have any unset 4-neighbour, radius times.
+func (m *Bitmask) Erode(radius int) *Bitmask {
+	out := m.Clone()
+	if radius > 0 {
+		morphN(out, New(m.Width, m.Height), radius, false)
+	}
+	return out
+}
+
+// Dilate sets unset pixels that have any set 4-neighbour, radius times.
+func (m *Bitmask) Dilate(radius int) *Bitmask {
+	out := m.Clone()
+	if radius > 0 {
+		morphN(out, New(m.Width, m.Height), radius, true)
+	}
+	return out
+}
+
+// Crop returns the sub-mask covered by the box (clipped to bounds).
+func (m *Bitmask) Crop(b Box) *Bitmask {
+	out := &Bitmask{}
+	m.CropInto(out, b)
+	return out
+}
+
+// CropInto writes the sub-mask covered by the box (clipped to bounds) into
+// dst, reusing dst's storage. An empty intersection yields a 1x1 zero mask,
+// matching Crop. dst must not be m.
+func (m *Bitmask) CropInto(dst *Bitmask, b Box) {
+	b = b.Intersect(Box{MinX: 0, MinY: 0, MaxX: m.Width, MaxY: m.Height})
+	if b.Empty() {
+		dst.reshape(1, 1)
+		return
+	}
+	dst.reshape(b.Width(), b.Height())
+	for y := 0; y < dst.Height; y++ {
+		copyBitsInto(dst.row(y), 0, m.row(b.MinY+y), b.MinX, dst.Width)
+	}
+}
+
+// Paste copies src into m with its top-left corner at (x, y); out-of-bounds
+// parts are clipped. Destination pixels under the pasted region are
+// replaced (zeros in src clear them), matching a flat-buffer row copy.
+func (m *Bitmask) Paste(src *Bitmask, x, y int) {
+	sx0 := max(0, -x)
+	n := min(src.Width, m.Width-x) - sx0
+	if n <= 0 {
+		return
+	}
+	for sy := max(0, -y); sy < src.Height; sy++ {
+		dy := y + sy
+		if dy >= m.Height {
+			break
+		}
+		copyBitsInto(m.row(dy), x+sx0, src.row(sy), sx0, n)
+	}
+}
+
+// ScaleAround returns a copy of m scaled by the factor about the given
+// center using inverse nearest-neighbour mapping. KCF-style local trackers
+// (the EdgeDuet baseline) use it to follow object scale changes that pure
+// translation cannot.
+func (m *Bitmask) ScaleAround(cx, cy, scale float64) *Bitmask {
+	out := New(m.Width, m.Height)
+	m.scaleAroundInto(out, cx, cy, scale)
+	return out
+}
+
+// ScaleAroundInto writes the scaled mask into dst (reshaped to m's size),
+// reusing dst's storage. dst must not be m.
+func (m *Bitmask) ScaleAroundInto(dst *Bitmask, cx, cy, scale float64) {
+	dst.reshape(m.Width, m.Height)
+	m.scaleAroundInto(dst, cx, cy, scale)
+}
+
+func (m *Bitmask) scaleAroundInto(out *Bitmask, cx, cy, scale float64) {
+	if scale <= 0 {
+		return
+	}
+	inv := 1 / scale
+	for y := 0; y < m.Height; y++ {
+		row := out.row(y)
+		sy := cy + (float64(y)-cy)*inv
+		for x := 0; x < m.Width; x++ {
+			sx := cx + (float64(x)-cx)*inv
+			if m.At(int(math.Round(sx)), int(math.Round(sy))) {
+				row[x>>6] |= 1 << uint(x&63)
+			}
+		}
+	}
+}
+
+// BoundaryNoise returns a copy of m whose boundary has been randomly eroded
+// or dilated to reach approximately the requested IoU with the original.
+// It is the error model the simulated DL backends use to emit imperfect
+// masks: a target IoU of 1 returns a clone, lower targets progressively
+// distort the contour. The rng function must return uniform values in [0,1).
+// The distortion operates on the mask's bounding-box crop, so the cost
+// scales with the object, not the frame.
+func (m *Bitmask) BoundaryNoise(targetIoU float64, rng func() float64) *Bitmask {
+	return m.BoundaryNoisePooled(targetIoU, rng, nil)
+}
+
+// BoundaryNoisePooled is BoundaryNoise drawing its working crops from the
+// pool (nil pool allocates). Only the returned mask escapes; the scratch
+// masks are recycled before returning. The rng draw sequence is identical
+// to the scalar reference: one IoU gate per round, one draw choosing erode
+// vs dilate, then one draw per differing pixel in row-major order.
+func (m *Bitmask) BoundaryNoisePooled(targetIoU float64, rng func() float64, pool *Pool) *Bitmask {
+	if targetIoU >= 1 {
+		return m.Clone()
+	}
+	if targetIoU < 0 {
+		targetIoU = 0
+	}
+	bbox := m.BoundingBox()
+	if bbox.Empty() {
+		return m.Clone()
+	}
+	work := bbox.Expand(8, m.Width, m.Height)
+	ref := pool.Get(work.Width(), work.Height())
+	m.CropInto(ref, work)
+	out := pool.Get(work.Width(), work.Height())
+	out.CopyFrom(ref)
+	band := pool.Get(work.Width(), work.Height())
+	// Each round flips a band of boundary pixels until the IoU target is
+	// reached. Alternating erode/dilate keeps the centroid stable.
+	for iter := 0; iter < 64; iter++ {
+		if IoU(ref, out) <= targetIoU {
+			break
+		}
+		morphStep(band, out, rng() >= 0.5)
+		// Blend: keep each changed pixel with 50% probability so the
+		// distortion is irregular rather than a uniform offset. The
+		// word/bit iteration order is row-major, so the rng stream
+		// matches the scalar per-pixel loop exactly.
+		blendRandom(out, band, rng)
+	}
+	full := New(m.Width, m.Height)
+	full.Paste(out, work.MinX, work.MinY)
+	pool.Put(ref, out, band)
+	return full
+}
+
+// blendRandom copies each pixel where band differs from out into out with
+// 50% probability, consuming one rng draw per differing pixel in row-major
+// order. Row padding bits never differ (tail invariant), so they cost no
+// draws.
+func blendRandom(out, band *Bitmask, rng func() float64) {
+	for i, bw := range band.words {
+		diff := bw ^ out.words[i]
+		for diff != 0 {
+			bit := diff & -diff
+			if rng() < 0.5 {
+				out.words[i] ^= bit
+			}
+			diff &= diff - 1
+		}
+	}
+}

@@ -21,6 +21,18 @@ func BenchmarkIoU(b *testing.B) {
 	}
 }
 
+// BenchmarkIoUScalar times the retained byte-per-pixel reference on the same
+// fixture, so `go test -bench IoU` shows the packed speedup directly; the
+// full packed-vs-scalar sweep lives in cmd/edgeis-kernelbench.
+func BenchmarkIoUScalar(b *testing.B) {
+	a := benchMask(320, 240).ToScalar()
+	c := a.Translate(5, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScalarIoU(a, c)
+	}
+}
+
 func BenchmarkExtractContours(b *testing.B) {
 	m := benchMask(320, 240)
 	b.ReportAllocs()
@@ -36,6 +48,18 @@ func BenchmarkFillPolygon(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		FillPolygon(s, 320, 240)
+	}
+}
+
+// BenchmarkFillPolygonScalar is the scalar counterpart of
+// BenchmarkFillPolygon (same contour fixture).
+func BenchmarkFillPolygonScalar(b *testing.B) {
+	m := benchMask(320, 240)
+	c := ExtractContours(m, 8)[0]
+	s := SimplifyContour(c, 160)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ScalarFillPolygon(s, 320, 240)
 	}
 }
 

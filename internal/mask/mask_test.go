@@ -95,9 +95,9 @@ func TestIoUProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	randMask := func() *Bitmask {
 		m := New(16, 16)
-		for i := range m.Pix {
+		for i := 0; i < 16*16; i++ {
 			if rng.Float64() < 0.3 {
-				m.Pix[i] = 1
+				m.Set(i%16, i/16)
 			}
 		}
 		return m

@@ -1,0 +1,82 @@
+package mask
+
+import "sync"
+
+// Pool recycles Bitmask backing storage so the steady-state tracking loop
+// allocates no masks. Get returns a zeroed mask of the requested size,
+// reusing the word array of a previously Put mask when one is large enough;
+// Put returns masks whose pixels the caller no longer references.
+//
+// Ownership discipline (see DESIGN.md §12): a mask may be Put exactly once,
+// and only by its owner — the component the API contract says the mask was
+// transferred to. Putting a mask that some other component still reads is
+// the pooled equivalent of a use-after-free: the next Get reshapes and
+// zeroes it under the reader. When ownership is unclear, leak the mask to
+// the GC instead; the pool is an optimization, never a correctness
+// requirement. A nil *Pool is valid and simply allocates, so pooled code
+// paths need no nil checks.
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Bitmask
+}
+
+// maxPoolFree bounds the free list so a burst of large frames cannot pin
+// unbounded memory; overflow masks are dropped to the GC.
+const maxPoolFree = 256
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns an all-zero mask of the given size. A nil pool allocates a
+// fresh mask. The free list is searched newest-first for the first mask
+// whose capacity fits, which in the steady state (same-size masks cycling)
+// hits on the first probe.
+func (p *Pool) Get(width, height int) *Bitmask {
+	if p == nil {
+		return New(width, height)
+	}
+	need := (width + wordBits - 1) / wordBits * height
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i].words) >= need {
+			m := p.free[i]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			m.reshape(width, height)
+			return m
+		}
+	}
+	p.mu.Unlock()
+	return New(width, height)
+}
+
+// Put returns masks to the pool for reuse. Nil masks and nil pools are
+// ignored. The caller must not touch the masks afterwards.
+func (p *Pool) Put(masks ...*Bitmask) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for _, m := range masks {
+		if m == nil || m.words == nil || len(p.free) >= maxPoolFree {
+			continue
+		}
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}
+
+// Len reports the current free-list size (for tests).
+func (p *Pool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

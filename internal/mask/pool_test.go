@@ -1,0 +1,132 @@
+package mask
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolGetReturnsZeroedMask(t *testing.T) {
+	p := NewPool()
+	m := p.Get(70, 10)
+	for x := 0; x < 70; x += 7 {
+		m.Set(x, x%10)
+	}
+	p.Put(m)
+	got := p.Get(70, 10)
+	if got != m {
+		t.Fatal("pool did not reuse the returned mask")
+	}
+	if !got.Empty() {
+		t.Fatal("pooled mask not zeroed on Get")
+	}
+}
+
+func TestPoolReshapesAcrossSizes(t *testing.T) {
+	p := NewPool()
+	big := p.Get(320, 240)
+	p.Put(big)
+	small := p.Get(65, 5)
+	if small != big {
+		t.Fatal("pool did not reuse larger capacity for smaller mask")
+	}
+	if small.Width != 65 || small.Height != 5 {
+		t.Fatalf("reshaped to %dx%d", small.Width, small.Height)
+	}
+	small.Set(64, 4)
+	if !small.At(64, 4) || small.Area() != 1 {
+		t.Fatal("reshaped mask broken")
+	}
+	// Too-small capacity must allocate fresh rather than hand back a short
+	// buffer.
+	p.Put(small)
+	huge := p.Get(640, 480)
+	if huge == small {
+		t.Fatal("pool reused undersized buffer")
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	m := p.Get(33, 3)
+	if m == nil || m.Width != 33 {
+		t.Fatal("nil pool Get failed")
+	}
+	p.Put(m) // must not panic
+	if p.Len() != 0 {
+		t.Fatal("nil pool Len != 0")
+	}
+}
+
+func TestPoolIgnoresNilMasks(t *testing.T) {
+	p := NewPool()
+	p.Put(nil, New(4, 4), nil)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestPoolBoundsFreeList(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < maxPoolFree+50; i++ {
+		p.Put(New(8, 8))
+	}
+	if p.Len() != maxPoolFree {
+		t.Fatalf("Len = %d, want %d", p.Len(), maxPoolFree)
+	}
+}
+
+// TestPooledKernelChainAllocatesNothing pins the steady-state property the
+// pool exists for: a tracking-style chain of kernel calls reusing pooled
+// masks performs zero mask allocations once warm.
+func TestPooledKernelChainAllocatesNothing(t *testing.T) {
+	p := NewPool()
+	rng := rand.New(rand.NewSource(5))
+	src := New(320, 240)
+	for i := 0; i < 2000; i++ {
+		src.Set(rng.Intn(320), rng.Intn(240))
+	}
+	step := func() {
+		occ := p.Get(320, 240)
+		m := p.Get(320, 240)
+		m.CopyFrom(src)
+		m.Subtract(occ)
+		occ.Union(src)
+		tr := p.Get(320, 240)
+		m.TranslateInto(tr, 3, -2)
+		sc := p.Get(320, 240)
+		tr.ScaleAroundInto(sc, 160, 120, 1.1)
+		p.Put(occ, m, tr, sc)
+	}
+	step() // warm the pool
+	before := Allocs()
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if got := Allocs() - before; got != 0 {
+		t.Fatalf("pooled kernel chain performed %d mask allocations, want 0", got)
+	}
+}
+
+// TestBoundaryNoisePooledScratchReuse verifies only the escaping result
+// allocates once the pool is warm, and that pooled and unpooled runs agree.
+func TestBoundaryNoisePooledScratchReuse(t *testing.T) {
+	p := NewPool()
+	m := New(320, 240)
+	for y := 60; y < 180; y++ {
+		m.setRowSpan(y, 80, 240)
+	}
+	run := func(pool *Pool) *Bitmask {
+		rng := rand.New(rand.NewSource(77))
+		return m.BoundaryNoisePooled(0.7, rng.Float64, pool)
+	}
+	want := run(nil)
+	run(p) // warm
+	before := Allocs()
+	got := run(p)
+	if d := Allocs() - before; d != 1 {
+		t.Fatalf("warm BoundaryNoisePooled performed %d allocations, want 1 (the result)", d)
+	}
+	if IoU(got, want) != 1 {
+		t.Fatal("pooled BoundaryNoise differs from unpooled")
+	}
+}

@@ -103,11 +103,14 @@ func (r *Result) TotalMs() float64 {
 // Model is a simulated network.
 type Model struct {
 	Profile Profile
+	// pool recycles the scratch masks of the BoundaryNoise error model so
+	// repeated inference allocates only the emitted masks.
+	pool *mask.Pool
 }
 
 // New builds a model with the default profile for the kind.
 func New(kind Kind) *Model {
-	return &Model{Profile: DefaultProfile(kind)}
+	return &Model{Profile: DefaultProfile(kind), pool: mask.NewPool()}
 }
 
 // Run performs simulated inference. Guidance applies only to two-stage
@@ -320,7 +323,7 @@ func (m *Model) emitDetections(in Input, kept []Proposal, rng *rand.Rand) []Dete
 			det.Box = jitterBox(obj.Box, p.BoxJitter, in.Width, in.Height, rng)
 			det.TrueIoU = det.Box.IoU(obj.Box)
 		} else {
-			det.Mask = obj.Visible.BoundaryNoise(targetIoU, rng.Float64)
+			det.Mask = obj.Visible.BoundaryNoisePooled(targetIoU, rng.Float64, m.pool)
 			det.Box = det.Mask.BoundingBox()
 			det.TrueIoU = mask.IoU(det.Mask, obj.Visible)
 		}

@@ -71,6 +71,18 @@ type CachedMask struct {
 	// FromEdge distinguishes authoritative edge results from chained
 	// transfer outputs; edge masks are preferred as sources.
 	FromEdge bool
+	// pooled marks masks the predictor rasterized from its pool; Compact and
+	// Evict return their storage for reuse. Edge-result masks are never
+	// pooled — their callers may retain them indefinitely.
+	pooled bool
+	// runs holds the mask's run-length encoding once Compact has parked the
+	// entry: the dense buffer went back to the pool (Mask is nil) and the
+	// entry rematerializes through the pool if selected as a source. Kept
+	// after rematerialization so re-compacting is free.
+	runs []uint32
+	// w, h are the dense dimensions, needed to rematerialize a compacted
+	// entry.
+	w, h int
 }
 
 // Predictor transfers cached masks to the current frame.
@@ -79,6 +91,14 @@ type Predictor struct {
 	camera geom.Camera
 	// cache maps instance ID -> frame index -> cached mask.
 	cache map[int]map[int]*CachedMask
+	// pool supplies rasterization targets; pooled masks return via Compact
+	// (a few frames behind the present, once the caller can no longer alias
+	// them) or Evict. Nil means plain allocation.
+	pool *mask.Pool
+	// lastPredictFrame is the frame of the most recent Predict call. The
+	// caller may still alias that frame's prediction masks (core keeps them
+	// for CIIA guidance), so overwrites at this frame must not recycle.
+	lastPredictFrame int
 }
 
 // NewPredictor builds a predictor for the given camera.
@@ -91,6 +111,10 @@ func NewPredictor(cam geom.Camera, cfg Config) *Predictor {
 	}
 }
 
+// SetPool directs the predictor to rasterize predicted masks into pooled
+// storage recycled on eviction. Call before the first Predict.
+func (p *Predictor) SetPool(pool *mask.Pool) { p.pool = pool }
+
 // Put stores a cached mask.
 func (p *Predictor) Put(cm *CachedMask) {
 	if cm.Mask == nil || cm.Mask.Area() < p.cfg.MinMaskArea {
@@ -102,15 +126,29 @@ func (p *Predictor) Put(cm *CachedMask) {
 		p.cache[cm.InstanceID] = byFrame
 	}
 	// Edge masks always win over transferred ones for the same frame.
-	if prev, ok := byFrame[cm.FrameIndex]; ok && prev.FromEdge && !cm.FromEdge {
-		return
+	if prev, ok := byFrame[cm.FrameIndex]; ok {
+		if prev.FromEdge && !cm.FromEdge {
+			return
+		}
+		// Overwriting a chained prediction (typically with the authoritative
+		// edge mask for the same frame): reclaim its pooled storage now, or
+		// it would bleed out of the pool at one set of masks per offload.
+		// Masks predicted for the most recent transfer frame may still be
+		// aliased by the caller, so those leak to the GC instead.
+		if prev.pooled && prev.FrameIndex != p.lastPredictFrame {
+			prev.pooled = false
+			p.pool.Put(prev.Mask)
+		}
 	}
 	byFrame[cm.FrameIndex] = cm
 }
 
 // Evict drops cached masks older than keepAfter for all instances, always
-// retaining the newest edge mask per instance. It implements the mobile-side
-// part of the memory-bounding policy of Section VI-F.
+// retaining the newest edge mask per instance. Evicted pooled masks return
+// their storage to the pool; compacted entries just drop their run-length
+// form (their dense buffer is already back in the pool). Core calls Evict
+// when edge results arrive; between results, Compact bounds pool usage
+// without changing which entries selection can see.
 func (p *Predictor) Evict(keepAfter int) int {
 	removed := 0
 	for _, byFrame := range p.cache {
@@ -120,14 +158,60 @@ func (p *Predictor) Evict(keepAfter int) int {
 				newestEdge = idx
 			}
 		}
-		for idx := range byFrame {
+		for idx, cm := range byFrame {
 			if idx < keepAfter && idx != newestEdge {
+				if cm.pooled {
+					cm.pooled = false
+					p.pool.Put(cm.Mask)
+				}
 				delete(byFrame, idx)
 				removed++
 			}
 		}
 	}
 	return removed
+}
+
+// Compact parks pooled cache entries older than `before` in run-length form:
+// each entry keeps its place in the cache (source selection is completely
+// unaffected) but its dense buffer returns to the pool, and the entry
+// rematerializes through the pool only if selection actually picks it. Core
+// calls this every tracked frame a few frames behind the present, so the
+// pooled in-flight population stays bounded at the chained working set even
+// when CFRS stops offloading — unlike Evict, which fires on edge results and
+// so never reclaims anything during quiet stretches. Returns the number of
+// entries parked.
+func (p *Predictor) Compact(before int) int {
+	parked := 0
+	for _, byFrame := range p.cache {
+		for idx, cm := range byFrame {
+			if idx >= before || !cm.pooled {
+				continue
+			}
+			if cm.runs == nil {
+				cm.runs = cm.Mask.AppendRuns(make([]uint32, 0, 128))
+				cm.w, cm.h = cm.Mask.Width, cm.Mask.Height
+			}
+			p.pool.Put(cm.Mask)
+			cm.Mask = nil
+			cm.pooled = false
+			parked++
+		}
+	}
+	return parked
+}
+
+// materialize restores a compacted entry's dense mask from its run-length
+// form, drawing storage from the pool. No-op for entries that still hold
+// their dense buffer.
+func (p *Predictor) materialize(cm *CachedMask) {
+	if cm.Mask != nil {
+		return
+	}
+	m := p.pool.Get(cm.w, cm.h)
+	m.FillRuns(cm.runs)
+	cm.Mask = m
+	cm.pooled = p.pool != nil
 }
 
 // CacheSize returns the number of cached masks.
@@ -178,10 +262,15 @@ func (p *Predictor) Predict(sys *vo.System, instanceID, frameIdx int) (*Predicti
 	if cur == nil {
 		return nil, ErrNoSource
 	}
+	p.lastPredictFrame = frameIdx
 	src, srcRec := p.selectSource(sys, instanceID, cur)
 	if src == nil {
 		return nil, ErrNoSource
 	}
+	// A compacted source rematerializes from its run-length form; pixels are
+	// bit-identical to what Compact parked, so transfers are byte-for-byte
+	// the same whether or not the source spent time compacted.
+	p.materialize(src)
 
 	// Relative pose mapping source-camera coordinates to current-camera
 	// coordinates. Using per-object poses handles moving objects: for an
@@ -211,7 +300,7 @@ func (p *Predictor) Predict(sys *vo.System, instanceID, frameIdx int) (*Predicti
 		return nil, ErrNoDepth
 	}
 
-	contours := mask.ExtractContours(src.Mask, p.cfg.MinMaskArea)
+	contours := mask.ExtractContoursPooled(src.Mask, p.cfg.MinMaskArea, p.pool)
 	if len(contours) == 0 {
 		return nil, ErrNoSource
 	}
@@ -243,8 +332,10 @@ func (p *Predictor) Predict(sys *vo.System, instanceID, frameIdx int) (*Predicti
 	if len(projected) < 3 {
 		return nil, ErrNoDepth
 	}
-	m := mask.FillPolygon(projected, p.camera.Width, p.camera.Height)
+	m := p.pool.Get(p.camera.Width, p.camera.Height)
+	mask.FillPolygonInto(m, projected, p.camera.Width, p.camera.Height)
 	if m.Area() < p.cfg.MinMaskArea {
+		p.pool.Put(m) // never escaped; reclaim immediately
 		return nil, ErrNoSource
 	}
 	pred := &Prediction{
@@ -255,12 +346,15 @@ func (p *Predictor) Predict(sys *vo.System, instanceID, frameIdx int) (*Predicti
 		SourceAge:   frameIdx - src.FrameIndex,
 	}
 	// Chain: the prediction becomes a cache entry for future transfers.
+	// If Put declines the entry (or later overwrites it), the mask simply
+	// leaks to the GC — recycling is only ever an optimization.
 	p.Put(&CachedMask{
 		FrameIndex: frameIdx,
 		InstanceID: instanceID,
 		Label:      inst.Label,
 		Mask:       m,
 		FromEdge:   false,
+		pooled:     p.pool != nil,
 	})
 	return pred, nil
 }

@@ -234,6 +234,64 @@ func TestCachePutAndEvict(t *testing.T) {
 	}
 }
 
+func TestCompactParksAndRematerializesExactly(t *testing.T) {
+	// Compact must be invisible to everything except the pool: no entry
+	// leaves the cache, and a parked entry rematerializes bit-identically.
+	h := newHarness(t, transferWorld(), lateralTraj(), 60)
+	h.pred.SetPool(mask.NewPool())
+	if h.run(20) < 0 {
+		t.Fatal("no init")
+	}
+	last := h.frames[len(h.frames)-1]
+	if len(h.pred.PredictAll(h.sys, last.Index)) == 0 {
+		t.Skip("no predictions to chain")
+	}
+	type key struct{ inst, frame int }
+	snap := make(map[key]*mask.Bitmask)
+	for inst, byFrame := range h.pred.cache {
+		for idx, cm := range byFrame {
+			snap[key{inst, idx}] = cm.Mask.Clone()
+		}
+	}
+	before := h.pred.CacheSize()
+	parked := h.pred.Compact(last.Index + 1)
+	if parked == 0 {
+		t.Fatal("no pooled entries parked")
+	}
+	if got := h.pred.CacheSize(); got != before {
+		t.Errorf("Compact changed cache size: %d -> %d", before, got)
+	}
+	rematerialized := 0
+	for inst, byFrame := range h.pred.cache {
+		for idx, cm := range byFrame {
+			if cm.Mask != nil {
+				continue // edge entries keep their dense buffers
+			}
+			h.pred.materialize(cm)
+			rematerialized++
+			want := snap[key{inst, idx}]
+			if cm.Mask.Width != want.Width || cm.Mask.Height != want.Height {
+				t.Fatalf("entry %d/%d rematerialized at %dx%d, want %dx%d",
+					inst, idx, cm.Mask.Width, cm.Mask.Height, want.Width, want.Height)
+			}
+			if mask.IoU(cm.Mask, want) != 1 || cm.Mask.Area() != want.Area() {
+				t.Errorf("entry %d/%d not bit-identical after round trip", inst, idx)
+			}
+			if !cm.pooled {
+				t.Errorf("entry %d/%d not pooled after rematerialization", inst, idx)
+			}
+		}
+	}
+	if rematerialized != parked {
+		t.Errorf("rematerialized %d entries, parked %d", rematerialized, parked)
+	}
+	// Re-parking skips the encode (runs are retained) but must still
+	// return every buffer.
+	if again := h.pred.Compact(last.Index + 1); again != parked {
+		t.Errorf("second Compact parked %d entries, want %d", again, parked)
+	}
+}
+
 func TestCacheRejectsTiny(t *testing.T) {
 	p := NewPredictor(geom.StandardCamera(64, 64), Config{})
 	m := mask.New(64, 64)

@@ -236,27 +236,19 @@ func (r *reader) bytes() []byte {
 }
 
 // encodeMask packs a bitmask via run-length encoding (alternating run
-// lengths of 0s and 1s, starting with 0s).
+// lengths of 0s and 1s, starting with 0s). The runs cover the row-major
+// pixel stream the mask package exposed before the word-packed rewrite, so
+// the wire bytes stay identical across versions (pinned by
+// TestMaskWireFormatGolden); mask.AppendRuns produces exactly that stream
+// straight from the packed words.
 func encodeMask(m *mask.Bitmask) []byte {
 	var w writer
 	w.i32(int32(m.Width))
 	w.i32(int32(m.Height))
-	runs := make([]int32, 0, 128)
-	cur := uint8(0)
-	run := int32(0)
-	for _, p := range m.Pix {
-		if p == cur {
-			run++
-			continue
-		}
-		runs = append(runs, run)
-		cur = p
-		run = 1
-	}
-	runs = append(runs, run)
+	runs := m.AppendRuns(make([]uint32, 0, 128))
 	w.i32(int32(len(runs)))
 	for _, r := range runs {
-		w.i32(r)
+		w.i32(int32(r))
 	}
 	return w.buf
 }
@@ -274,22 +266,21 @@ func decodeMask(b []byte) (*mask.Bitmask, error) {
 		return nil, ErrBadMessage
 	}
 	m := mask.New(width, height)
+	total := width * height
 	idx := 0
 	cur := uint8(0)
 	for i := 0; i < n; i++ {
 		run := int(r.i32())
-		if r.err != nil || run < 0 || idx+run > len(m.Pix) {
+		if r.err != nil || run < 0 || idx+run > total {
 			return nil, ErrBadMessage
 		}
 		if cur == 1 {
-			for j := 0; j < run; j++ {
-				m.Pix[idx+j] = 1
-			}
+			m.FillSpan(idx, run)
 		}
 		idx += run
 		cur ^= 1
 	}
-	if r.err != nil || idx != len(m.Pix) || r.remaining() != 0 {
+	if r.err != nil || idx != total || r.remaining() != 0 {
 		return nil, ErrBadMessage
 	}
 	return m, nil

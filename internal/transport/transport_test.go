@@ -103,9 +103,9 @@ func TestMaskRLERoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		m := mask.New(48, 40)
-		for i := range m.Pix {
+		for i := 0; i < 48*40; i++ {
 			if r.Float64() < 0.3 {
-				m.Pix[i] = 1
+				m.Set(i%48, i/48)
 			}
 		}
 		b := encodeMask(m)
