@@ -13,7 +13,7 @@ test: ## Run the full test suite.
 short: ## Run the suite without the long integration sweeps.
 	$(GO) test -short ./...
 
-race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip).
+race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip). Includes the multi-client edge-scheduler tests, which are occupancy-bound so their scaling assertions hold under -race.
 	$(GO) test -race ./...
 
 vet: ## Standard static analysis.

@@ -36,6 +36,7 @@ func run() error {
 		frames   = flag.Int("frames", 300, "frames to run")
 		seed     = flag.Int64("seed", 7, "scenario seed")
 		realtime = flag.Bool("realtime", false, "pace frames at 30 fps wall clock")
+		retries  = flag.Int("dial-retries", 5, "dial attempts before giving up (exponential backoff)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,9 @@ func run() error {
 	}
 	clip.Frames = *frames
 
-	client, err := transport.Dial(*addr, 3*time.Second)
+	// Retry with backoff so a client started moments before its server (the
+	// usual orchestration race) connects instead of dying.
+	client, err := transport.DialRetry(*addr, 3*time.Second, *retries, 100*time.Millisecond)
 	if err != nil {
 		return err
 	}

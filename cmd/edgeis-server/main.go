@@ -1,11 +1,15 @@
 // Command edgeis-server runs the edge node: a TCP server that accepts
 // offloaded frames from edgeis-client instances, runs the (optionally
-// CIIA-guided) segmentation backend, and streams contour-encoded results
-// back. The deployable counterpart of the paper's Jetson TX2 server.
+// CIIA-guided) segmentation backend on a pool of accelerator workers, and
+// streams contour-encoded results back. The deployable counterpart of the
+// paper's Jetson TX2 server, scaled out: -accelerators sizes the inference
+// pool, -queue-depth bounds admission (overflow frames are rejected
+// per-frame, never queued without bound).
 //
 // Usage:
 //
 //	edgeis-server [-addr :7465] [-model mask-rcnn|yolact|yolov3] [-device tx2|xavier]
+//	              [-accelerators 1] [-queue-depth 32] [-occupancy 0] [-continuity]
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"edgeis/internal/device"
+	"edgeis/internal/metrics"
 	"edgeis/internal/segmodel"
 	"edgeis/internal/transport"
 )
@@ -33,6 +38,10 @@ func run() error {
 		addr      = flag.String("addr", "127.0.0.1:7465", "listen address")
 		modelName = flag.String("model", "mask-rcnn", "backend model: mask-rcnn, yolact or yolov3")
 		devName   = flag.String("device", "tx2", "edge device profile: tx2 or xavier")
+		accels    = flag.Int("accelerators", 1, "inference worker pool size (1 = deterministic serialized mode)")
+		queue     = flag.Int("queue-depth", 0, "admission queue bound (0 = default; overflow rejects frames)")
+		occupancy = flag.Float64("occupancy", 0, "wall-clock accelerator occupancy per inference as a fraction of its simulated latency (0 = off)")
+		cont      = flag.Bool("continuity", false, "reuse each session's last CIIA plan for guidance-less frames")
 		statsSecs = flag.Int("stats", 10, "stats print interval in seconds (0 = off)")
 	)
 	flag.Parse()
@@ -58,15 +67,27 @@ func run() error {
 		return fmt.Errorf("unknown device %q", *devName)
 	}
 
-	srv := transport.NewServer(segmodel.New(kind),
+	opts := []transport.ServerOption{
 		transport.WithInferScale(dev.InferScale),
 		transport.WithLogger(log.Printf),
-	)
+		transport.WithAccelerators(*accels),
+	}
+	if *queue > 0 {
+		opts = append(opts, transport.WithQueueDepth(*queue))
+	}
+	if *occupancy > 0 {
+		opts = append(opts, transport.WithWallOccupancy(*occupancy))
+	}
+	if *cont {
+		opts = append(opts, transport.WithGuidanceContinuity())
+	}
+	srv := transport.NewServer(segmodel.New(kind), opts...)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("edgeIS edge server: %s backend on %s (device %s)", kind, bound, dev.Name)
+	log.Printf("edgeIS edge server: %s backend on %s (device %s, %d accelerator(s))",
+		kind, bound, dev.Name, *accels)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -76,13 +97,40 @@ func run() error {
 		defer ticker.Stop()
 		go func() {
 			for range ticker.C {
-				served, mean := srv.Stats()
-				log.Printf("served %d frames, mean simulated inference %.1f ms", served, mean)
+				printStats(srv)
 			}
 		}()
 	}
 
 	<-stop
 	log.Printf("shutting down")
-	return srv.Close()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	printStats(srv)
+	return nil
+}
+
+// printStats logs the server snapshot and the per-session serving table.
+func printStats(srv *transport.Server) {
+	st := srv.Stats()
+	log.Printf("served %d frames (rejected %d), mean inference %.1f ms; conns %d (peak %d); queue mean %.1f peak %d, wait mean %.2f ms p95 %.2f ms",
+		st.Served, st.Rejected, st.MeanInferMs, st.ActiveConns, st.PeakConns,
+		st.Scheduler.MeanQueueDepth, st.Scheduler.PeakQueueDepth,
+		st.Scheduler.MeanWaitMs, st.Scheduler.P95WaitMs)
+	sessions := srv.SessionStats()
+	if len(sessions) == 0 {
+		return
+	}
+	rows := make([]metrics.ServingRow, 0, len(sessions))
+	for _, s := range sessions {
+		rows = append(rows, metrics.ServingRow{
+			Session:     s.Label(),
+			Served:      s.Served,
+			Rejected:    s.Rejected,
+			MeanInferMs: s.MeanInferMs,
+			MeanWaitMs:  s.MeanWaitMs,
+		})
+	}
+	log.Printf("active sessions:\n%s", metrics.ServingTable("sessions", rows))
 }

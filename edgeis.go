@@ -228,15 +228,24 @@ type (
 	EdgeServer = transport.Server
 	// EdgeClient is the mobile side of the wire protocol.
 	EdgeClient = transport.Client
+	// EdgeServerStats snapshots a server: served/rejected frames, connection
+	// peaks and the scheduler's queue accounting.
+	EdgeServerStats = transport.ServerStats
 )
 
-// NewEdgeServer builds a TCP edge server around a model.
+// NewEdgeServer builds a TCP edge server around a model. WithAccelerators
+// sizes its inference pool; WithQueueDepth bounds admission (overflow is
+// rejected per frame and surfaces as dropped offloads on the client).
 func NewEdgeServer(model *Model, opts ...transport.ServerOption) *EdgeServer {
 	return transport.NewServer(model, opts...)
 }
 
 // DialEdge connects to an edge server.
 var DialEdge = transport.Dial
+
+// DialEdgeRetry connects with bounded exponential backoff, absorbing the
+// startup race where the client comes up before the server's listener.
+var DialEdgeRetry = transport.DialRetry
 
 // Experiments: the per-figure reproduction harness.
 type (

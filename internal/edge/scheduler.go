@@ -1,0 +1,328 @@
+package edge
+
+import (
+	"sync"
+	"time"
+
+	"edgeis/internal/metrics"
+	"edgeis/internal/segmodel"
+)
+
+// Accelerator is one inference execution unit. Each scheduler worker owns
+// exactly one, so implementations need not be safe for concurrent use. The
+// returned inferMs is the simulated inference latency reported to clients.
+type Accelerator interface {
+	Run(in segmodel.Input, g segmodel.Guidance) (out *segmodel.Result, inferMs float64)
+}
+
+// Config assembles a scheduler.
+type Config struct {
+	// Workers is the accelerator pool size; <= 0 means 1. One worker
+	// serializes inference exactly like the old transport GPU mutex — the
+	// deterministic mode the equivalence tests rely on.
+	Workers int
+	// QueueDepth bounds the admission queue across all sessions; <= 0 means
+	// DefaultQueueDepth. A full queue rejects with ErrQueueFull.
+	QueueDepth int
+	// NewAccelerator builds worker i's accelerator. Required.
+	NewAccelerator func(worker int) Accelerator
+	// GuidanceContinuity lets sessions reuse their last CIIA plan for
+	// guidance-less frames (see Session.Guide). Off by default: reuse
+	// changes inference results, which single-client determinism tests pin.
+	GuidanceContinuity bool
+}
+
+// DefaultQueueDepth is the admission bound when Config leaves it zero.
+const DefaultQueueDepth = 32
+
+// job is one admitted request waiting for an accelerator.
+type job struct {
+	sess     *Session
+	in       segmodel.Input
+	g        segmodel.Guidance
+	enqueued time.Time
+	done     chan jobResult
+}
+
+type jobResult struct {
+	out     *segmodel.Result
+	inferMs float64
+	err     error
+}
+
+// Scheduler owns the accelerator pool and the bounded admission queue.
+// Dequeueing is fair per session: workers round-robin across sessions that
+// have pending work and take one request at a time, so one client flooding
+// the queue cannot starve the others.
+type Scheduler struct {
+	workers    int
+	depth      int
+	continuity bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// ring lists the sessions with pending requests in round-robin order;
+	// rr is the next position to serve.
+	ring     []*Session
+	rr       int
+	queued   int
+	inflight int
+	closed   bool
+
+	sessions map[*Session]struct{}
+	nextID   int
+
+	served    int
+	rejected  int
+	cancelled int
+	inferSum  float64
+	waits     metrics.Dist
+	depths    metrics.Dist
+	peakSess  int
+
+	wg sync.WaitGroup
+}
+
+// Stats is a point-in-time scheduler snapshot.
+type Stats struct {
+	// Workers and QueueDepth echo the configuration.
+	Workers    int
+	QueueDepth int
+	// Queued and InFlight describe the instantaneous load.
+	Queued   int
+	InFlight int
+	// Served, Rejected and Cancelled partition every admitted-or-refused
+	// request: answered, refused at admission, failed by session/scheduler
+	// shutdown. Nothing is lost silently.
+	Served    int
+	Rejected  int
+	Cancelled int
+	// MeanInferMs averages simulated inference latency over served requests.
+	MeanInferMs float64
+	// Wait telemetry: admission-to-dequeue wall time over served requests.
+	MeanWaitMs float64
+	MaxWaitMs  float64
+	P95WaitMs  float64
+	// Queue-depth telemetry, sampled at each admission.
+	MeanQueueDepth float64
+	PeakQueueDepth int
+	// Session population.
+	ActiveSessions int
+	PeakSessions   int
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Scheduler{
+		workers:    cfg.Workers,
+		depth:      cfg.QueueDepth,
+		continuity: cfg.GuidanceContinuity,
+		sessions:   make(map[*Session]struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(cfg.NewAccelerator(i))
+	}
+	return s
+}
+
+// NewSession registers a client. Sessions created after Close still work as
+// handles, but every Infer through them fails with ErrClosed.
+func (s *Scheduler) NewSession(remote string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess := &Session{
+		sched:      s,
+		id:         s.nextID,
+		remote:     remote,
+		started:    time.Now(),
+		continuity: s.continuity,
+	}
+	s.sessions[sess] = struct{}{}
+	if len(s.sessions) > s.peakSess {
+		s.peakSess = len(s.sessions)
+	}
+	return sess
+}
+
+// infer admits one request and blocks until it is served, rejected or
+// cancelled. No scheduler lock is held while waiting.
+func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64, error) {
+	j := &job{sess: sess, in: in, g: g, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	s.mu.Lock()
+	if s.closed || sess.closed {
+		s.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if s.queued >= s.depth {
+		s.rejected++
+		s.mu.Unlock()
+		sess.noteRejected()
+		return nil, 0, ErrQueueFull
+	}
+	if len(sess.pending) == 0 {
+		s.ring = append(s.ring, sess)
+	}
+	sess.pending = append(sess.pending, j)
+	s.queued++
+	s.depths.Add(float64(s.queued))
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	r := <-j.done
+	return r.out, r.inferMs, r.err
+}
+
+// next blocks until a request is available (fair round-robin across
+// sessions) or the scheduler is closed and drained; nil means exit.
+func (s *Scheduler) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.ring) > 0 {
+			if s.rr >= len(s.ring) {
+				s.rr = 0
+			}
+			sess := s.ring[s.rr]
+			j := sess.pending[0]
+			sess.pending = sess.pending[1:]
+			s.queued--
+			if len(sess.pending) == 0 {
+				// Drop the drained session from the ring; rr now already
+				// points at the next session.
+				s.ring = append(s.ring[:s.rr], s.ring[s.rr+1:]...)
+			} else {
+				s.rr++
+			}
+			s.inflight++
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// worker serves requests on one accelerator until close-and-drain.
+func (s *Scheduler) worker(acc Accelerator) {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		waitMs := float64(time.Since(j.enqueued)) / float64(time.Millisecond)
+		out, inferMs := acc.Run(j.in, j.g)
+
+		s.mu.Lock()
+		s.inflight--
+		s.served++
+		s.inferSum += inferMs
+		s.waits.Add(waitMs)
+		s.mu.Unlock()
+		j.sess.noteServed(inferMs, waitMs)
+
+		j.done <- jobResult{out: out, inferMs: inferMs}
+	}
+}
+
+// closeSession implements Session.Close.
+func (s *Scheduler) closeSession(sess *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.closed {
+		return
+	}
+	sess.closed = true
+	delete(s.sessions, sess)
+	if len(sess.pending) == 0 {
+		return
+	}
+	// Fail queued-but-unstarted requests so their waiters unblock; the one
+	// possibly in flight on a worker completes normally.
+	for _, j := range sess.pending {
+		s.queued--
+		s.cancelled++
+		j.done <- jobResult{err: ErrClosed}
+	}
+	sess.pending = nil
+	for i, rs := range s.ring {
+		if rs == sess {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if s.rr > i {
+				s.rr--
+			}
+			break
+		}
+	}
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:        s.workers,
+		QueueDepth:     s.depth,
+		Queued:         s.queued,
+		InFlight:       s.inflight,
+		Served:         s.served,
+		Rejected:       s.rejected,
+		Cancelled:      s.cancelled,
+		MeanWaitMs:     s.waits.Mean(),
+		MaxWaitMs:      s.waits.Max(),
+		P95WaitMs:      s.waits.Percentile(0.95),
+		MeanQueueDepth: s.depths.Mean(),
+		PeakQueueDepth: int(s.depths.Max()),
+		ActiveSessions: len(s.sessions),
+		PeakSessions:   s.peakSess,
+	}
+	if s.served > 0 {
+		st.MeanInferMs = s.inferSum / float64(s.served)
+	}
+	return st
+}
+
+// Sessions snapshots every active session, ordered by session ID.
+func (s *Scheduler) Sessions() []SessionStats {
+	s.mu.Lock()
+	live := make([]*Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	// Map order is arbitrary; sort by the monotonically assigned ID.
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j-1].id > live[j].id; j-- {
+			live[j-1], live[j] = live[j], live[j-1]
+		}
+	}
+	out := make([]SessionStats, len(live))
+	for i, sess := range live {
+		out[i] = sess.Stats()
+	}
+	return out
+}
+
+// Close stops admission and gracefully drains: requests already admitted
+// are served to completion (their waiters get real results), new Infer
+// calls fail with ErrClosed, and Close returns once every worker has
+// exited. Workers never block on client connections, so Close cannot
+// deadlock; it is safe to call more than once.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

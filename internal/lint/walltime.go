@@ -9,12 +9,15 @@ import (
 // against real sockets and timers; everything else models time with the
 // simulator's virtual clock and must not read the wall clock. backendtest
 // is test infrastructure: it polls real TCP/loopback backends from the
-// conformance suite, so its deadlines are genuinely wall-clock.
+// conformance suite, so its deadlines are genuinely wall-clock. edge is the
+// serving layer behind transport: its scheduler measures real queue-wait and
+// session uptimes for multi-tenant serving stats.
 var wallClockPkgs = map[string]bool{
 	"transport":   true,
 	"live":        true,
 	"parallel":    true,
 	"backendtest": true,
+	"edge":        true,
 }
 
 // wallTimeFuncs are the time-package entry points that observe or consume
@@ -36,8 +39,8 @@ var WallTime = &Analyzer{
 
 The sim pipeline advances a virtual clock; reading the host clock there
 makes latency figures depend on machine load and breaks seed
-reproducibility. Real-time packages (transport, live, parallel) and the
-core/stages.go profiling hooks are exempt, as are tests. Other genuine
+reproducibility. Real-time packages (transport, edge, live, parallel) and
+the core/stages.go profiling hooks are exempt, as are tests. Other genuine
 wall-clock sites must be annotated //edgeis:wallclock <reason>.`,
 	Run: runWallTime,
 }

@@ -26,6 +26,9 @@ type TCPBackend struct {
 	// them to the engine in arrival order.
 	pending     []*transport.ResultMsg
 	outstanding int
+	// seenRejects is how many server-side admission rejects have already
+	// been folded into DroppedOffloads and outstanding.
+	seenRejects int
 	stats       pipeline.BackendStats
 	err         error
 
@@ -39,6 +42,17 @@ var _ pipeline.EdgeBackend = (*TCPBackend)(nil)
 // seed so the server renders the same ground-truth frame the mobile saw.
 func NewTCPBackend(client *transport.Client, seed int64) *TCPBackend {
 	return &TCPBackend{client: client, seed: seed}
+}
+
+// DialTCPBackend dials an edge server with bounded exponential backoff and
+// wraps the connection. It absorbs the startup race where the client comes
+// up before the server has bound its listener.
+func DialTCPBackend(addr string, seed int64, timeout time.Duration, attempts int, backoff time.Duration, opts ...transport.ClientOption) (*TCPBackend, error) {
+	client, err := transport.DialRetry(addr, timeout, attempts, backoff, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPBackend(client, seed), nil
 }
 
 // Name identifies the backend in reports.
@@ -69,9 +83,26 @@ func (b *TCPBackend) Submit(req *pipeline.OffloadRequest, sendAt float64) []pipe
 	return nil
 }
 
+// reconcileRejects folds server-side admission rejects (TypeReject replies
+// counted by the client) into the backend accounting: each shed frame is a
+// dropped offload whose result will never arrive.
+func (b *TCPBackend) reconcileRejects() {
+	fresh := b.client.Rejected() - b.seenRejects
+	if fresh <= 0 {
+		return
+	}
+	b.seenRejects += fresh
+	b.stats.DroppedOffloads += fresh
+	b.outstanding -= fresh
+	if b.outstanding < 0 {
+		b.outstanding = 0
+	}
+}
+
 // Advance drains every result the socket has delivered so far, without
 // blocking, and schedules each at the current simulated instant.
 func (b *TCPBackend) Advance(now float64) []pipeline.ScheduledResult {
+	b.reconcileRejects()
 	var out []pipeline.ScheduledResult
 	for _, res := range b.pending {
 		if sr, ok := b.take(res, now); ok {
@@ -114,7 +145,12 @@ func (b *TCPBackend) take(res *transport.ResultMsg, now float64) (pipeline.Sched
 }
 
 // Outstanding reports submitted offloads whose results have not come back.
-func (b *TCPBackend) Outstanding() int { return b.outstanding }
+// Frames the server shed at admission are reconciled out first: their
+// results will never arrive, so they must not pin the engine's drain loop.
+func (b *TCPBackend) Outstanding() int {
+	b.reconcileRejects()
+	return b.outstanding
+}
 
 // Wait blocks up to d wall-clock time for one result, buffering it for the
 // next Advance. This is the live counterpart of the legacy driver's blocking
@@ -153,8 +189,12 @@ func (b *TCPBackend) fail() {
 // Err reports a connection failure observed during the run, if any.
 func (b *TCPBackend) Err() error { return b.err }
 
-// Stats returns the backend accounting.
-func (b *TCPBackend) Stats() pipeline.BackendStats { return b.stats }
+// Stats returns the backend accounting, including any rejects the server
+// reported since the last call.
+func (b *TCPBackend) Stats() pipeline.BackendStats {
+	b.reconcileRejects()
+	return b.stats
+}
 
 // Close closes the underlying client.
 func (b *TCPBackend) Close() error { return b.client.Close() }

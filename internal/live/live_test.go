@@ -20,9 +20,9 @@ import (
 )
 
 // startServer spins up an in-process edge server and a connected client.
-func startServer(t *testing.T) (*transport.Server, *transport.Client) {
+func startServer(t *testing.T, opts ...transport.ServerOption) (*transport.Server, *transport.Client) {
 	t.Helper()
-	srv := transport.NewServer(segmodel.New(segmodel.MaskRCNN))
+	srv := transport.NewServer(segmodel.New(segmodel.MaskRCNN), opts...)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -71,9 +71,9 @@ func TestDriverEndToEndOverTCP(t *testing.T) {
 	if progressed == 0 {
 		t.Error("progress callback never fired")
 	}
-	served, mean := srv.Stats()
-	if served == 0 || mean <= 0 {
-		t.Errorf("server stats: served=%d mean=%.1f", served, mean)
+	st := srv.Stats()
+	if st.Served == 0 || st.MeanInferMs <= 0 {
+		t.Errorf("server stats: served=%d mean=%.1f", st.Served, st.MeanInferMs)
 	}
 }
 
@@ -159,6 +159,98 @@ func TestTCPBackendConformance(t *testing.T) {
 			return b
 		},
 	})
+}
+
+// TestPooledTCPBackendConformance runs the same EdgeBackend contract against
+// a server with a 4-worker accelerator pool. A single connection is served
+// synchronously, so delivery order must hold even with concurrent workers.
+func TestPooledTCPBackendConformance(t *testing.T) {
+	backendtest.Conformance(t, backendtest.Target{
+		Name:      "tcp-pooled",
+		WallClock: true,
+		New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
+			_, client := startServer(t, transport.WithAccelerators(4))
+			b := NewTCPBackend(client, 41)
+			b.Bind(frames, queueDepth)
+			return b
+		},
+	})
+}
+
+// TestServerRejectsBecomeDroppedOffloads pins the reject accounting path:
+// when the server sheds a frame at admission (TypeReject), the TCP backend
+// must fold it into DroppedOffloads and release the outstanding slot —
+// the engine's no-silent-loss law over a real socket.
+func TestServerRejectsBecomeDroppedOffloads(t *testing.T) {
+	srv, victim := startServer(t,
+		transport.WithAccelerators(1),
+		transport.WithQueueDepth(1),
+		// Hold the single accelerator for ~2x the simulated latency so the
+		// worker and queue slot stay occupied while the victim frame lands.
+		transport.WithWallOccupancy(2),
+	)
+	frames := backendtest.Frames(41, 4)
+
+	// Two occupier connections: the first frame takes the accelerator, the
+	// second fills the depth-1 queue.
+	occupiers := make([]*TCPBackend, 2)
+	for i := range occupiers {
+		client, err := transport.Dial(srv.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewTCPBackend(client, 41)
+		b.Bind(frames, 4)
+		t.Cleanup(func() { _ = b.Close() })
+		occupiers[i] = b
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	req := func(i int) *pipeline.OffloadRequest {
+		return &pipeline.OffloadRequest{
+			FrameIndex:   i,
+			PayloadBytes: 1000,
+			Quality:      func(x, y int) float64 { return 1 },
+		}
+	}
+	for i, b := range occupiers {
+		b.Submit(req(i), 0)
+	}
+	waitFor("worker and queue occupied", func() bool {
+		s := srv.Stats().Scheduler
+		return s.InFlight == 1 && s.Queued == 1
+	})
+
+	vb := NewTCPBackend(victim, 41)
+	vb.Bind(frames, 4)
+	vb.Submit(req(2), 0)
+	if got := vb.Stats().Submitted; got != 1 {
+		t.Fatalf("submitted = %d, want 1", got)
+	}
+	waitFor("reject reconciled into DroppedOffloads", func() bool {
+		vb.Advance(0)
+		return vb.Stats().DroppedOffloads == 1
+	})
+	st := vb.Stats()
+	if st.Results != 0 {
+		t.Errorf("victim got %d results, want 0", st.Results)
+	}
+	if out := vb.Outstanding(); out != 0 {
+		t.Errorf("outstanding = %d after reject, want 0", out)
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Error("server never counted the shed frame")
+	}
 }
 
 // TestSimAndTCPBackendsAgree is the tentpole's acceptance check: ONE engine

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistStreamingStats(t *testing.T) {
+	var d Dist
+	if d.Count() != 0 || d.Mean() != 0 || d.Max() != 0 || d.Percentile(0.5) != 0 {
+		t.Fatal("zero Dist must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if d.Count() != 100 {
+		t.Errorf("count = %d", d.Count())
+	}
+	if d.Mean() != 50.5 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Max() != 100 {
+		t.Errorf("max = %v", d.Max())
+	}
+	if p := d.Percentile(1); p != 100 {
+		t.Errorf("p100 = %v", p)
+	}
+	if p := d.Percentile(0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := d.Percentile(0.5); p < 40 || p > 60 {
+		t.Errorf("p50 = %v", p)
+	}
+}
+
+func TestDistWindowBoundsMemoryButKeepsExactMeanMax(t *testing.T) {
+	var d Dist
+	n := distWindow * 3
+	for i := 0; i < n; i++ {
+		d.Add(float64(i))
+	}
+	if d.Count() != n {
+		t.Errorf("count = %d, want %d", d.Count(), n)
+	}
+	if d.Max() != float64(n-1) {
+		t.Errorf("max = %v", d.Max())
+	}
+	if got, want := d.Mean(), float64(n-1)/2; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// Percentiles cover the retained window: the low percentile must come
+	// from the most recent samples, not the evicted early ones.
+	if p := d.Percentile(0); p < float64(n-distWindow) {
+		t.Errorf("windowed p0 = %v still sees evicted samples", p)
+	}
+	if len(d.ring) != distWindow {
+		t.Errorf("ring grew to %d", len(d.ring))
+	}
+}
+
+func TestServingTable(t *testing.T) {
+	out := ServingTable("sessions", []ServingRow{
+		{Session: "1 10.0.0.1:555", Served: 12, Rejected: 2, MeanInferMs: 310.5, MeanWaitMs: 1.25},
+	})
+	for _, want := range []string{"== sessions ==", "1 10.0.0.1:555", "12", "310.5", "1.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -87,10 +87,12 @@ type waitingOffload struct {
 }
 
 // SimBackend is the simulated edge: an uplink and downlink from netsim and a
-// segmodel edge model, with a bounded latest-wins queue in front of a single
-// accelerator. It reproduces the legacy Engine.Run scheduling exactly — the
-// order of link and model calls is load-bearing for determinism, since links
-// carry RNG state and a busy horizon.
+// segmodel edge model, with a bounded latest-wins queue in front of a pool
+// of accelerators (default one). It reproduces the legacy Engine.Run
+// scheduling exactly — the order of link and model calls is load-bearing for
+// determinism, since links carry RNG state and a busy horizon. With one
+// accelerator the busy-horizon math is identical to the historical single
+// edgeFreeAt field, so golden runs are byte-stable.
 type SimBackend struct {
 	model      *segmodel.Model
 	inferScale float64
@@ -99,9 +101,11 @@ type SimBackend struct {
 	seed       int64
 	frames     []*scene.Frame
 	queueDepth int
-	edgeFreeAt float64
-	waiting    []waitingOffload
-	stats      BackendStats
+	// freeAt is the busy horizon of each simulated accelerator; requests are
+	// served FIFO on the earliest-free one (lowest index breaks ties).
+	freeAt  []float64
+	waiting []waitingOffload
+	stats   BackendStats
 }
 
 // SimBackendConfig assembles a simulated edge.
@@ -115,6 +119,9 @@ type SimBackendConfig struct {
 	Profile netsim.Profile
 	// Seed derives the two link RNG streams and per-frame model noise.
 	Seed int64
+	// Accelerators sizes the simulated inference pool; zero or one keeps
+	// the deterministic single-accelerator edge.
+	Accelerators int
 }
 
 // NewSimBackend builds the simulated edge backend.
@@ -125,6 +132,9 @@ func NewSimBackend(cfg SimBackendConfig) *SimBackend {
 	if cfg.InferScale == 0 {
 		cfg.InferScale = 1
 	}
+	if cfg.Accelerators < 1 {
+		cfg.Accelerators = 1
+	}
 	return &SimBackend{
 		model:      cfg.Model,
 		inferScale: cfg.InferScale,
@@ -132,7 +142,20 @@ func NewSimBackend(cfg SimBackendConfig) *SimBackend {
 		downlink:   netsim.NewLink(cfg.Profile, cfg.Seed+2),
 		seed:       cfg.Seed,
 		queueDepth: 1,
+		freeAt:     make([]float64, cfg.Accelerators),
 	}
+}
+
+// earliestFree picks the accelerator that frees up first, lowest index
+// winning ties so single-accelerator runs reduce to the legacy math.
+func (b *SimBackend) earliestFree() (int, float64) {
+	idx, free := 0, b.freeAt[0]
+	for i := 1; i < len(b.freeAt); i++ {
+		if b.freeAt[i] < free {
+			idx, free = i, b.freeAt[i]
+		}
+	}
+	return idx, free
 }
 
 // Name implements EdgeBackend.
@@ -154,8 +177,8 @@ func (b *SimBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResu
 	upMs := b.uplink.TransferMs(sendAt, req.PayloadBytes)
 	arrive := sendAt + upMs
 	out := b.advance(arrive)
-	if b.edgeFreeAt <= arrive && len(b.waiting) == 0 {
-		return append(out, b.startInference(req, arrive))
+	if accel, free := b.earliestFree(); free <= arrive && len(b.waiting) == 0 {
+		return append(out, b.startInference(req, arrive, accel))
 	}
 	b.waiting = append(b.waiting, waitingOffload{arrival: arrive, req: req})
 	if len(b.waiting) > b.queueDepth {
@@ -171,9 +194,13 @@ func (b *SimBackend) Advance(now float64) []ScheduledResult { return b.advance(n
 
 func (b *SimBackend) advance(now float64) []ScheduledResult {
 	var out []ScheduledResult
-	for len(b.waiting) > 0 && b.edgeFreeAt <= now {
+	for len(b.waiting) > 0 {
+		accel, free := b.earliestFree()
+		if free > now {
+			break
+		}
 		item := b.waiting[0]
-		start := b.edgeFreeAt
+		start := free
 		if item.arrival > start {
 			start = item.arrival
 		}
@@ -181,18 +208,20 @@ func (b *SimBackend) advance(now float64) []ScheduledResult {
 			break
 		}
 		b.waiting = b.waiting[1:]
-		out = append(out, b.startInference(item.req, start))
+		out = append(out, b.startInference(item.req, start, accel))
 	}
 	return out
 }
 
 // startInference runs the model for a request whose service begins at
-// startAt and schedules the result delivery over the downlink.
-func (b *SimBackend) startInference(req *OffloadRequest, startAt float64) ScheduledResult {
+// startAt on accelerator accel and schedules the result delivery over the
+// downlink.
+func (b *SimBackend) startInference(req *OffloadRequest, startAt float64, accel int) ScheduledResult {
 	in := modelInput(b.frames, b.seed, req)
 	res := b.model.Run(in, req.Guidance)
 	inferMs := res.TotalMs() * b.inferScale
-	b.edgeFreeAt = startAt + inferMs
+	doneAt := startAt + inferMs
+	b.freeAt[accel] = doneAt
 	b.stats.InferMsSum += inferMs
 	b.stats.Results++
 
@@ -205,9 +234,9 @@ func (b *SimBackend) startInference(req *OffloadRequest, startAt float64) Schedu
 		}
 	}
 	b.stats.DownlinkBytes += resultBytes
-	downMs := b.downlink.TransferMs(b.edgeFreeAt, resultBytes)
+	downMs := b.downlink.TransferMs(doneAt, resultBytes)
 	return ScheduledResult{
-		At: b.edgeFreeAt + downMs,
+		At: doneAt + downMs,
 		Res: EdgeResult{
 			FrameIndex: req.FrameIndex,
 			Detections: res.Detections,

@@ -1,0 +1,61 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"edgeis/internal/netsim"
+	"edgeis/internal/pipeline"
+	"edgeis/internal/pipeline/backendtest"
+)
+
+// TestSimBackendMultiAccelerator pins the simulated accelerator pool: two
+// offloads arriving together serialize on one accelerator but overlap on
+// two, and the pool size must not disturb the first result's timing (the
+// N=1 math is the byte-stable legacy schedule).
+func TestSimBackendMultiAccelerator(t *testing.T) {
+	frames := backendtest.Frames(7, 4)
+	run := func(accels int) (first, second float64) {
+		b := pipeline.NewSimBackend(pipeline.SimBackendConfig{
+			Profile:      netsim.DefaultProfile(netsim.WiFi5),
+			Seed:         7,
+			Accelerators: accels,
+		})
+		b.Bind(frames, 4)
+		var out []pipeline.ScheduledResult
+		for i := 0; i < 2; i++ {
+			req := &pipeline.OffloadRequest{
+				FrameIndex:   i,
+				PayloadBytes: 20_000,
+				Quality:      func(x, y int) float64 { return 1 },
+			}
+			out = append(out, b.Submit(req, 0)...)
+		}
+		out = append(out, b.Advance(1e12)...)
+		if len(out) != 2 {
+			t.Fatalf("%d accelerators: %d results, want 2", accels, len(out))
+		}
+		for _, r := range out {
+			switch r.Res.FrameIndex {
+			case 0:
+				first = r.At
+			case 1:
+				second = r.At
+			default:
+				t.Fatalf("unexpected frame %d", r.Res.FrameIndex)
+			}
+		}
+		if first <= 0 || second <= 0 {
+			t.Fatalf("%d accelerators: missing deliveries (first=%.3f second=%.3f)", accels, first, second)
+		}
+		return first, second
+	}
+
+	serialFirst, serialSecond := run(1)
+	pooledFirst, pooledSecond := run(2)
+	if pooledFirst != serialFirst {
+		t.Errorf("first delivery moved with pool size: 1-accel %.3f, 2-accel %.3f", serialFirst, pooledFirst)
+	}
+	if pooledSecond >= serialSecond {
+		t.Errorf("second delivery did not overlap: 1-accel %.3f, 2-accel %.3f", serialSecond, pooledSecond)
+	}
+}

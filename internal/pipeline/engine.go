@@ -91,6 +91,9 @@ type Config struct {
 	EdgeModel *segmodel.Model
 	// EdgeInferScale multiplies inference latency (device.Profile.InferScale).
 	EdgeInferScale float64
+	// EdgeAccelerators sizes the simulated edge's inference pool (simulated
+	// backend only); zero or one keeps the deterministic single accelerator.
+	EdgeAccelerators int
 	// Seed drives all stochastic components.
 	Seed int64
 	// Backend overrides the edge serving the run. Nil builds the default
@@ -180,10 +183,11 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 			profile = *cfg.NetworkProfile
 		}
 		backend = NewSimBackend(SimBackendConfig{
-			Model:      cfg.EdgeModel,
-			InferScale: cfg.EdgeInferScale,
-			Profile:    profile,
-			Seed:       cfg.Seed,
+			Model:        cfg.EdgeModel,
+			InferScale:   cfg.EdgeInferScale,
+			Profile:      profile,
+			Seed:         cfg.Seed,
+			Accelerators: cfg.EdgeAccelerators,
 		})
 	}
 	e := &Engine{

@@ -113,6 +113,15 @@ func New(kind Kind) *Model {
 	return &Model{Profile: DefaultProfile(kind), pool: mask.NewPool()}
 }
 
+// Clone returns a model with the same profile but its own scratch pool.
+// Run mutates the pool, so concurrent inference workers (the edge
+// scheduler's accelerators) must each own a clone rather than share one
+// model; outputs depend only on the input and profile, so clones are
+// interchangeable.
+func (m *Model) Clone() *Model {
+	return &Model{Profile: m.Profile, pool: mask.NewPool()}
+}
+
 // Run performs simulated inference. Guidance applies only to two-stage
 // models (Mask R-CNN); one-stage models ignore it, matching the paper's
 // observation that end-to-end models are "hard to decompose, leaving little

@@ -27,9 +27,10 @@ type Client struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	mu      sync.Mutex
-	lastErr error
-	sent    int
+	mu       sync.Mutex
+	lastErr  error
+	sent     int
+	rejected int
 }
 
 // ClientOption customizes a client connection.
@@ -73,6 +74,33 @@ func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, er
 	return c, nil
 }
 
+// DialRetry dials an edge server with bounded exponential backoff: up to
+// attempts tries, sleeping backoff, 2*backoff, ... between them. Transient
+// connection refusals while the server is still binding its listener — the
+// normal race at client startup — are absorbed instead of killing the run;
+// a server that never appears still fails after the last attempt.
+func DialRetry(addr string, timeout time.Duration, attempts int, backoff time.Duration, opts ...ClientOption) (*Client, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := Dial(addr, timeout, opts...)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
+}
+
 // Results delivers inference results; the channel closes when the
 // connection ends.
 func (c *Client) Results() <-chan *ResultMsg { return c.results }
@@ -102,6 +130,15 @@ func (c *Client) Sent() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sent
+}
+
+// Rejected returns the number of frames the edge shed at admission
+// (TypeReject replies). Rejections are per-frame and non-fatal; callers
+// account them as dropped offloads.
+func (c *Client) Rejected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejected
 }
 
 // Err returns the terminal connection error, if any.
@@ -152,13 +189,23 @@ func (c *Client) readLoop() {
 			c.setErr(err)
 			return
 		}
-		if t, terr := MessageType(payload); terr == nil && t == TypeError {
+		switch t, terr := MessageType(payload); {
+		case terr == nil && t == TypeError:
 			if msg, merr := UnmarshalError(payload); merr == nil {
 				c.setErr(fmt.Errorf("transport: server error: %s", msg))
 			} else {
 				c.setErr(merr)
 			}
 			return
+		case terr == nil && t == TypeReject:
+			if _, rerr := UnmarshalReject(payload); rerr != nil {
+				c.setErr(rerr)
+				return
+			}
+			c.mu.Lock()
+			c.rejected++
+			c.mu.Unlock()
+			continue
 		}
 		res, err := UnmarshalResult(payload)
 		if err != nil {

@@ -40,6 +40,10 @@ const (
 	TypeResult
 	// TypeError carries a server-side failure description.
 	TypeError
+	// TypeReject reports that the edge shed one frame at admission (its
+	// scheduler queue was full). Unlike TypeError it is per-frame and
+	// non-fatal: the connection keeps serving later frames.
+	TypeReject
 )
 
 // Errors.
@@ -494,6 +498,29 @@ func UnmarshalError(b []byte) (string, error) {
 		return "", r.err
 	}
 	return string(text), nil
+}
+
+// MarshalReject encodes a TypeReject message for one shed frame.
+func MarshalReject(frameIndex int32) []byte {
+	var w writer
+	w.u8(protocolVersion)
+	w.u8(TypeReject)
+	w.i32(frameIndex)
+	return w.buf
+}
+
+// UnmarshalReject decodes a TypeReject message, returning the shed frame's
+// index.
+func UnmarshalReject(b []byte) (int32, error) {
+	r := reader{buf: b}
+	if r.u8() != protocolVersion || r.u8() != TypeReject {
+		return 0, ErrBadMessage
+	}
+	idx := r.i32()
+	if !r.done() {
+		return 0, r.err
+	}
+	return idx, nil
 }
 
 // MessageType peeks a payload's type tag without decoding the body.

@@ -9,32 +9,48 @@ import (
 	"time"
 
 	"edgeis/internal/accel"
+	"edgeis/internal/edge"
 	"edgeis/internal/segmodel"
 )
 
-// Server is the edge node: it accepts mobile connections, decodes offloaded
-// frames, runs the (optionally CIIA-guided) segmentation model and streams
-// results back. One goroutine per connection; inferences across connections
-// serialize on the GPU mutex like they would on a real accelerator.
+// Server is the edge node's transport layer: it accepts mobile connections,
+// decodes offloaded frames and streams results back. Everything between
+// decode and encode — admission control, per-client session state, the
+// accelerator pool — lives in package edge; this type owns only framing and
+// socket IO. One goroutine per connection submits to the shared
+// edge.Scheduler and relays the outcome: a result, or a per-frame reject
+// when the admission queue is full.
 type Server struct {
 	model *segmodel.Model
 	// InferScale multiplies simulated inference latency (device profile).
 	inferScale float64
 	// MaxContourVertices bounds result mask payloads.
 	maxContour int
+	// accelerators and queueDepth shape the edge.Scheduler. One accelerator
+	// is the deterministic mode: inference serializes exactly like the old
+	// single GPU mutex.
+	accelerators int
+	queueDepth   int
+	// wallOccupancy > 0 makes each inference hold its accelerator for
+	// inferMs*wallOccupancy of wall time, modelling a real accelerator that
+	// stays busy for the latency it reports. Zero replies as fast as the
+	// host CPU allows (the historical behaviour).
+	wallOccupancy float64
+	// continuity enables per-session CIIA guidance reuse (edge.Session.Guide).
+	continuity bool
 	// Per-message socket deadlines; zero means none.
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 
-	ln       net.Listener
-	gpu      sync.Mutex // serializes inference, like a single accelerator
-	wg       sync.WaitGroup
-	mu       sync.Mutex
-	closed   bool
-	conns    map[net.Conn]struct{}
-	served   int
-	inferSum float64
-	logf     func(format string, args ...any)
+	sched *edge.Scheduler
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	conns     map[net.Conn]struct{}
+	peakConns int
+	logf      func(format string, args ...any)
 }
 
 // ServerOption customizes a server.
@@ -50,6 +66,48 @@ func WithLogger(logf func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithAccelerators sets the inference worker pool size (default 1). Each
+// worker owns a clone of the model, so N accelerators serve N clients'
+// frames concurrently; 1 keeps the deterministic serialized mode.
+func WithAccelerators(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.accelerators = n
+		}
+	}
+}
+
+// WithQueueDepth bounds the scheduler's admission queue (default
+// edge.DefaultQueueDepth). A full queue rejects frames explicitly with
+// TypeReject instead of queueing without bound.
+func WithQueueDepth(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.queueDepth = n
+		}
+	}
+}
+
+// WithWallOccupancy makes each inference occupy its accelerator for
+// inferMs*frac of wall-clock time, so serving throughput is bounded by the
+// accelerator pool the way a real edge device is. Zero (the default)
+// replies as fast as the host allows.
+func WithWallOccupancy(frac float64) ServerOption {
+	return func(s *Server) {
+		if frac > 0 {
+			s.wallOccupancy = frac
+		}
+	}
+}
+
+// WithGuidanceContinuity keeps each session's last CIIA plan alive and
+// applies it to guidance-less frames (see edge.Session.Guide). Off by
+// default: reuse changes inference output, which the single-client
+// equivalence tests pin.
+func WithGuidanceContinuity() ServerOption {
+	return func(s *Server) { s.continuity = true }
+}
+
 // WithConnReadTimeout drops connections that stay idle longer than d
 // between frames, so abandoned mobiles cannot pin server goroutines forever.
 func WithConnReadTimeout(d time.Duration) ServerOption {
@@ -62,19 +120,60 @@ func WithConnWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// modelAccelerator adapts one model clone to the scheduler's Accelerator
+// contract, applying the device latency scale and optional wall occupancy.
+type modelAccelerator struct {
+	model     *segmodel.Model
+	scale     float64
+	occupancy float64
+}
+
+func (a *modelAccelerator) Run(in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64) {
+	out := a.model.Run(in, g)
+	inferMs := out.TotalMs() * a.scale
+	if a.occupancy > 0 {
+		time.Sleep(time.Duration(inferMs * a.occupancy * float64(time.Millisecond)))
+	}
+	return out, inferMs
+}
+
 // NewServer builds an edge server around the given model.
 func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 	s := &Server{
-		model:      model,
-		inferScale: 1,
-		maxContour: 160,
-		conns:      make(map[net.Conn]struct{}),
-		logf:       func(string, ...any) {},
+		model:        model,
+		inferScale:   1,
+		maxContour:   160,
+		accelerators: 1,
+		conns:        make(map[net.Conn]struct{}),
+		logf:         func(string, ...any) {},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.sched = edge.NewScheduler(edge.Config{
+		Workers:            s.accelerators,
+		QueueDepth:         s.queueDepth,
+		GuidanceContinuity: s.continuity,
+		NewAccelerator: func(int) edge.Accelerator {
+			return &modelAccelerator{
+				model:     model.Clone(),
+				scale:     s.inferScale,
+				occupancy: s.wallOccupancy,
+			}
+		},
+	})
 	return s
+}
+
+// Scheduler exposes the serving layer for stats and tests.
+func (s *Server) Scheduler() *edge.Scheduler { return s.sched }
+
+// Addr returns the bound listen address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
 }
 
 // Listen binds the server to an address ("127.0.0.1:0" for an ephemeral
@@ -127,6 +226,9 @@ func (s *Server) track(conn net.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	if len(s.conns) > s.peakConns {
+		s.peakConns = len(s.conns)
+	}
 	return true
 }
 
@@ -136,13 +238,16 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// serveConn handles one mobile client until EOF.
+// serveConn handles one mobile client until EOF: framing in, session and
+// scheduler in the middle, framing out.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			s.logf("close conn: %v", err)
 		}
 	}()
+	sess := s.sched.NewSession(conn.RemoteAddr().String())
+	defer sess.Close()
 	for {
 		if s.readTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
@@ -169,7 +274,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		res := s.infer(frame)
+
+		in, guidance := frameInput(frame)
+		out, inferMs, err := sess.Infer(in, sess.Guide(guidance))
+		switch {
+		case errors.Is(err, edge.ErrQueueFull):
+			// Per-frame shed: tell the client and keep serving.
+			if werr := s.write(conn, MarshalReject(frame.FrameIndex)); werr != nil {
+				s.logf("write reject: %v", werr)
+				return
+			}
+			continue
+		case err != nil:
+			// Scheduler shut down: the connection is going away too.
+			return
+		}
+
+		res := &ResultMsg{FrameIndex: frame.FrameIndex, InferMs: inferMs}
+		for _, d := range out.Detections {
+			res.Detections = append(res.Detections, FromDetection(d, s.maxContour))
+		}
 		if err := s.write(conn, MarshalResult(res)); err != nil {
 			s.logf("write: %v", err)
 			return
@@ -187,8 +311,9 @@ func (s *Server) write(conn net.Conn, payload []byte) error {
 	return WriteMessage(conn, payload)
 }
 
-// infer runs the simulated model on a decoded frame.
-func (s *Server) infer(frame *FrameMsg) *ResultMsg {
+// frameInput converts a decoded wire frame into the model input and the
+// guidance it carried.
+func frameInput(frame *FrameMsg) (segmodel.Input, segmodel.Guidance) {
 	in := segmodel.Input{
 		Width:   int(frame.Width),
 		Height:  int(frame.Height),
@@ -212,38 +337,52 @@ func (s *Server) infer(frame *FrameMsg) *ResultMsg {
 	if len(frame.Areas) > 0 {
 		g = &accel.Plan{Areas: frame.Areas}
 	}
+	return in, g
+}
 
-	s.gpu.Lock()
-	out := s.model.Run(in, g)
-	s.gpu.Unlock()
+// ServerStats summarizes the server: transport-level connection peaks plus
+// the scheduler's serving accounting.
+type ServerStats struct {
+	// Served counts answered frames; MeanInferMs their mean simulated
+	// inference latency.
+	Served      int
+	MeanInferMs float64
+	// ActiveConns and PeakConns track concurrent connections.
+	ActiveConns int
+	PeakConns   int
+	// Rejected counts frames shed at admission (sent back as TypeReject).
+	Rejected int
+	// Scheduler is the full serving-layer snapshot (queue depth, wait
+	// times, session population).
+	Scheduler edge.Stats
+}
 
-	inferMs := out.TotalMs() * s.inferScale
+// Stats snapshots the server.
+func (s *Server) Stats() ServerStats {
+	sched := s.sched.Stats()
 	s.mu.Lock()
-	s.served++
-	s.inferSum += inferMs
+	active, peak := len(s.conns), s.peakConns
 	s.mu.Unlock()
-
-	res := &ResultMsg{FrameIndex: frame.FrameIndex, InferMs: inferMs}
-	for _, d := range out.Detections {
-		res.Detections = append(res.Detections, FromDetection(d, s.maxContour))
+	return ServerStats{
+		Served:      sched.Served,
+		MeanInferMs: sched.MeanInferMs,
+		ActiveConns: active,
+		PeakConns:   peak,
+		Rejected:    sched.Rejected,
+		Scheduler:   sched,
 	}
-	return res
 }
 
-// Stats returns frames served and mean simulated inference latency.
-func (s *Server) Stats() (served int, meanInferMs float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.served > 0 {
-		meanInferMs = s.inferSum / float64(s.served)
-	}
-	return s.served, meanInferMs
+// SessionStats snapshots every active session, ordered by session ID.
+func (s *Server) SessionStats() []edge.SessionStats {
+	return s.sched.Sessions()
 }
 
-// Close stops accepting, force-closes every live connection and waits for
-// the serving goroutines. Closing the sockets unblocks goroutines parked in
-// ReadMessage on idle clients, so Close returns promptly instead of
-// deadlocking on them; it is safe to call more than once.
+// Close stops accepting, force-closes every live connection, drains the
+// scheduler and waits for the serving goroutines. Closing the sockets
+// unblocks goroutines parked in ReadMessage on idle clients, and the
+// scheduler drain answers every in-flight inference, so Close returns
+// promptly instead of deadlocking; it is safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
@@ -261,6 +400,9 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Drain before waiting: conn goroutines blocked in sess.Infer are
+	// answered by the drain, then exit on their dead sockets.
+	_ = s.sched.Close()
 	s.wg.Wait()
 	return err
 }

@@ -202,9 +202,9 @@ func TestClientServerEndToEnd(t *testing.T) {
 		t.Fatal("timeout waiting for result")
 	}
 
-	served, mean := srv.Stats()
-	if served != 1 || mean <= 0 {
-		t.Errorf("server stats: served=%d mean=%.1f", served, mean)
+	st := srv.Stats()
+	if st.Served != 1 || st.MeanInferMs <= 0 {
+		t.Errorf("server stats: served=%d mean=%.1f", st.Served, st.MeanInferMs)
 	}
 }
 
@@ -260,9 +260,12 @@ func TestMultipleClientsConcurrent(t *testing.T) {
 			t.Fatalf("client %d: %v", i, err)
 		}
 	}
-	served, _ := srv.Stats()
-	if served != clients*framesPer {
-		t.Errorf("served = %d, want %d", served, clients*framesPer)
+	st := srv.Stats()
+	if st.Served != clients*framesPer {
+		t.Errorf("served = %d, want %d", st.Served, clients*framesPer)
+	}
+	if st.PeakConns < 1 {
+		t.Errorf("peak conns = %d, want >= 1", st.PeakConns)
 	}
 }
 
