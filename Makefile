@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 BENCHTIME ?= 200ms
 
-.PHONY: build test short race vet lint fuzz bench kernelbench check
+.PHONY: build test short race vet lint fuzz bench kernelbench loadgen servingbench check
 
 build: ## Compile every package and binary.
 	$(GO) build ./...
@@ -32,5 +32,11 @@ bench: kernelbench ## Per-figure benchmarks plus the packed-kernel sweep.
 
 kernelbench: ## Packed-vs-scalar mask kernel sweep; refreshes BENCH_kernels.json.
 	$(GO) run ./cmd/edgeis-kernelbench -benchtime $(BENCHTIME) -out BENCH_kernels.json
+
+loadgen: ## Deterministic serving smoke: ci-smoke profile on the simulator, run twice and compared (the CI gate).
+	$(GO) run ./cmd/edgeis-loadgen -profile ci-smoke -check -out -
+
+servingbench: ## Full serving SLO suite (all simulator profiles + tcp-smoke over sockets); refreshes BENCH_serving.json.
+	$(GO) run ./cmd/edgeis-loadgen -suite -check -out BENCH_serving.json
 
 check: vet lint build test race ## Everything CI runs, in order.

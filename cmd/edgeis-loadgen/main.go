@@ -1,0 +1,160 @@
+// Command edgeis-loadgen runs the fleet-scale serving load harness
+// (internal/loadgen) and writes machine-readable SLO reports.
+//
+// Three targets share one profile vocabulary:
+//
+//   - sim: the deterministic virtual-time simulator. Two runs of the same
+//     profile produce byte-identical reports; this is what the committed
+//     BENCH_serving.json pins.
+//   - scheduler: wall-clock fleet against a real in-process edge.Scheduler.
+//   - tcp: wall-clock fleet of transport.Clients over loopback sockets
+//     against a transport.Server (or -addr for an external edgeis-server).
+//
+// The committed BENCH_serving.json at the repo root is `-suite` output —
+// every named profile on the simulator plus the tcp-smoke profile over real
+// sockets. Refresh it with
+//
+//	go run ./cmd/edgeis-loadgen -suite -out BENCH_serving.json
+//
+// (or `make servingbench`). `-check` replays each simulator run twice and
+// fails on any byte difference — the determinism gate CI runs. See
+// DESIGN.md §14 for how to read the reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"edgeis/internal/loadgen"
+	"edgeis/internal/loadgen/drive"
+)
+
+// report is the file schema of BENCH_serving.json.
+type report struct {
+	GoVersion string         `json:"go_version"`
+	GOARCH    string         `json:"goarch"`
+	Results   []*loadgen.SLO `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		target    = flag.String("target", "sim", "execution target: sim, scheduler or tcp")
+		profile   = flag.String("profile", "", "named profile to run (see -list); empty with -suite runs the committed set")
+		list      = flag.Bool("list", false, "list the named profiles and exit")
+		suite     = flag.Bool("suite", false, "run every profile on the simulator plus tcp-smoke over sockets")
+		check     = flag.Bool("check", false, "run each simulator profile twice and fail unless reports are byte-identical")
+		out       = flag.String("out", "-", "output file (- for stdout)")
+		timescale = flag.Float64("timescale", 1, "wall targets: wall ms per virtual ms of the generation schedule")
+		occupancy = flag.Float64("occupancy", drive.DefaultOccupancy, "wall targets: accelerator hold time as a fraction of nominal inference latency")
+		drain     = flag.Duration("drain", drive.DefaultDrainTimeout, "tcp target: in-flight drain deadline after the horizon")
+		addr      = flag.String("addr", "", "tcp target: external server address (empty starts one in-process)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range loadgen.Profiles() {
+			p = p.Normalized()
+			fmt.Printf("%-20s %5d sessions %2d accel queue %3d  %6.1fs @ %.1f fps  %s\n",
+				p.Name, p.Sessions, p.Accelerators, p.QueueDepth, p.DurationMs/1000, p.FPS, p.Arrival)
+		}
+		return nil
+	}
+
+	opts := drive.Options{TimeScale: *timescale, Occupancy: *occupancy, DrainTimeout: *drain, Addr: *addr}
+	rep := report{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+
+	var profiles []loadgen.Profile
+	if *profile != "" {
+		p, err := loadgen.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		profiles = []loadgen.Profile{p}
+	} else if *suite || *check {
+		profiles = loadgen.Profiles()
+	} else {
+		return fmt.Errorf("edgeis-loadgen: pick -profile <name>, -suite or -list")
+	}
+
+	for _, p := range profiles {
+		tgt := *target
+		if *suite {
+			tgt = "sim"
+		}
+		slo, err := runOne(tgt, p, opts, *check)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, slo)
+		fmt.Fprintln(os.Stderr, slo)
+	}
+	// The suite ends with the smoke profile on real sockets, so the
+	// committed report carries one wall-clock row next to the pinned ones.
+	if *suite {
+		p, err := loadgen.ProfileByName("tcp-smoke")
+		if err != nil {
+			return err
+		}
+		start := time.Now() //edgeis:wallclock timing a real socket run for the progress line
+		slo, err := drive.RunTCP(p, opts)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start) //edgeis:wallclock timing a real socket run for the progress line
+		fmt.Fprintf(os.Stderr, "%s (%.1fs wall)\n", slo, elapsed.Seconds())
+		rep.Results = append(rep.Results, slo)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// runOne executes one profile on one target; with check set, simulator runs
+// execute twice and must agree byte for byte.
+func runOne(target string, p loadgen.Profile, opts drive.Options, check bool) (*loadgen.SLO, error) {
+	var slo *loadgen.SLO
+	var err error
+	switch target {
+	case "sim":
+		slo = loadgen.Run(p)
+		if check {
+			a, _ := json.Marshal(slo)
+			b, _ := json.Marshal(loadgen.Run(p))
+			if string(a) != string(b) {
+				return nil, fmt.Errorf("edgeis-loadgen: %s: two simulator runs differ:\n%s\n%s", p.Name, a, b)
+			}
+		}
+	case "scheduler":
+		slo, err = drive.RunScheduler(p, opts)
+	case "tcp":
+		slo, err = drive.RunTCP(p, opts)
+	default:
+		return nil, fmt.Errorf("edgeis-loadgen: unknown target %q (want sim, scheduler or tcp)", target)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := slo.Check(); err != nil {
+		return nil, err
+	}
+	return slo, nil
+}

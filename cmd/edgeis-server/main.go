@@ -22,7 +22,6 @@ import (
 	"time"
 
 	"edgeis/internal/device"
-	"edgeis/internal/metrics"
 	"edgeis/internal/segmodel"
 	"edgeis/internal/transport"
 )
@@ -111,26 +110,9 @@ func run() error {
 	return nil
 }
 
-// printStats logs the server snapshot and the per-session serving table.
+// printStats logs the server snapshot and the per-session serving table,
+// ID-sorted with per-session reject counts (transport.FormatServerStats,
+// pinned by its golden test).
 func printStats(srv *transport.Server) {
-	st := srv.Stats()
-	log.Printf("served %d frames (rejected %d), mean inference %.1f ms; conns %d (peak %d); queue mean %.1f peak %d, wait mean %.2f ms p95 %.2f ms",
-		st.Served, st.Rejected, st.MeanInferMs, st.ActiveConns, st.PeakConns,
-		st.Scheduler.MeanQueueDepth, st.Scheduler.PeakQueueDepth,
-		st.Scheduler.MeanWaitMs, st.Scheduler.P95WaitMs)
-	sessions := srv.SessionStats()
-	if len(sessions) == 0 {
-		return
-	}
-	rows := make([]metrics.ServingRow, 0, len(sessions))
-	for _, s := range sessions {
-		rows = append(rows, metrics.ServingRow{
-			Session:     s.Label(),
-			Served:      s.Served,
-			Rejected:    s.Rejected,
-			MeanInferMs: s.MeanInferMs,
-			MeanWaitMs:  s.MeanWaitMs,
-		})
-	}
-	log.Printf("active sessions:\n%s", metrics.ServingTable("sessions", rows))
+	log.Printf("%s", transport.FormatServerStats(srv.Stats(), srv.SessionStats()))
 }

@@ -61,10 +61,14 @@ type Scheduler struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	// ring lists the sessions with pending requests in round-robin order;
-	// rr is the next position to serve.
+	// ring holds the sessions with pending requests in round-robin order.
+	// Dequeueing rotates it: the front session gives up one request and, if
+	// it still has pending work, re-joins at the back. Rotation (rather
+	// than an index walk with removals) is what makes the round-robin
+	// starvation-free: a session with a backlog is served exactly once per
+	// pass over the waiting sessions, and a churn of fresh single-request
+	// sessions joining at the back can never lap it.
 	ring     []*Session
-	rr       int
 	queued   int
 	inflight int
 	closed   bool
@@ -188,19 +192,15 @@ func (s *Scheduler) next() *job {
 	defer s.mu.Unlock()
 	for {
 		if len(s.ring) > 0 {
-			if s.rr >= len(s.ring) {
-				s.rr = 0
-			}
-			sess := s.ring[s.rr]
+			sess := s.ring[0]
+			s.ring = s.ring[1:]
 			j := sess.pending[0]
 			sess.pending = sess.pending[1:]
 			s.queued--
-			if len(sess.pending) == 0 {
-				// Drop the drained session from the ring; rr now already
-				// points at the next session.
-				s.ring = append(s.ring[:s.rr], s.ring[s.rr+1:]...)
-			} else {
-				s.rr++
+			if len(sess.pending) > 0 {
+				// One request per turn: the session rotates to the back of
+				// the ring behind every other waiting session.
+				s.ring = append(s.ring, sess)
 			}
 			s.inflight++
 			return j
@@ -258,9 +258,6 @@ func (s *Scheduler) closeSession(sess *Session) {
 	for i, rs := range s.ring {
 		if rs == sess {
 			s.ring = append(s.ring[:i], s.ring[i+1:]...)
-			if s.rr > i {
-				s.rr--
-			}
 			break
 		}
 	}

@@ -143,6 +143,188 @@ func TestSchedulerFairPerSessionDequeue(t *testing.T) {
 	}
 }
 
+// TestSchedulerBacklogNotStarvedBySessionChurn is the regression test for
+// the round-robin rotation discipline. The old index-walk dequeue kept its
+// cursor fixed while drained sessions were removed in front of it and fresh
+// sessions appended behind it, so under a steady churn of new single-request
+// sessions a backlogged session parked before the cursor was never reached
+// again: its queued requests waited until the churn stopped. With rotation
+// the backlog must be served exactly once per pass over the waiting
+// sessions. The gate serializes the single worker, so the dequeue order is
+// deterministic.
+func TestSchedulerBacklogNotStarvedBySessionChurn(t *testing.T) {
+	acc := &gateAccel{gate: make(chan struct{})}
+	s := NewScheduler(Config{Workers: 1, QueueDepth: 32,
+		NewAccelerator: func(int) Accelerator { return acc }})
+	defer func() { _ = s.Close() }()
+
+	var waits []<-chan error
+	queued := 0
+	submit := func(sess *Session, seed int64) {
+		t.Helper()
+		waits = append(waits, inferAsync(sess, seed))
+		queued++
+		waitFor(t, "request queued", func() bool { return s.Stats().Queued == queued })
+	}
+	// release lets the worker finish its current request and pick the next;
+	// it returns once the accelerator has recorded that next dequeue.
+	release := func(n int) {
+		t.Helper()
+		acc.gate <- struct{}{}
+		queued--
+		waitFor(t, "next dequeue recorded", func() bool { return len(acc.seen()) == n })
+	}
+
+	hot := s.NewSession("hot")
+	defer hot.Close()
+	waits = append(waits, inferAsync(hot, 900))
+	waitFor(t, "hot head in flight", func() bool { return s.Stats().InFlight == 1 })
+	submit(hot, 901)
+	submit(hot, 902)
+
+	// Three churn sessions wait behind the hot backlog, and every completion
+	// is replaced by a brand-new session, so the ring never runs dry while
+	// the churn lasts — the exact pattern that used to starve seeds 901/902.
+	var churn []*Session
+	for i := int64(0); i < 3; i++ {
+		c := s.NewSession("churn")
+		churn = append(churn, c)
+		submit(c, 1+i)
+	}
+	for i := int64(0); i < 6; i++ {
+		release(int(i) + 2)
+		c := s.NewSession("churn")
+		churn = append(churn, c)
+		submit(c, 10+i)
+	}
+
+	// Drain everything still queued and close the churn sessions.
+	close(acc.gate)
+	for i, w := range waits {
+		if err := <-w; err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for _, c := range churn {
+		c.Close()
+	}
+
+	order := acc.seen()
+	pos := map[int64]int{}
+	for i, seed := range order {
+		pos[seed] = i
+	}
+	// One pass over the ring (hot + 3 churn + 1 replacement) must reach the
+	// hot backlog: seed 902 within the first 7 dequeues. The pre-rotation
+	// scheduler served it last, after the churn was exhausted.
+	if p, ok := pos[902]; !ok || p > 6 {
+		t.Errorf("hot backlog starved by churn: seed 902 at dequeue %d of %v", pos[902], order)
+	}
+	if pos[901] > pos[1] || pos[902] > pos[10] {
+		t.Errorf("hot backlog lapped by later churn arrivals: order %v", order)
+	}
+	if st := s.Stats(); st.Served != len(waits) || st.Rejected != 0 || st.Cancelled != 0 {
+		t.Errorf("accounting: served=%d rejected=%d cancelled=%d, want %d/0/0",
+			st.Served, st.Rejected, st.Cancelled, len(waits))
+	}
+}
+
+// TestSchedulerColdSessionsProgressUnderHotFlood is the skewed-arrival
+// stress test (run under -race via make check): four goroutines flood one
+// hot session while six cold sessions each need a handful of successes.
+// Fair dequeue must keep every cold session progressing, and the
+// no-silent-loss law offered == served + rejected (+ cancelled) must hold
+// per session and fleet-wide when the dust settles.
+func TestSchedulerColdSessionsProgressUnderHotFlood(t *testing.T) {
+	s := NewScheduler(Config{Workers: 2, QueueDepth: 8,
+		NewAccelerator: func(int) Accelerator { return sleepAccel{200 * time.Microsecond} }})
+	defer func() { _ = s.Close() }()
+
+	const coldSessions, coldTarget = 6, 5
+	stop := make(chan struct{})
+	var hotOffered, hotServed, hotRejected atomic.Int64
+	hot := s.NewSession("hot")
+	defer hot.Close()
+	var hotWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		hotWG.Add(1)
+		go func() {
+			defer hotWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hotOffered.Add(1)
+				_, _, err := hot.Infer(segmodel.Input{Seed: 1}, nil)
+				switch {
+				case err == nil:
+					hotServed.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					hotRejected.Add(1)
+				default:
+					t.Errorf("hot infer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var coldOffered, coldServed, coldRejected atomic.Int64
+	var coldWG sync.WaitGroup
+	for i := 0; i < coldSessions; i++ {
+		coldWG.Add(1)
+		go func(i int) {
+			defer coldWG.Done()
+			sess := s.NewSession("cold")
+			defer sess.Close()
+			served, rejected := 0, 0
+			deadline := time.Now().Add(10 * time.Second)
+			for served < coldTarget && time.Now().Before(deadline) {
+				coldOffered.Add(1)
+				_, _, err := sess.Infer(segmodel.Input{Seed: int64(100 + i)}, nil)
+				switch {
+				case err == nil:
+					served++
+					coldServed.Add(1)
+				case errors.Is(err, ErrQueueFull):
+					rejected++
+					coldRejected.Add(1)
+					time.Sleep(200 * time.Microsecond)
+				default:
+					t.Errorf("cold %d infer: %v", i, err)
+					return
+				}
+			}
+			if served < coldTarget {
+				t.Errorf("cold session %d starved: served %d of %d wanted (rejected %d) while hot flooded",
+					i, served, coldTarget, rejected)
+			}
+			if st := sess.Stats(); st.Served != served || st.Rejected != rejected {
+				t.Errorf("cold session %d accounting: stats served/rejected %d/%d, caller saw %d/%d",
+					i, st.Served, st.Rejected, served, rejected)
+			}
+		}(i)
+	}
+	coldWG.Wait()
+	close(stop)
+	hotWG.Wait()
+
+	if hs := hot.Stats(); int64(hs.Served) != hotServed.Load() || int64(hs.Rejected) != hotRejected.Load() {
+		t.Errorf("hot session accounting: stats served/rejected %d/%d, caller saw %d/%d",
+			hs.Served, hs.Rejected, hotServed.Load(), hotRejected.Load())
+	}
+	offered := hotOffered.Load() + coldOffered.Load()
+	st := s.Stats()
+	if accounted := int64(st.Served + st.Rejected + st.Cancelled); accounted != offered {
+		t.Errorf("conservation violated: offered %d != served %d + rejected %d + cancelled %d",
+			offered, st.Served, st.Rejected, st.Cancelled)
+	}
+	t.Logf("hot served/rejected %d/%d; cold served/rejected %d/%d",
+		hotServed.Load(), hotRejected.Load(), coldServed.Load(), coldRejected.Load())
+}
+
 // TestSchedulerCloseDrainsWithoutDeadlock exercises graceful shutdown under
 // load (and under -race via make check): admitted requests complete, late
 // ones fail with ErrClosed or ErrQueueFull, and Close returns.

@@ -22,6 +22,9 @@ var deterministicPkgs = map[string]bool{
 	"netsim":      true,
 	"baseline":    true,
 	"roisel":      true,
+	// loadgen's simulator reports are committed as BENCH_serving.json and
+	// diffed byte-for-byte, so map order must not leak into them.
+	"loadgen": true,
 }
 
 // MapIter flags `for range` over a map in deterministic packages unless the

@@ -11,13 +11,17 @@ import (
 // is test infrastructure: it polls real TCP/loopback backends from the
 // conformance suite, so its deadlines are genuinely wall-clock. edge is the
 // serving layer behind transport: its scheduler measures real queue-wait and
-// session uptimes for multi-tenant serving stats.
+// session uptimes for multi-tenant serving stats. drive is the load
+// harness's wall-clock half: it paces synthetic fleets against the real
+// scheduler and real sockets, while its sibling loadgen stays on the
+// virtual clock.
 var wallClockPkgs = map[string]bool{
 	"transport":   true,
 	"live":        true,
 	"parallel":    true,
 	"backendtest": true,
 	"edge":        true,
+	"drive":       true,
 }
 
 // wallTimeFuncs are the time-package entry points that observe or consume

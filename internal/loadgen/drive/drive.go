@@ -1,0 +1,395 @@
+// Package drive replays loadgen profiles against the real serving stack on
+// the wall clock: RunScheduler paces the fleet into an in-process
+// edge.Scheduler, RunTCP pushes the same frames through transport.Client
+// sockets into a transport.Server. Both replay the exact generation schedule
+// of the virtual-time simulator (Profile.SessionArrivals), classify every
+// offered frame into served / rejected / dropped, and reconcile their own
+// accounting against the serving layer's counters — the wall-clock half of
+// the no-silent-loss law. Latency figures here include host scheduling
+// jitter; the deterministic numbers live in the simulator (loadgen.Run).
+package drive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"edgeis/internal/edge"
+	"edgeis/internal/loadgen"
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+)
+
+// Options tunes a wall-clock run.
+type Options struct {
+	// TimeScale stretches the profile's schedule: one virtual ms of
+	// generation time takes TimeScale wall ms. Below 1 compresses a long
+	// profile into a short wall run; 0 means 1 (real time).
+	TimeScale float64
+	// Occupancy is how long one inference holds its accelerator, as a
+	// fraction of the clip's nominal InferMs (scheduler target) or of the
+	// model's reported latency (TCP target) in wall time. 0 means
+	// DefaultOccupancy; contention — queue growth, rejects — only appears
+	// when this is big enough that offered load exceeds pool capacity.
+	Occupancy float64
+	// DrainTimeout bounds the wait for in-flight offloads after the
+	// generation horizon (TCP target); offloads still unresolved at the
+	// deadline are counted dropped. 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Addr points the TCP target at an already-running server ("host:port").
+	// Empty starts an in-process transport.Server on a loopback socket; only
+	// then can the run reconcile against server-side counters.
+	Addr string
+}
+
+// Default Options values.
+const (
+	DefaultOccupancy    = 0.25
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+func (o Options) withDefaults() Options {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	if o.Occupancy <= 0 {
+		o.Occupancy = DefaultOccupancy
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	return o
+}
+
+// agg accumulates fleet-wide accounting from the session goroutines.
+type agg struct {
+	mu                                 sync.Mutex
+	offered, served, rejected, dropped int
+	servedBy                           []int
+	lat                                metrics.Dist
+}
+
+// fairness returns the per-session served extremes.
+func (a *agg) fairness() (min, max int) {
+	for i, n := range a.servedBy {
+		if i == 0 || n < min {
+			min = n
+		}
+		if i == 0 || n > max {
+			max = n
+		}
+	}
+	return min, max
+}
+
+// sleepUntil parks the goroutine until virtual time virtMs on the run's
+// scaled wall clock.
+func sleepUntil(start time.Time, virtMs, scale float64) {
+	d := time.Until(start.Add(time.Duration(virtMs * scale * float64(time.Millisecond))))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// msSince is wall milliseconds since start.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// clipAccelerator is the scheduler target's accelerator: it holds the
+// worker for a fraction of the session clip's nominal inference latency.
+// The session index rides in Input.Seed.
+type clipAccelerator struct {
+	p     loadgen.Profile
+	scale float64
+	frac  float64
+}
+
+func (a *clipAccelerator) Run(in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64) {
+	inferMs := a.p.ClipFor(int(in.Seed)).InferMs
+	time.Sleep(time.Duration(inferMs * a.frac * a.scale * float64(time.Millisecond)))
+	return nil, inferMs
+}
+
+// RunScheduler replays the profile against a real edge.Scheduler in
+// process: one goroutine per session paces the generation schedule, sheds at
+// the outstanding cap, models the uplink with netsim pacing and classifies
+// every Infer outcome. The returned SLO's accounting is reconciled against
+// the scheduler's own counters; any mismatch is an error.
+func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
+	p = p.Normalized()
+	o := opts.withDefaults()
+	sched := edge.NewScheduler(edge.Config{
+		Workers:    p.Accelerators,
+		QueueDepth: p.QueueDepth,
+		NewAccelerator: func(int) edge.Accelerator {
+			return &clipAccelerator{p: p, scale: o.TimeScale, frac: o.Occupancy}
+		},
+	})
+
+	a := &agg{servedBy: make([]int, p.Sessions)}
+	start := time.Now()
+	var fleet sync.WaitGroup
+	for i := 0; i < p.Sessions; i++ {
+		fleet.Add(1)
+		go func(i int) {
+			defer fleet.Done()
+			sess := sched.NewSession(fmt.Sprintf("loadgen-%04d", i))
+			defer sess.Close()
+			clip := p.ClipFor(i)
+			up := netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+1)
+			var outstanding, dropped, offered int
+			var reqs sync.WaitGroup
+			var mu sync.Mutex // outstanding, decremented from request goroutines
+			for _, genAt := range p.SessionArrivals(i) {
+				sleepUntil(start, genAt, o.TimeScale)
+				offered++
+				mu.Lock()
+				atCap := outstanding >= p.MaxOutstanding
+				if !atCap {
+					outstanding++
+				}
+				mu.Unlock()
+				if atCap {
+					dropped++
+					continue
+				}
+				upMs := up.TransferMs(genAt, clip.PayloadBytes)
+				reqs.Add(1)
+				go func(genAt, upMs float64) {
+					defer reqs.Done()
+					sleepUntil(start, genAt+upMs, o.TimeScale)
+					_, _, err := sess.Infer(segmodel.Input{Width: 64, Height: 48, Seed: int64(i)}, nil)
+					doneMs := msSince(start)
+					a.mu.Lock()
+					switch {
+					case err == nil:
+						a.served++
+						a.servedBy[i]++
+						a.lat.Add(doneMs - genAt*o.TimeScale)
+					case errors.Is(err, edge.ErrQueueFull):
+						a.rejected++
+					default:
+						a.dropped++ // teardown cancellation
+					}
+					a.mu.Unlock()
+					mu.Lock()
+					outstanding--
+					mu.Unlock()
+				}(genAt, upMs)
+			}
+			reqs.Wait()
+			a.mu.Lock()
+			a.offered += offered
+			a.dropped += dropped
+			a.mu.Unlock()
+		}(i)
+	}
+	fleet.Wait()
+	horizon := msSince(start)
+	st := sched.Stats()
+	if err := sched.Close(); err != nil {
+		return nil, err
+	}
+
+	if st.Served != a.served || st.Rejected != a.rejected || st.Cancelled != 0 {
+		return nil, fmt.Errorf("drive scheduler: accounting mismatch: driver served/rejected %d/%d, scheduler served/rejected/cancelled %d/%d/%d",
+			a.served, a.rejected, st.Served, st.Rejected, st.Cancelled)
+	}
+	slo := newSLO(p, "scheduler", a, horizon)
+	slo.WaitMeanMs = round3(st.MeanWaitMs)
+	slo.WaitP95Ms = round3(st.P95WaitMs)
+	slo.WaitMaxMs = round3(st.MaxWaitMs)
+	slo.QueueMeanDepth = round3(st.MeanQueueDepth)
+	slo.QueuePeakDepth = st.PeakQueueDepth
+	return slo, nil
+}
+
+// RunTCP replays the profile over real sockets: one transport.Client per
+// session against a transport.Server (in-process on loopback unless
+// Options.Addr points elsewhere). Accounting is client-side — results and
+// admission rejects come back over the wire — and offloads still unresolved
+// DrainTimeout after the horizon are counted dropped, so the conservation
+// law holds even across a teardown.
+func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
+	p = p.Normalized()
+	o := opts.withDefaults()
+
+	addr := o.Addr
+	var srv *transport.Server
+	if addr == "" {
+		srv = transport.NewServer(segmodel.New(segmodel.YOLOv3),
+			transport.WithAccelerators(p.Accelerators),
+			transport.WithQueueDepth(p.QueueDepth),
+			transport.WithWallOccupancy(o.Occupancy*o.TimeScale))
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		addr = bound.String()
+	}
+
+	a := &agg{servedBy: make([]int, p.Sessions)}
+	start := time.Now()
+	var fleet sync.WaitGroup
+	dialErrs := make([]error, p.Sessions)
+	for i := 0; i < p.Sessions; i++ {
+		fleet.Add(1)
+		go func(i int) {
+			defer fleet.Done()
+			c, err := transport.DialRetry(addr, 2*time.Second, 5, 50*time.Millisecond)
+			if err != nil {
+				dialErrs[i] = err
+				return
+			}
+			defer c.Close()
+			clip := p.ClipFor(i)
+
+			// sendAt maps in-flight frame indexes to their send time for the
+			// latency sample; the reader goroutine resolves them.
+			var mu sync.Mutex
+			sendAt := make(map[int32]float64)
+			served := 0
+			var readers sync.WaitGroup
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for res := range c.Results() {
+					mu.Lock()
+					if at, ok := sendAt[res.FrameIndex]; ok {
+						delete(sendAt, res.FrameIndex)
+						served++
+						a.mu.Lock()
+						a.served++
+						a.servedBy[i]++
+						a.lat.Add(msSince(start) - at)
+						a.mu.Unlock()
+					}
+					mu.Unlock()
+				}
+			}()
+
+			sent, dropped, offered := 0, 0, 0
+			for k, genAt := range p.SessionArrivals(i) {
+				sleepUntil(start, genAt, o.TimeScale)
+				offered++
+				// Outstanding = accepted sends not yet resolved by a result
+				// or a wire-level reject; at the cap the client sheds.
+				mu.Lock()
+				outstanding := sent - served - c.Rejected()
+				mu.Unlock()
+				if outstanding >= p.MaxOutstanding {
+					dropped++
+					continue
+				}
+				idx := int32(k)
+				mu.Lock()
+				sendAt[idx] = msSince(start)
+				mu.Unlock()
+				ok := c.Send(&transport.FrameMsg{
+					FrameIndex:   idx,
+					Width:        64,
+					Height:       48,
+					Seed:         int64(i)*1_000_003 + int64(k),
+					PaddingBytes: int32(clip.PayloadBytes),
+				})
+				if !ok {
+					// Client-side send queue full: shed like a real mobile.
+					mu.Lock()
+					delete(sendAt, idx)
+					mu.Unlock()
+					dropped++
+					continue
+				}
+				sent++
+			}
+
+			// Drain: every accepted send must resolve into a result or a
+			// reject; stragglers past the deadline are counted dropped.
+			deadline := time.Now().Add(o.DrainTimeout)
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				resolved := served + c.Rejected()
+				mu.Unlock()
+				if resolved >= sent {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			c.Close()
+			readers.Wait()
+
+			mu.Lock()
+			lost := sent - served - c.Rejected()
+			rejected := c.Rejected()
+			mu.Unlock()
+			if lost < 0 {
+				lost = 0
+			}
+			a.mu.Lock()
+			a.offered += offered
+			a.rejected += rejected
+			a.dropped += dropped + lost
+			a.mu.Unlock()
+		}(i)
+	}
+	fleet.Wait()
+	horizon := msSince(start)
+	for _, err := range dialErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	slo := newSLO(p, "tcp", a, horizon)
+	if srv != nil {
+		st := srv.Scheduler().Stats()
+		slo.WaitMeanMs = round3(st.MeanWaitMs)
+		slo.WaitP95Ms = round3(st.P95WaitMs)
+		slo.WaitMaxMs = round3(st.MaxWaitMs)
+		slo.QueueMeanDepth = round3(st.MeanQueueDepth)
+		slo.QueuePeakDepth = st.PeakQueueDepth
+		// The server must not have served or rejected more than the clients
+		// saw plus what teardown abandoned; anything else is silent loss.
+		if st.Served+st.Rejected+st.Cancelled < a.served+a.rejected {
+			return nil, fmt.Errorf("drive tcp: accounting mismatch: clients saw served/rejected %d/%d, server served/rejected/cancelled %d/%d/%d",
+				a.served, a.rejected, st.Served, st.Rejected, st.Cancelled)
+		}
+	}
+	return slo, nil
+}
+
+// newSLO fills the accounting and latency half of the report.
+func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadgen.SLO {
+	min, max := a.fairness()
+	return &loadgen.SLO{
+		Profile:        p.Name,
+		Target:         target,
+		Seed:           p.Seed,
+		Sessions:       p.Sessions,
+		Accelerators:   p.Accelerators,
+		QueueDepth:     p.QueueDepth,
+		Offered:        a.offered,
+		Served:         a.served,
+		Rejected:       a.rejected,
+		Dropped:        a.dropped,
+		ConservationOK: a.offered == a.served+a.rejected+a.dropped,
+		LatMeanMs:      round3(a.lat.Mean()),
+		LatP50Ms:       round3(a.lat.Quantile(0.50)),
+		LatP95Ms:       round3(a.lat.Quantile(0.95)),
+		LatP99Ms:       round3(a.lat.Quantile(0.99)),
+		LatMaxMs:       round3(a.lat.Max()),
+		ServedMin:      min,
+		ServedMax:      max,
+		FairnessSpread: max - min,
+		HorizonMs:      round3(horizonMs),
+	}
+}
+
+// round3 matches the simulator's report quantization.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,106 @@
+package drive
+
+import (
+	"testing"
+	"time"
+
+	"edgeis/internal/loadgen"
+)
+
+// fastOpts compresses wall time so the suite stays quick while still
+// exercising real goroutines, timers and (for TCP) sockets.
+func fastOpts() Options {
+	return Options{TimeScale: 0.2, Occupancy: 0.25, DrainTimeout: 10 * time.Second}
+}
+
+// checkConservation asserts the no-silent-loss law and report sanity that
+// every live run must satisfy regardless of host timing.
+func checkConservation(t *testing.T, slo *loadgen.SLO) {
+	t.Helper()
+	if err := slo.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if slo.Offered == 0 || slo.Served == 0 {
+		t.Fatalf("degenerate run: %s", slo)
+	}
+	t.Logf("%s", slo)
+}
+
+// TestRunSchedulerConservation drives the real edge.Scheduler with a paced
+// fleet and checks that the driver's offered == served + rejected + dropped
+// reconciles with the scheduler's own served/rejected/cancelled counters
+// (RunScheduler errors on any mismatch).
+func TestRunSchedulerConservation(t *testing.T) {
+	p, err := loadgen.ProfileByName("ci-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, err := RunScheduler(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.Target != "scheduler" {
+		t.Fatalf("target = %q, want scheduler", slo.Target)
+	}
+	checkConservation(t, slo)
+}
+
+// TestRunSchedulerUnderContention forces admission pressure (one
+// accelerator, tiny queue, heavy occupancy) so the reject path is exercised
+// and still accounted exactly.
+func TestRunSchedulerUnderContention(t *testing.T) {
+	p := loadgen.Profile{
+		Name: "contention", Sessions: 24, Accelerators: 1, QueueDepth: 4,
+		MaxOutstanding: 8, DurationMs: 2500, FPS: 8,
+		Arrival: loadgen.Bursty, Seed: 9,
+		Links: []loadgen.LinkShape{loadgen.Fast},
+		Clips: []loadgen.ClipClass{loadgen.ClipIndustrial},
+	}
+	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Rejected+slo.Dropped == 0 {
+		t.Error("contention profile shed nothing; occupancy too light to exercise rejects")
+	}
+}
+
+// TestRunTCPConservation is the transport-level conformance counterpart:
+// the same profile over real loopback sockets, with client-side accounting
+// (results and wire rejects) reconciled against the in-process server.
+func TestRunTCPConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket run skipped in -short")
+	}
+	p, err := loadgen.ProfileByName("tcp-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, err := RunTCP(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slo.Target != "tcp" {
+		t.Fatalf("target = %q, want tcp", slo.Target)
+	}
+	checkConservation(t, slo)
+}
+
+// TestOfferedScheduleMatchesSimulator pins the cross-target contract: the
+// wall-clock drivers replay Profile.SessionArrivals, so their offered count
+// equals the simulator's for the same profile.
+func TestOfferedScheduleMatchesSimulator(t *testing.T) {
+	p, err := loadgen.ProfileByName("ci-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSLO := loadgen.Run(p)
+	liveSLO, err := RunScheduler(p, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSLO.Offered != liveSLO.Offered {
+		t.Errorf("offered diverges across targets: sim %d, scheduler %d", simSLO.Offered, liveSLO.Offered)
+	}
+}

@@ -1,0 +1,56 @@
+package loadgen
+
+import "fmt"
+
+// Profiles returns the named workload suite — the profiles BENCH_serving.json
+// commits and the CI smoke re-runs. Regimes are chosen deliberately:
+//
+//   - steady-light: under-provisioned load on one accelerator; the healthy
+//     baseline every other profile is read against.
+//   - burst-contention-x1 / -x4: the same heavily contended bursty fleet on
+//     1 vs 4 accelerators; the pair that shows pooling improving tail
+//     latency (p95) under contention.
+//   - fleet-1k: 1000 concurrent sessions ramping up on 4 accelerators, the
+//     scale demonstration.
+//   - ci-smoke: a seconds-scale contended profile for the blocking CI
+//     determinism/conservation check.
+//   - tcp-smoke: a small wall-clock-friendly profile for the live targets
+//     (scheduler, tcp); also run on sim for cross-target comparison.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "ci-smoke", Sessions: 32, Accelerators: 1, QueueDepth: 16,
+			DurationMs: 3000, FPS: 2, Arrival: Steady, Seed: 1,
+		},
+		{
+			Name: "steady-light", Sessions: 64, Accelerators: 4, QueueDepth: 32,
+			DurationMs: 20000, FPS: 1, Arrival: Steady, Seed: 2,
+		},
+		{
+			Name: "burst-contention-x1", Sessions: 256, Accelerators: 1, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Bursty, Seed: 3,
+		},
+		{
+			Name: "burst-contention-x4", Sessions: 256, Accelerators: 4, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Bursty, Seed: 3,
+		},
+		{
+			Name: "fleet-1k", Sessions: 1000, Accelerators: 4, QueueDepth: 64,
+			DurationMs: 20000, FPS: 0.5, Arrival: Ramp, RampFactor: 6, Seed: 4,
+		},
+		{
+			Name: "tcp-smoke", Sessions: 12, Accelerators: 2, QueueDepth: 8,
+			DurationMs: 1500, FPS: 6, Arrival: Steady, Seed: 5,
+		},
+	}
+}
+
+// ProfileByName looks a profile up in the named suite.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("loadgen: unknown profile %q (try -list)", name)
+}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SLO is one run's machine-readable serving report — the schema of each
+// entry in BENCH_serving.json. Every frame the workload offered is
+// reconciled into exactly one of served, rejected (edge admission shed) or
+// dropped (client-side shed or lost at teardown); ConservationOK records
+// that the law offered == served + rejected + dropped held.
+type SLO struct {
+	Profile string `json:"profile"`
+	// Target names the execution mode: "sim" (deterministic virtual time),
+	// "scheduler" (in-process wall clock against edge.Scheduler) or "tcp"
+	// (real sockets against transport.Server).
+	Target string `json:"target"`
+	Seed   int64  `json:"seed"`
+
+	Sessions     int `json:"sessions"`
+	Accelerators int `json:"accelerators"`
+	QueueDepth   int `json:"queue_depth"`
+
+	// Frame accounting (the no-silent-loss law).
+	Offered        int  `json:"offered"`
+	Served         int  `json:"served"`
+	Rejected       int  `json:"rejected"`
+	Dropped        int  `json:"dropped"`
+	ConservationOK bool `json:"conservation_ok"`
+
+	// End-to-end offload latency of served frames (generation to result
+	// delivery), in ms. Quantiles use metrics.Dist's documented
+	// nearest-rank estimator over its retained window.
+	LatMeanMs float64 `json:"lat_mean_ms"`
+	LatP50Ms  float64 `json:"lat_p50_ms"`
+	LatP95Ms  float64 `json:"lat_p95_ms"`
+	LatP99Ms  float64 `json:"lat_p99_ms"`
+	LatMaxMs  float64 `json:"lat_max_ms"`
+
+	// Admission-to-dequeue wait of served frames, in ms.
+	WaitMeanMs float64 `json:"wait_mean_ms"`
+	WaitP95Ms  float64 `json:"wait_p95_ms"`
+	WaitMaxMs  float64 `json:"wait_max_ms"`
+
+	// Queue-depth telemetry, sampled at each admission.
+	QueueMeanDepth float64 `json:"queue_mean_depth"`
+	QueuePeakDepth int     `json:"queue_peak_depth"`
+
+	// UtilizationMean is the mean accelerator busy fraction over the run
+	// (virtual-time targets only; wall-clock targets report 0).
+	UtilizationMean float64 `json:"utilization_mean"`
+
+	// Per-session fairness: min and max served counts across sessions and
+	// their spread. Under round-robin dequeue a symmetric fleet keeps the
+	// spread small; a starved session would show up as ServedMin near 0.
+	ServedMin      int `json:"served_min"`
+	ServedMax      int `json:"served_max"`
+	FairnessSpread int `json:"fairness_spread"`
+
+	// HorizonMs is the makespan: virtual ms (sim) or wall ms (live) from
+	// start to the last delivery after drain.
+	HorizonMs float64 `json:"horizon_ms"`
+}
+
+// round3 quantizes to 3 decimals so committed reports stay readable; the
+// underlying computation is already deterministic.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// Check verifies the conservation law and basic sanity; it returns a
+// descriptive error naming the violated invariant.
+func (s *SLO) Check() error {
+	if s.Offered != s.Served+s.Rejected+s.Dropped {
+		return fmt.Errorf("loadgen %s/%s: conservation violated: offered %d != served %d + rejected %d + dropped %d",
+			s.Profile, s.Target, s.Offered, s.Served, s.Rejected, s.Dropped)
+	}
+	if !s.ConservationOK {
+		return fmt.Errorf("loadgen %s/%s: run flagged conservation_ok=false", s.Profile, s.Target)
+	}
+	if s.Served < 0 || s.Rejected < 0 || s.Dropped < 0 {
+		return fmt.Errorf("loadgen %s/%s: negative accounting: %+v", s.Profile, s.Target, s)
+	}
+	if s.ServedMin > s.ServedMax || s.FairnessSpread != s.ServedMax-s.ServedMin {
+		return fmt.Errorf("loadgen %s/%s: fairness fields inconsistent: min %d max %d spread %d",
+			s.Profile, s.Target, s.ServedMin, s.ServedMax, s.FairnessSpread)
+	}
+	return nil
+}
+
+// String renders a one-line human summary.
+func (s *SLO) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-9s %5d sess %d accel: offered %6d = served %6d + rejected %6d + dropped %6d",
+		s.Profile, s.Target, s.Sessions, s.Accelerators, s.Offered, s.Served, s.Rejected, s.Dropped)
+	fmt.Fprintf(&b, " | lat p50/p95/p99 %.1f/%.1f/%.1f ms | queue mean %.1f peak %d | served min/max %d/%d",
+		s.LatP50Ms, s.LatP95Ms, s.LatP99Ms, s.QueueMeanDepth, s.QueuePeakDepth, s.ServedMin, s.ServedMax)
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"edgeis/internal/metrics"
+	"edgeis/internal/netsim"
+)
+
+// The in-process simulator: a virtual-time event queue over the whole
+// fleet. It models the mobile side (per-session outstanding cap, uplink
+// pacing), the edge admission discipline of edge.Scheduler (bounded queue,
+// explicit reject, fair per-session round-robin dequeue onto the
+// earliest-free accelerator) and the downlink delivery of results. Nothing
+// reads the wall clock, so a run is a pure function of (Profile, Seed).
+
+// evKind tags simulator events.
+type evKind uint8
+
+const (
+	// evGen: a session generates one offload frame.
+	evGen evKind = iota
+	// evArrive: an uplinked frame reaches edge admission.
+	evArrive
+	// evInferDone: an accelerator finishes one inference.
+	evInferDone
+	// evDeliver: a result reaches the mobile (latency sample point).
+	evDeliver
+)
+
+// event is one scheduled simulator step. seq breaks time ties in push
+// order, so identical runs process events identically.
+type event struct {
+	at    float64
+	seq   int64
+	kind  evKind
+	sess  int
+	accel int
+	job   *simJob
+}
+
+// simJob is one offloaded frame in flight.
+type simJob struct {
+	sess     int
+	genAt    float64
+	arriveAt float64
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// simSession is one synthetic mobile.
+type simSession struct {
+	clip ClipClass
+	// arrivals is the session's precomputed generation schedule
+	// (Profile.SessionArrivals) and nextGen indexes the next entry; the live
+	// drivers replay the same schedule, so offered counts match across
+	// targets.
+	arrivals    []float64
+	nextGen     int
+	up, down    *netsim.Link
+	outstanding int
+	pending     []*simJob
+	served      int
+}
+
+// sim is the run state.
+type sim struct {
+	p     Profile
+	heap  eventHeap
+	seq   int64
+	sess  []*simSession
+	maxAt float64
+
+	// Edge state, mirroring edge.Scheduler: rotating ring of sessions with
+	// pending work, queued count, per-accelerator busy horizon.
+	ring      []int
+	queued    int
+	accelIdle []bool
+	busyMs    []float64
+	edgeRng   *rand.Rand
+
+	offered, served, rejected, dropped int
+	lat, waits, depths                 metrics.Dist
+}
+
+// Run executes the profile on the virtual-time simulator and returns its
+// SLO report. Two calls with the same profile return identical reports.
+func Run(p Profile) *SLO {
+	p = p.withDefaults()
+	s := &sim{
+		p:         p,
+		sess:      make([]*simSession, p.Sessions),
+		accelIdle: make([]bool, p.Accelerators),
+		busyMs:    make([]float64, p.Accelerators),
+		edgeRng:   rand.New(rand.NewSource(p.Seed*7_369_131 + 17)),
+	}
+	for i := range s.accelIdle {
+		s.accelIdle[i] = true
+	}
+	for i := 0; i < p.Sessions; i++ {
+		s.sess[i] = &simSession{
+			clip:     p.ClipFor(i),
+			arrivals: p.SessionArrivals(i),
+			up:       netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+1),
+			down:     netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+2),
+		}
+		s.push(event{at: s.sess[i].arrivals[0], kind: evGen, sess: i})
+	}
+
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(event)
+		if e.at > s.maxAt {
+			s.maxAt = e.at
+		}
+		switch e.kind {
+		case evGen:
+			s.generate(e)
+		case evArrive:
+			s.arrive(e)
+		case evInferDone:
+			s.inferDone(e)
+		case evDeliver:
+			s.deliver(e)
+		}
+	}
+	return s.report()
+}
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.heap, e)
+}
+
+// generate handles one frame generation: client-side shed when the session
+// is at its outstanding cap, otherwise uplink pacing toward the edge.
+func (s *sim) generate(e event) {
+	ss := s.sess[e.sess]
+	s.offered++
+	ss.nextGen++
+	if ss.nextGen < len(ss.arrivals) {
+		s.push(event{at: ss.arrivals[ss.nextGen], kind: evGen, sess: e.sess})
+	}
+	if ss.outstanding >= s.p.MaxOutstanding {
+		s.dropped++
+		return
+	}
+	ss.outstanding++
+	upMs := ss.up.TransferMs(e.at, ss.clip.PayloadBytes)
+	s.push(event{at: e.at + upMs, kind: evArrive, sess: e.sess,
+		job: &simJob{sess: e.sess, genAt: e.at, arriveAt: e.at + upMs}})
+}
+
+// arrive handles edge admission: a full queue rejects explicitly, an
+// admitted frame joins its session's pending list and the round-robin ring.
+func (s *sim) arrive(e event) {
+	ss := s.sess[e.sess]
+	if s.queued >= s.p.QueueDepth {
+		s.rejected++
+		ss.outstanding--
+		return
+	}
+	if len(ss.pending) == 0 {
+		s.ring = append(s.ring, e.sess)
+	}
+	ss.pending = append(ss.pending, e.job)
+	s.queued++
+	s.depths.Add(float64(s.queued))
+	s.dispatch(e.at)
+}
+
+// dispatch feeds idle accelerators from the round-robin ring, exactly the
+// discipline of edge.Scheduler.next: the front session gives up one
+// request and rotates to the back while it still has pending work, so a
+// backlogged session is served once per pass and can never be lapped by a
+// churn of fresh sessions.
+func (s *sim) dispatch(now float64) {
+	for s.queued > 0 {
+		accel := -1
+		for i, idle := range s.accelIdle {
+			if idle {
+				accel = i
+				break
+			}
+		}
+		if accel < 0 {
+			return
+		}
+		si := s.ring[0]
+		s.ring = s.ring[1:]
+		ss := s.sess[si]
+		j := ss.pending[0]
+		ss.pending = ss.pending[1:]
+		s.queued--
+		if len(ss.pending) > 0 {
+			s.ring = append(s.ring, si)
+		}
+		s.waits.Add(now - j.arriveAt)
+		inferMs := ss.clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
+		s.accelIdle[accel] = false
+		s.busyMs[accel] += inferMs
+		s.push(event{at: now + inferMs, kind: evInferDone, sess: si, accel: accel, job: j})
+	}
+}
+
+// inferDone frees the accelerator, paces the result over the session's
+// downlink and pulls the next request.
+func (s *sim) inferDone(e event) {
+	ss := s.sess[e.sess]
+	s.accelIdle[e.accel] = true
+	downMs := ss.down.TransferMs(e.at, ss.clip.ResultBytes)
+	s.push(event{at: e.at + downMs, kind: evDeliver, sess: e.sess, job: e.job})
+	s.dispatch(e.at)
+}
+
+// deliver records the served frame's end-to-end latency.
+func (s *sim) deliver(e event) {
+	ss := s.sess[e.sess]
+	ss.outstanding--
+	ss.served++
+	s.served++
+	s.lat.Add(e.at - e.job.genAt)
+}
+
+// report assembles the SLO snapshot.
+func (s *sim) report() *SLO {
+	servedMin, servedMax := 0, 0
+	for i, ss := range s.sess {
+		if i == 0 || ss.served < servedMin {
+			servedMin = ss.served
+		}
+		if i == 0 || ss.served > servedMax {
+			servedMax = ss.served
+		}
+	}
+	util := 0.0
+	if s.maxAt > 0 {
+		for _, b := range s.busyMs {
+			util += b / s.maxAt
+		}
+		util /= float64(len(s.busyMs))
+	}
+	slo := &SLO{
+		Profile:         s.p.Name,
+		Target:          "sim",
+		Seed:            s.p.Seed,
+		Sessions:        s.p.Sessions,
+		Accelerators:    s.p.Accelerators,
+		QueueDepth:      s.p.QueueDepth,
+		Offered:         s.offered,
+		Served:          s.served,
+		Rejected:        s.rejected,
+		Dropped:         s.dropped,
+		ConservationOK:  s.offered == s.served+s.rejected+s.dropped,
+		LatMeanMs:       round3(s.lat.Mean()),
+		LatP50Ms:        round3(s.lat.Quantile(0.50)),
+		LatP95Ms:        round3(s.lat.Quantile(0.95)),
+		LatP99Ms:        round3(s.lat.Quantile(0.99)),
+		LatMaxMs:        round3(s.lat.Max()),
+		WaitMeanMs:      round3(s.waits.Mean()),
+		WaitP95Ms:       round3(s.waits.Quantile(0.95)),
+		WaitMaxMs:       round3(s.waits.Max()),
+		QueueMeanDepth:  round3(s.depths.Mean()),
+		QueuePeakDepth:  int(s.depths.Max()),
+		UtilizationMean: round3(util),
+		ServedMin:       servedMin,
+		ServedMax:       servedMax,
+		FairnessSpread:  servedMax - servedMin,
+		HorizonMs:       round3(s.maxAt),
+	}
+	return slo
+}

@@ -58,22 +58,36 @@ func (d *Dist) Mean() float64 {
 // Max returns the largest sample ever added.
 func (d *Dist) Max() float64 { return d.max }
 
-// Percentile returns the p-quantile (0..1) over the retained window of
-// recent samples.
-func (d *Dist) Percentile(p float64) float64 {
+// Quantile returns the q-quantile over the retained window of recent
+// samples. Its behaviour is part of the SLO report contract and is fully
+// deterministic for a given sample sequence:
+//
+//   - q is clamped to [0, 1]; Quantile(0) is the window minimum and
+//     Quantile(1) the window maximum. Note Max() covers the whole stream
+//     while Quantile(1) covers only the retained window.
+//   - The estimator is nearest-rank with floor rounding: the window is
+//     copied, sorted ascending, and element floor(q*(n-1)) returned. No
+//     interpolation, so every reported quantile is an observed sample.
+//   - Duplicate-heavy streams are handled by construction: sorting is the
+//     only operation, so ties cannot reorder nondeterministically.
+//   - An empty Dist reports 0; a single sample is every quantile.
+func (d *Dist) Quantile(q float64) float64 {
 	if len(d.ring) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), d.ring...)
 	sort.Float64s(sorted)
-	if p < 0 {
-		p = 0
+	if q < 0 {
+		q = 0
 	}
-	if p > 1 {
-		p = 1
+	if q > 1 {
+		q = 1
 	}
-	return sorted[int(p*float64(len(sorted)-1))]
+	return sorted[int(q*float64(len(sorted)-1))]
 }
+
+// Percentile is Quantile under its historical name.
+func (d *Dist) Percentile(p float64) float64 { return d.Quantile(p) }
 
 // ServingRow is one session's line in a serving report.
 type ServingRow struct {

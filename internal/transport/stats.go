@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edgeis/internal/edge"
+	"edgeis/internal/metrics"
+)
+
+// FormatServerStats renders the operator-facing server snapshot: one summary
+// line, then the per-session serving table with per-session reject counts.
+// The output is deterministic — sessions print in ascending session-ID
+// order regardless of the order they arrive in, so repeated printouts and
+// the golden test see identical tables. The caller decides where it goes
+// (edgeis-server logs it on its -stats interval and at shutdown).
+func FormatServerStats(st ServerStats, sessions []edge.SessionStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %d frames (rejected %d), mean inference %.1f ms; conns %d (peak %d); queue mean %.1f peak %d, wait mean %.2f ms p95 %.2f ms",
+		st.Served, st.Rejected, st.MeanInferMs, st.ActiveConns, st.PeakConns,
+		st.Scheduler.MeanQueueDepth, st.Scheduler.PeakQueueDepth,
+		st.Scheduler.MeanWaitMs, st.Scheduler.P95WaitMs)
+	if len(sessions) == 0 {
+		b.WriteByte('\n')
+		return b.String()
+	}
+	// Scheduler.Sessions() already sorts by ID, but the table must stay
+	// stable for any caller, so sort defensively rather than by contract.
+	rows := append([]edge.SessionStats(nil), sessions...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	table := make([]metrics.ServingRow, 0, len(rows))
+	for _, s := range rows {
+		table = append(table, metrics.ServingRow{
+			Session:     s.Label(),
+			Served:      s.Served,
+			Rejected:    s.Rejected,
+			MeanInferMs: s.MeanInferMs,
+			MeanWaitMs:  s.MeanWaitMs,
+		})
+	}
+	b.WriteByte('\n')
+	b.WriteString(metrics.ServingTable("sessions", table))
+	return b.String()
+}

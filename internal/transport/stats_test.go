@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"edgeis/internal/edge"
+)
+
+// TestFormatServerStatsGolden pins the operator printout byte for byte: the
+// summary line, the table header, per-session reject counts, and ascending
+// session-ID order even when the input rows arrive shuffled.
+func TestFormatServerStatsGolden(t *testing.T) {
+	st := ServerStats{
+		Served:      110,
+		MeanInferMs: 42.35,
+		ActiveConns: 2,
+		PeakConns:   5,
+		Rejected:    12,
+		Scheduler: edge.Stats{
+			MeanQueueDepth: 3.24,
+			PeakQueueDepth: 8,
+			MeanWaitMs:     1.234,
+			P95WaitMs:      4.567,
+		},
+	}
+	// Deliberately out of ID order: the formatter must sort.
+	sessions := []edge.SessionStats{
+		{ID: 7, Remote: "10.0.0.2:6001", Served: 30, Rejected: 9, MeanInferMs: 55.01, MeanWaitMs: 2.5},
+		{ID: 3, Remote: "10.0.0.1:5555", Served: 80, Rejected: 3, MeanInferMs: 38.6, MeanWaitMs: 0.75},
+	}
+
+	want := strings.Join([]string{
+		"served 110 frames (rejected 12), mean inference 42.4 ms; conns 2 (peak 5); queue mean 3.2 peak 8, wait mean 1.23 ms p95 4.57 ms",
+		"== sessions ==",
+		"session                        served  rejected   infer ms    wait ms",
+		"3 10.0.0.1:5555                    80         3       38.6       0.75",
+		"7 10.0.0.2:6001                    30         9       55.0       2.50",
+		"",
+	}, "\n")
+	if got := FormatServerStats(st, sessions); got != want {
+		t.Errorf("stats printout drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFormatServerStatsNoSessions keeps the empty-table case to one line.
+func TestFormatServerStatsNoSessions(t *testing.T) {
+	got := FormatServerStats(ServerStats{Served: 1}, nil)
+	if strings.Contains(got, "== sessions ==") {
+		t.Errorf("empty session list must omit the table:\n%s", got)
+	}
+	if !strings.HasSuffix(got, "\n") || strings.Count(got, "\n") != 1 {
+		t.Errorf("want exactly one line, got %q", got)
+	}
+}
