@@ -59,8 +59,26 @@ func run() error {
 		occupancy = flag.Float64("occupancy", drive.DefaultOccupancy, "wall targets: accelerator hold time as a fraction of nominal inference latency")
 		drain     = flag.Duration("drain", drive.DefaultDrainTimeout, "tcp target: in-flight drain deadline after the horizon")
 		addr      = flag.String("addr", "", "tcp target: external server address (empty starts one in-process)")
+		maxBatch  = flag.Int("max-batch", 0, "override the profile's max frames per accelerator launch (0 = profile value)")
+		batchWin  = flag.Float64("batch-window", -1, "override the profile's gather window in virtual ms (-1 = profile value)")
+		shedPol   = flag.String("shed-policy", "", "override the profile's admission policy: reject or latest-wins (empty = profile value)")
 	)
 	flag.Parse()
+
+	// Policy overrides let one command A/B a profile against the batch
+	// former or latest-wins without defining a new named arm.
+	override := func(p loadgen.Profile) loadgen.Profile {
+		if *maxBatch > 0 {
+			p.MaxBatch = *maxBatch
+		}
+		if *batchWin >= 0 {
+			p.BatchWindowMs = *batchWin
+		}
+		if *shedPol != "" {
+			p.ShedPolicy = *shedPol
+		}
+		return p
+	}
 
 	if *list {
 		for _, p := range loadgen.Profiles() {
@@ -92,7 +110,7 @@ func run() error {
 		if *suite {
 			tgt = "sim"
 		}
-		slo, err := runOne(tgt, p, opts, *check)
+		slo, err := runOne(tgt, override(p), opts, *check)
 		if err != nil {
 			return err
 		}
@@ -107,7 +125,7 @@ func run() error {
 			return err
 		}
 		start := time.Now() //edgeis:wallclock timing a real socket run for the progress line
-		slo, err := drive.RunTCP(p, opts)
+		slo, err := drive.RunTCP(override(p), opts)
 		if err != nil {
 			return err
 		}

@@ -4,12 +4,16 @@
 // streams contour-encoded results back. The deployable counterpart of the
 // paper's Jetson TX2 server, scaled out: -accelerators sizes the inference
 // pool, -queue-depth bounds admission (overflow frames are rejected
-// per-frame, never queued without bound).
+// per-frame, never queued without bound), -shed-policy selects the admission
+// discipline at a full queue (reject, or latest-wins which sheds the
+// session's own stale frame to admit the fresh one), and -max-batch with
+// -batch-window turns on the cross-session gather-window batch former.
 //
 // Usage:
 //
 //	edgeis-server [-addr :7465] [-model mask-rcnn|yolact|yolov3] [-device tx2|xavier]
 //	              [-accelerators 1] [-queue-depth 32] [-occupancy 0] [-continuity]
+//	              [-shed-policy reject|latest-wins] [-max-batch 1] [-batch-window 0]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"edgeis/internal/device"
+	"edgeis/internal/edge"
 	"edgeis/internal/segmodel"
 	"edgeis/internal/transport"
 )
@@ -41,6 +46,9 @@ func run() error {
 		queue     = flag.Int("queue-depth", 0, "admission queue bound (0 = default; overflow rejects frames)")
 		occupancy = flag.Float64("occupancy", 0, "wall-clock accelerator occupancy per inference as a fraction of its simulated latency (0 = off)")
 		cont      = flag.Bool("continuity", false, "reuse each session's last CIIA plan for guidance-less frames")
+		shed      = flag.String("shed-policy", "reject", "admission policy at a full queue: reject or latest-wins")
+		maxBatch  = flag.Int("max-batch", 1, "max compatible frames per accelerator launch (1 = single dequeue)")
+		batchWin  = flag.Duration("batch-window", 0, "how long an underfull batch waits for compatible frames (needs -max-batch > 1)")
 		statsSecs = flag.Int("stats", 10, "stats print interval in seconds (0 = off)")
 	)
 	flag.Parse()
@@ -80,6 +88,18 @@ func run() error {
 	if *cont {
 		opts = append(opts, transport.WithGuidanceContinuity())
 	}
+	if *shed != "reject" {
+		admission, err := edge.AdmissionPolicyByName(*shed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, transport.WithAdmissionPolicy(admission))
+	}
+	if *maxBatch > 1 {
+		opts = append(opts, transport.WithDequeuePolicy(edge.GatherBatch{Max: *maxBatch, GatherWindow: *batchWin}))
+	} else if *batchWin > 0 {
+		return fmt.Errorf("-batch-window needs -max-batch > 1")
+	}
 	srv := transport.NewServer(segmodel.New(kind), opts...)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -92,7 +112,8 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	if *statsSecs > 0 {
-		ticker := time.NewTicker(time.Duration(*statsSecs) * time.Second)
+		ticker := time.NewTicker(time.Duration(*statsSecs) * time.Second) //edgeis:wallclock operator stats interval on a live server
+
 		defer ticker.Stop()
 		go func() {
 			for range ticker.C {

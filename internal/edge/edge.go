@@ -16,12 +16,18 @@
 //   - Scheduler (this package): a pool of N inference workers, each owning
 //     one Accelerator, fed by a bounded admission queue with fair
 //     round-robin per-session dequeue. A full queue rejects explicitly
-//     (ErrQueueFull), never silently; Close drains admitted work and then
-//     rejects everything new, so shutdown cannot deadlock a waiter.
+//     (ErrQueueFull) or — under the latest-wins admission policy — sheds
+//     the arriving session's own stale queued frame (ErrShed), never
+//     silently; Close drains admitted work and then rejects everything
+//     new, so shutdown cannot deadlock a waiter.
+//   - Policies (policy.go): AdmissionPolicy decides the fate of requests
+//     at a full queue; DequeuePolicy shapes accelerator launches, up to
+//     cross-session batches of compatible jobs gathered within a window.
 //
-// With Workers=1 the scheduler serializes inference exactly like the old
-// GPU mutex, which keeps single-client runs deterministic; throughput
-// scaling comes from raising Workers.
+// With Workers=1 and the default policies the scheduler serializes
+// inference exactly like the old GPU mutex, which keeps single-client runs
+// deterministic; throughput scaling comes from raising Workers and, for
+// batch-capable accelerators, from cross-session batching.
 //
 // This package legitimately reads the wall clock (queue wait measurement,
 // session uptime): it serves real sockets in real time, like package
@@ -36,6 +42,10 @@ var (
 	// capacity when the request arrived. The caller should tell its client
 	// the frame was shed rather than fail the connection.
 	ErrQueueFull = errors.New("edge: admission queue full")
+	// ErrShed reports that a queued frame was displaced by a fresher frame
+	// from the same session under the latest-wins admission policy. Like a
+	// rejection it is a per-frame outcome, not a connection failure.
+	ErrShed = errors.New("edge: stale frame shed by latest-wins admission")
 	// ErrClosed reports a submission to a scheduler (or through a session)
 	// that has shut down.
 	ErrClosed = errors.New("edge: scheduler closed")

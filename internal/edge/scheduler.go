@@ -11,6 +11,8 @@ import (
 // Accelerator is one inference execution unit. Each scheduler worker owns
 // exactly one, so implementations need not be safe for concurrent use. The
 // returned inferMs is the simulated inference latency reported to clients.
+// Implementations that also satisfy BatchAccelerator serve multi-job
+// launches in one amortized call (see policy.go).
 type Accelerator interface {
 	Run(in segmodel.Input, g segmodel.Guidance) (out *segmodel.Result, inferMs float64)
 }
@@ -22,7 +24,7 @@ type Config struct {
 	// deterministic mode the equivalence tests rely on.
 	Workers int
 	// QueueDepth bounds the admission queue across all sessions; <= 0 means
-	// DefaultQueueDepth. A full queue rejects with ErrQueueFull.
+	// DefaultQueueDepth. What happens at the bound is Admission's call.
 	QueueDepth int
 	// NewAccelerator builds worker i's accelerator. Required.
 	NewAccelerator func(worker int) Accelerator
@@ -30,6 +32,12 @@ type Config struct {
 	// guidance-less frames (see Session.Guide). Off by default: reuse
 	// changes inference results, which single-client determinism tests pin.
 	GuidanceContinuity bool
+	// Admission decides the fate of requests arriving at a full queue; nil
+	// means RejectWhenFull (the historical discipline).
+	Admission AdmissionPolicy
+	// Dequeue shapes accelerator launches; nil means SingleDequeue (the
+	// historical one-job-per-worker discipline).
+	Dequeue DequeuePolicy
 }
 
 // DefaultQueueDepth is the admission bound when Config leaves it zero.
@@ -40,6 +48,7 @@ type job struct {
 	sess     *Session
 	in       segmodel.Input
 	g        segmodel.Guidance
+	class    BatchClass
 	enqueued time.Time
 	done     chan jobResult
 }
@@ -52,12 +61,17 @@ type jobResult struct {
 
 // Scheduler owns the accelerator pool and the bounded admission queue.
 // Dequeueing is fair per session: workers round-robin across sessions that
-// have pending work and take one request at a time, so one client flooding
-// the queue cannot starve the others.
+// have pending work and take one request at a time (or, under GatherBatch,
+// one request per session per gather pass), so one client flooding the
+// queue cannot starve the others.
 type Scheduler struct {
 	workers    int
 	depth      int
 	continuity bool
+	admission  AdmissionPolicy
+	maxBatch   int
+	window     time.Duration
+	dequeue    string
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -76,30 +90,40 @@ type Scheduler struct {
 	sessions map[*Session]struct{}
 	nextID   int
 
-	served    int
-	rejected  int
-	cancelled int
-	inferSum  float64
-	waits     metrics.Dist
-	depths    metrics.Dist
-	peakSess  int
+	served      int
+	rejected    int
+	shed        int
+	cancelled   int
+	inferSum    float64
+	waits       metrics.Dist
+	depths      metrics.Dist
+	batches     int
+	batchJobs   int
+	batchCounts []int
+	peakSess    int
 
 	wg sync.WaitGroup
 }
 
 // Stats is a point-in-time scheduler snapshot.
 type Stats struct {
-	// Workers and QueueDepth echo the configuration.
-	Workers    int
-	QueueDepth int
+	// Workers and QueueDepth echo the configuration, AdmissionPolicy and
+	// DequeuePolicy the active policy names.
+	Workers         int
+	QueueDepth      int
+	AdmissionPolicy string
+	DequeuePolicy   string
 	// Queued and InFlight describe the instantaneous load.
 	Queued   int
 	InFlight int
-	// Served, Rejected and Cancelled partition every admitted-or-refused
-	// request: answered, refused at admission, failed by session/scheduler
-	// shutdown. Nothing is lost silently.
+	// Served, Rejected, Shed and Cancelled partition every admitted-or-
+	// refused request: answered, refused at admission, displaced by the
+	// session's own fresher frame (latest-wins), failed by session/
+	// scheduler shutdown. Nothing is lost silently:
+	// offered == Served + Rejected + Shed + Cancelled once drained.
 	Served    int
 	Rejected  int
+	Shed      int
 	Cancelled int
 	// MeanInferMs averages simulated inference latency over served requests.
 	MeanInferMs float64
@@ -110,6 +134,13 @@ type Stats struct {
 	// Queue-depth telemetry, sampled at each admission.
 	MeanQueueDepth float64
 	PeakQueueDepth int
+	// Batch telemetry: Batches counts accelerator launches, MeanBatchSize
+	// the jobs per launch, and BatchSizeCounts[i] the launches of size i+1.
+	// Under SingleDequeue every launch has size 1.
+	Batches         int
+	MeanBatchSize   float64
+	MaxBatchSize    int
+	BatchSizeCounts []int
 	// Session population.
 	ActiveSessions int
 	PeakSessions   int
@@ -123,12 +154,23 @@ func NewScheduler(cfg Config) *Scheduler {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Admission == nil {
+		cfg.Admission = RejectWhenFull{}
+	}
+	if cfg.Dequeue == nil {
+		cfg.Dequeue = SingleDequeue{}
+	}
 	s := &Scheduler{
 		workers:    cfg.Workers,
 		depth:      cfg.QueueDepth,
 		continuity: cfg.GuidanceContinuity,
+		admission:  cfg.Admission,
+		maxBatch:   cfg.Dequeue.MaxBatch(),
+		window:     cfg.Dequeue.Window(),
+		dequeue:    cfg.Dequeue.Name(),
 		sessions:   make(map[*Session]struct{}),
 	}
+	s.batchCounts = make([]int, s.maxBatch)
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -157,22 +199,47 @@ func (s *Scheduler) NewSession(remote string) *Session {
 	return sess
 }
 
-// infer admits one request and blocks until it is served, rejected or
+// infer admits one request and blocks until it is served, rejected, shed or
 // cancelled. No scheduler lock is held while waiting.
 func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64, error) {
-	j := &job{sess: sess, in: in, g: g, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	j := &job{sess: sess, in: in, g: g, class: ClassOf(in, g), enqueued: time.Now(), done: make(chan jobResult, 1)}
 	s.mu.Lock()
 	if s.closed || sess.closed {
 		s.mu.Unlock()
 		return nil, 0, ErrClosed
 	}
-	if s.queued >= s.depth {
+	// A session is in the ring iff it has pending work; capture that before
+	// the verdict, because a shed can empty pending momentarily without the
+	// session ever leaving the ring.
+	inRing := len(sess.pending) > 0
+	switch s.admission.Admit(s.queued, s.depth, len(sess.pending)) {
+	case VerdictReject:
 		s.rejected++
 		s.mu.Unlock()
 		sess.noteRejected()
 		return nil, 0, ErrQueueFull
+	case VerdictShedOldest:
+		if len(sess.pending) > 0 {
+			// Displace the session's own oldest queued frame: its waiter
+			// learns it was shed, the fresh frame takes the slot. The
+			// session stays in the ring — its pending list never empties
+			// here because the fresh job is appended below.
+			stale := sess.pending[0]
+			sess.pending = sess.pending[1:]
+			s.queued--
+			s.shed++
+			stale.done <- jobResult{err: ErrShed}
+			defer sess.noteShed()
+		} else {
+			// A policy may only shed the arriving session's own work;
+			// with none queued the verdict degrades to a reject.
+			s.rejected++
+			s.mu.Unlock()
+			sess.noteRejected()
+			return nil, 0, ErrQueueFull
+		}
 	}
-	if len(sess.pending) == 0 {
+	if !inRing {
 		s.ring = append(s.ring, sess)
 	}
 	sess.pending = append(sess.pending, j)
@@ -185,25 +252,78 @@ func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance)
 	return r.out, r.inferMs, r.err
 }
 
-// next blocks until a request is available (fair round-robin across
-// sessions) or the scheduler is closed and drained; nil means exit.
-func (s *Scheduler) next() *job {
+// takeHead pops the front session's oldest request under the rotation
+// discipline; the caller holds the lock and has checked the ring is
+// non-empty. The popped job counts as in flight from this moment.
+func (s *Scheduler) takeHead() *job {
+	sess := s.ring[0]
+	s.ring = s.ring[1:]
+	j := sess.pending[0]
+	sess.pending = sess.pending[1:]
+	s.queued--
+	if len(sess.pending) > 0 {
+		// One request per turn: the session rotates to the back of
+		// the ring behind every other waiting session.
+		s.ring = append(s.ring, sess)
+	}
+	s.inflight++
+	return j
+}
+
+// gather extends batch with queued jobs of the same class, scanning the
+// ring in order and taking at most one job per session per call so the
+// batch former cannot out-run round-robin fairness. The caller holds the
+// lock.
+func (s *Scheduler) gather(batch []*job, class BatchClass) []*job {
+	i := 0
+	for len(batch) < s.maxBatch && i < len(s.ring) {
+		sess := s.ring[i]
+		if sess.pending[0].class != class {
+			i++
+			continue
+		}
+		j := sess.pending[0]
+		sess.pending = sess.pending[1:]
+		s.queued--
+		s.inflight++
+		batch = append(batch, j)
+		if len(sess.pending) > 0 {
+			// The session keeps its ring position but contributed its one
+			// job for this pass; move past it.
+			i++
+		} else {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		}
+	}
+	return batch
+}
+
+// nextBatch blocks until at least one request is available (fair
+// round-robin across sessions) or the scheduler is closed and drained; nil
+// means exit. Under GatherBatch it extends the head job with compatible
+// queued work, holding an underfull batch open for the gather window.
+func (s *Scheduler) nextBatch() []*job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		if len(s.ring) > 0 {
-			sess := s.ring[0]
-			s.ring = s.ring[1:]
-			j := sess.pending[0]
-			sess.pending = sess.pending[1:]
-			s.queued--
-			if len(sess.pending) > 0 {
-				// One request per turn: the session rotates to the back of
-				// the ring behind every other waiting session.
-				s.ring = append(s.ring, sess)
+			head := s.takeHead()
+			if s.maxBatch <= 1 {
+				return []*job{head}
 			}
-			s.inflight++
-			return j
+			batch := s.gather([]*job{head}, head.class)
+			if len(batch) < s.maxBatch && s.window > 0 && !s.closed {
+				// Gather window: hold the underfull batch open so jobs
+				// arriving within the window can ride the same launch. The
+				// jobs already taken are in flight, so Close (which drains
+				// in-flight work) and session teardown stay correct while
+				// the lock is released.
+				s.mu.Unlock()
+				time.Sleep(s.window)
+				s.mu.Lock()
+				batch = s.gather(batch, head.class)
+			}
+			return batch
 		}
 		if s.closed {
 			return nil
@@ -215,23 +335,62 @@ func (s *Scheduler) next() *job {
 // worker serves requests on one accelerator until close-and-drain.
 func (s *Scheduler) worker(acc Accelerator) {
 	defer s.wg.Done()
+	bacc, canBatch := acc.(BatchAccelerator)
 	for {
-		j := s.next()
-		if j == nil {
+		batch := s.nextBatch()
+		if batch == nil {
 			return
 		}
-		waitMs := float64(time.Since(j.enqueued)) / float64(time.Millisecond)
-		out, inferMs := acc.Run(j.in, j.g)
+		waitMs := make([]float64, len(batch))
+		for i, j := range batch {
+			waitMs[i] = float64(time.Since(j.enqueued)) / float64(time.Millisecond)
+		}
+
+		outs := make([]*segmodel.Result, len(batch))
+		perMs := make([]float64, len(batch))
+		switch {
+		case len(batch) == 1:
+			outs[0], perMs[0] = acc.Run(batch[0].in, batch[0].g)
+		case canBatch:
+			ins := make([]segmodel.Input, len(batch))
+			gs := make([]segmodel.Guidance, len(batch))
+			for i, j := range batch {
+				ins[i], gs[i] = j.in, j.g
+			}
+			bouts, launchMs := bacc.RunBatch(ins, gs)
+			copy(outs, bouts)
+			// Every job in the launch completes together.
+			for i := range perMs {
+				perMs[i] = launchMs
+			}
+		default:
+			// The accelerator cannot batch: serve serially. Correct but
+			// unamortized — batching pays off only with a BatchAccelerator.
+			for i, j := range batch {
+				outs[i], perMs[i] = acc.Run(j.in, j.g)
+			}
+		}
 
 		s.mu.Lock()
-		s.inflight--
-		s.served++
-		s.inferSum += inferMs
-		s.waits.Add(waitMs)
+		s.inflight -= len(batch)
+		s.served += len(batch)
+		// Batch telemetry only exists under the batch former; with single
+		// dequeue the stats surface stays exactly as it was before the
+		// policy layer (no batch line in FormatServerStats).
+		if s.maxBatch > 1 {
+			s.batches++
+			s.batchJobs += len(batch)
+			s.batchCounts[len(batch)-1]++
+		}
+		for i := range batch {
+			s.inferSum += perMs[i]
+			s.waits.Add(waitMs[i])
+		}
 		s.mu.Unlock()
-		j.sess.noteServed(inferMs, waitMs)
-
-		j.done <- jobResult{out: out, inferMs: inferMs}
+		for i, j := range batch {
+			j.sess.noteServed(perMs[i], waitMs[i])
+			j.done <- jobResult{out: outs[i], inferMs: perMs[i]}
+		}
 	}
 }
 
@@ -247,8 +406,9 @@ func (s *Scheduler) closeSession(sess *Session) {
 	if len(sess.pending) == 0 {
 		return
 	}
-	// Fail queued-but-unstarted requests so their waiters unblock; the one
-	// possibly in flight on a worker completes normally.
+	// Fail queued-but-unstarted requests so their waiters unblock; any
+	// already taken onto a worker (alone or in a gathering batch) complete
+	// normally.
 	for _, j := range sess.pending {
 		s.queued--
 		s.cancelled++
@@ -268,23 +428,37 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Workers:        s.workers,
-		QueueDepth:     s.depth,
-		Queued:         s.queued,
-		InFlight:       s.inflight,
-		Served:         s.served,
-		Rejected:       s.rejected,
-		Cancelled:      s.cancelled,
-		MeanWaitMs:     s.waits.Mean(),
-		MaxWaitMs:      s.waits.Max(),
-		P95WaitMs:      s.waits.Percentile(0.95),
-		MeanQueueDepth: s.depths.Mean(),
-		PeakQueueDepth: int(s.depths.Max()),
-		ActiveSessions: len(s.sessions),
-		PeakSessions:   s.peakSess,
+		Workers:         s.workers,
+		QueueDepth:      s.depth,
+		AdmissionPolicy: s.admission.Name(),
+		DequeuePolicy:   s.dequeue,
+		Queued:          s.queued,
+		InFlight:        s.inflight,
+		Served:          s.served,
+		Rejected:        s.rejected,
+		Shed:            s.shed,
+		Cancelled:       s.cancelled,
+		MeanWaitMs:      s.waits.Mean(),
+		MaxWaitMs:       s.waits.Max(),
+		P95WaitMs:       s.waits.Percentile(0.95),
+		MeanQueueDepth:  s.depths.Mean(),
+		PeakQueueDepth:  int(s.depths.Max()),
+		Batches:         s.batches,
+		BatchSizeCounts: append([]int(nil), s.batchCounts...),
+		ActiveSessions:  len(s.sessions),
+		PeakSessions:    s.peakSess,
 	}
 	if s.served > 0 {
 		st.MeanInferMs = s.inferSum / float64(s.served)
+	}
+	if s.batches > 0 {
+		st.MeanBatchSize = float64(s.batchJobs) / float64(s.batches)
+	}
+	for size := len(s.batchCounts); size > 0; size-- {
+		if s.batchCounts[size-1] > 0 {
+			st.MaxBatchSize = size
+			break
+		}
 	}
 	return st
 }

@@ -223,9 +223,9 @@ func TestSchedulerBacklogNotStarvedBySessionChurn(t *testing.T) {
 	if pos[901] > pos[1] || pos[902] > pos[10] {
 		t.Errorf("hot backlog lapped by later churn arrivals: order %v", order)
 	}
-	if st := s.Stats(); st.Served != len(waits) || st.Rejected != 0 || st.Cancelled != 0 {
-		t.Errorf("accounting: served=%d rejected=%d cancelled=%d, want %d/0/0",
-			st.Served, st.Rejected, st.Cancelled, len(waits))
+	if st := s.Stats(); st.Served != len(waits) || st.Rejected != 0 || st.Shed != 0 || st.Cancelled != 0 {
+		t.Errorf("accounting: served=%d rejected=%d shed=%d cancelled=%d, want %d/0/0/0",
+			st.Served, st.Rejected, st.Shed, st.Cancelled, len(waits))
 	}
 }
 
@@ -317,9 +317,9 @@ func TestSchedulerColdSessionsProgressUnderHotFlood(t *testing.T) {
 	}
 	offered := hotOffered.Load() + coldOffered.Load()
 	st := s.Stats()
-	if accounted := int64(st.Served + st.Rejected + st.Cancelled); accounted != offered {
-		t.Errorf("conservation violated: offered %d != served %d + rejected %d + cancelled %d",
-			offered, st.Served, st.Rejected, st.Cancelled)
+	if accounted := int64(st.Served + st.Rejected + st.Shed + st.Cancelled); accounted != offered {
+		t.Errorf("conservation violated: offered %d != served %d + rejected %d + shed %d + cancelled %d",
+			offered, st.Served, st.Rejected, st.Shed, st.Cancelled)
 	}
 	t.Logf("hot served/rejected %d/%d; cold served/rejected %d/%d",
 		hotServed.Load(), hotRejected.Load(), coldServed.Load(), coldRejected.Load())

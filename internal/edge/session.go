@@ -30,6 +30,7 @@ type Session struct {
 	mu       sync.Mutex
 	served   int
 	rejected int
+	shed     int
 	inferSum float64
 	waitSum  float64
 	guided   int
@@ -46,9 +47,12 @@ type SessionStats struct {
 	Remote string
 	// UptimeMs is wall-clock time since the session was created.
 	UptimeMs float64
-	// Served and Rejected count this session's answered and shed requests.
+	// Served, Rejected and Shed count this session's answered requests,
+	// admission rejections, and stale frames displaced by its own fresher
+	// frames under latest-wins.
 	Served   int
 	Rejected int
+	Shed     int
 	// Pending counts requests admitted but not yet dequeued by a worker.
 	Pending int
 	// MeanInferMs and MeanWaitMs average the session's inference latency
@@ -108,6 +112,7 @@ func (sess *Session) Stats() SessionStats {
 		UptimeMs:     float64(time.Since(sess.started)) / float64(time.Millisecond),
 		Served:       sess.served,
 		Rejected:     sess.rejected,
+		Shed:         sess.shed,
 		Pending:      pending,
 		GuidedFrames: sess.guided,
 		ReusedPlans:  sess.reused,
@@ -140,6 +145,13 @@ func (sess *Session) noteServed(inferMs, waitMs float64) {
 func (sess *Session) noteRejected() {
 	sess.mu.Lock()
 	sess.rejected++
+	sess.mu.Unlock()
+}
+
+// noteShed records one stale frame displaced by latest-wins admission.
+func (sess *Session) noteShed() {
+	sess.mu.Lock()
+	sess.shed++
 	sess.mu.Unlock()
 }
 

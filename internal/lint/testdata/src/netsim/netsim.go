@@ -20,6 +20,24 @@ func deadline(t time.Time) time.Duration {
 	return time.Until(t) // want "time.Until in sim-clock package"
 }
 
+// Timer constructors consume real elapsed time just like Sleep does; a
+// gather window in a sim-clock package must be modeled on the virtual clock.
+func gatherWindow() <-chan time.Time {
+	return time.After(tick) // want "time.After in sim-clock package"
+}
+
+func armTimer() *time.Timer {
+	return time.NewTimer(tick) // want "time.NewTimer in sim-clock package"
+}
+
+func pollTicker() *time.Ticker {
+	return time.NewTicker(tick) // want "time.NewTicker in sim-clock package"
+}
+
+func legacyTick() <-chan time.Time {
+	return time.Tick(tick) // want "time.Tick in sim-clock package"
+}
+
 // Constructing durations and formatting timestamps is fine: only observing
 // or consuming real elapsed time is flagged.
 func format(t time.Time) string {

@@ -25,17 +25,24 @@ var wallClockPkgs = map[string]bool{
 }
 
 // wallTimeFuncs are the time-package entry points that observe or consume
-// real elapsed time.
+// real elapsed time, including the timer constructors (the gather-window
+// batch former made time.After-style waits an easy habit to pick up; in a
+// sim-clock package they belong on the virtual clock like everything else).
 var wallTimeFuncs = map[string]bool{
-	"Now":   true,
-	"Since": true,
-	"Until": true,
-	"Sleep": true,
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
 }
 
-// WallTime flags time.Now/Since/Until/Sleep in sim-clock packages, where
-// virtual time must be used so runs are seed-reproducible and latency
-// figures come from the modeled clock, not host scheduling jitter.
+// WallTime flags time.Now/Since/Until/Sleep and the timer constructors
+// (After, NewTimer, NewTicker, Tick) in sim-clock packages, where virtual
+// time must be used so runs are seed-reproducible and latency figures come
+// from the modeled clock, not host scheduling jitter.
 var WallTime = &Analyzer{
 	Name:      "walltime",
 	Directive: "wallclock",

@@ -26,9 +26,11 @@ type TCPBackend struct {
 	// them to the engine in arrival order.
 	pending     []*transport.ResultMsg
 	outstanding int
-	// seenRejects is how many server-side admission rejects have already
-	// been folded into DroppedOffloads and outstanding.
+	// seenRejects and seenSheds are how many server-side admission rejects
+	// (TypeReject) and latest-wins sheds (TypeShed) have already been
+	// folded into DroppedOffloads and outstanding.
 	seenRejects int
+	seenSheds   int
 	stats       pipeline.BackendStats
 	err         error
 
@@ -83,15 +85,17 @@ func (b *TCPBackend) Submit(req *pipeline.OffloadRequest, sendAt float64) []pipe
 	return nil
 }
 
-// reconcileRejects folds server-side admission rejects (TypeReject replies
-// counted by the client) into the backend accounting: each shed frame is a
-// dropped offload whose result will never arrive.
+// reconcileRejects folds server-side admission rejects (TypeReject replies)
+// and latest-wins sheds (TypeShed replies) counted by the client into the
+// backend accounting: each is a dropped offload whose result will never
+// arrive, so nothing is lost silently.
 func (b *TCPBackend) reconcileRejects() {
-	fresh := b.client.Rejected() - b.seenRejects
+	rejects, sheds := b.client.Rejected(), b.client.Shed()
+	fresh := (rejects - b.seenRejects) + (sheds - b.seenSheds)
 	if fresh <= 0 {
 		return
 	}
-	b.seenRejects += fresh
+	b.seenRejects, b.seenSheds = rejects, sheds
 	b.stats.DroppedOffloads += fresh
 	b.outstanding -= fresh
 	if b.outstanding < 0 {

@@ -2,11 +2,13 @@
 // the wall clock: RunScheduler paces the fleet into an in-process
 // edge.Scheduler, RunTCP pushes the same frames through transport.Client
 // sockets into a transport.Server. Both replay the exact generation schedule
-// of the virtual-time simulator (Profile.SessionArrivals), classify every
-// offered frame into served / rejected / dropped, and reconcile their own
-// accounting against the serving layer's counters — the wall-clock half of
-// the no-silent-loss law. Latency figures here include host scheduling
-// jitter; the deterministic numbers live in the simulator (loadgen.Run).
+// of the virtual-time simulator (Profile.SessionArrivals), honour the
+// profile's admission and dequeue policies (latest-wins shedding, the
+// gather-window batch former), classify every offered frame into served /
+// rejected / shed / dropped, and reconcile their own accounting against the
+// serving layer's counters — the wall-clock half of the no-silent-loss law.
+// Latency figures here include host scheduling jitter; the deterministic
+// numbers live in the simulator (loadgen.Run).
 package drive
 
 import (
@@ -67,10 +69,10 @@ func (o Options) withDefaults() Options {
 
 // agg accumulates fleet-wide accounting from the session goroutines.
 type agg struct {
-	mu                                 sync.Mutex
-	offered, served, rejected, dropped int
-	servedBy                           []int
-	lat                                metrics.Dist
+	mu                                       sync.Mutex
+	offered, served, rejected, shed, dropped int
+	servedBy                                 []int
+	lat                                      metrics.Dist
 }
 
 // fairness returns the per-session served extremes.
@@ -109,10 +111,45 @@ type clipAccelerator struct {
 	frac  float64
 }
 
+func (a *clipAccelerator) soloMs(in segmodel.Input) float64 {
+	return a.p.ClipFor(int(in.Seed)).InferMs
+}
+
 func (a *clipAccelerator) Run(in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64) {
-	inferMs := a.p.ClipFor(int(in.Seed)).InferMs
+	inferMs := a.soloMs(in)
 	time.Sleep(time.Duration(inferMs * a.frac * a.scale * float64(time.Millisecond)))
 	return nil, inferMs
+}
+
+// RunBatch implements edge.BatchAccelerator: one gathered launch holds the
+// worker for the amortized batch cost instead of the serial sum, which is
+// what lets the batch former show up as wall-clock throughput here.
+func (a *clipAccelerator) RunBatch(ins []segmodel.Input, gs []segmodel.Guidance) ([]*segmodel.Result, float64) {
+	solos := make([]float64, len(ins))
+	for i, in := range ins {
+		solos[i] = a.soloMs(in)
+	}
+	launchMs := segmodel.BatchMs(solos)
+	time.Sleep(time.Duration(launchMs * a.frac * a.scale * float64(time.Millisecond)))
+	return make([]*segmodel.Result, len(ins)), launchMs
+}
+
+// policies resolves the profile's admission and dequeue policies onto edge
+// types; the gather window stretches with the run's TimeScale just like the
+// generation schedule does.
+func policies(p loadgen.Profile, o Options) (edge.AdmissionPolicy, edge.DequeuePolicy, error) {
+	admission, err := edge.AdmissionPolicyByName(p.ShedPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dequeue edge.DequeuePolicy
+	if p.MaxBatch > 1 {
+		dequeue = edge.GatherBatch{
+			Max:          p.MaxBatch,
+			GatherWindow: time.Duration(p.BatchWindowMs * o.TimeScale * float64(time.Millisecond)),
+		}
+	}
+	return admission, dequeue, nil
 }
 
 // RunScheduler replays the profile against a real edge.Scheduler in
@@ -123,9 +160,15 @@ func (a *clipAccelerator) Run(in segmodel.Input, g segmodel.Guidance) (*segmodel
 func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	p = p.Normalized()
 	o := opts.withDefaults()
+	admission, dequeue, err := policies(p, o)
+	if err != nil {
+		return nil, err
+	}
 	sched := edge.NewScheduler(edge.Config{
 		Workers:    p.Accelerators,
 		QueueDepth: p.QueueDepth,
+		Admission:  admission,
+		Dequeue:    dequeue,
 		NewAccelerator: func(int) edge.Accelerator {
 			return &clipAccelerator{p: p, scale: o.TimeScale, frac: o.Occupancy}
 		},
@@ -163,7 +206,12 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 				go func(genAt, upMs float64) {
 					defer reqs.Done()
 					sleepUntil(start, genAt+upMs, o.TimeScale)
-					_, _, err := sess.Infer(segmodel.Input{Width: 64, Height: 48, Seed: int64(i)}, nil)
+					// Each clip class gets its own input width so the batch
+					// former's shape-compatibility key (edge.BatchClass)
+					// separates clips here exactly as it would separate real
+					// resolutions.
+					in := segmodel.Input{Width: 64 + 16*(i%len(p.Clips)), Height: 48, Seed: int64(i)}
+					_, _, err := sess.Infer(in, nil)
 					doneMs := msSince(start)
 					a.mu.Lock()
 					switch {
@@ -173,6 +221,8 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 						a.lat.Add(doneMs - genAt*o.TimeScale)
 					case errors.Is(err, edge.ErrQueueFull):
 						a.rejected++
+					case errors.Is(err, edge.ErrShed):
+						a.shed++
 					default:
 						a.dropped++ // teardown cancellation
 					}
@@ -196,9 +246,9 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		return nil, err
 	}
 
-	if st.Served != a.served || st.Rejected != a.rejected || st.Cancelled != 0 {
-		return nil, fmt.Errorf("drive scheduler: accounting mismatch: driver served/rejected %d/%d, scheduler served/rejected/cancelled %d/%d/%d",
-			a.served, a.rejected, st.Served, st.Rejected, st.Cancelled)
+	if st.Served != a.served || st.Rejected != a.rejected || st.Shed != a.shed || st.Cancelled != 0 {
+		return nil, fmt.Errorf("drive scheduler: accounting mismatch: driver served/rejected/shed %d/%d/%d, scheduler served/rejected/shed/cancelled %d/%d/%d/%d",
+			a.served, a.rejected, a.shed, st.Served, st.Rejected, st.Shed, st.Cancelled)
 	}
 	slo := newSLO(p, "scheduler", a, horizon)
 	slo.WaitMeanMs = round3(st.MeanWaitMs)
@@ -206,6 +256,8 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	slo.WaitMaxMs = round3(st.MaxWaitMs)
 	slo.QueueMeanDepth = round3(st.MeanQueueDepth)
 	slo.QueuePeakDepth = st.PeakQueueDepth
+	slo.Batches = st.Batches
+	slo.MeanBatchSize = round3(st.MeanBatchSize)
 	return slo, nil
 }
 
@@ -219,13 +271,23 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	p = p.Normalized()
 	o := opts.withDefaults()
 
+	admission, dequeue, err := policies(p, o)
+	if err != nil {
+		return nil, err
+	}
 	addr := o.Addr
 	var srv *transport.Server
 	if addr == "" {
-		srv = transport.NewServer(segmodel.New(segmodel.YOLOv3),
+		srvOpts := []transport.ServerOption{
 			transport.WithAccelerators(p.Accelerators),
 			transport.WithQueueDepth(p.QueueDepth),
-			transport.WithWallOccupancy(o.Occupancy*o.TimeScale))
+			transport.WithWallOccupancy(o.Occupancy * o.TimeScale),
+			transport.WithAdmissionPolicy(admission),
+		}
+		if dequeue != nil {
+			srvOpts = append(srvOpts, transport.WithDequeuePolicy(dequeue))
+		}
+		srv = transport.NewServer(segmodel.New(segmodel.YOLOv3), srvOpts...)
 		bound, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -278,10 +340,11 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 			for k, genAt := range p.SessionArrivals(i) {
 				sleepUntil(start, genAt, o.TimeScale)
 				offered++
-				// Outstanding = accepted sends not yet resolved by a result
-				// or a wire-level reject; at the cap the client sheds.
+				// Outstanding = accepted sends not yet resolved by a result,
+				// a wire-level reject or a shed notice; at the cap the
+				// client sheds.
 				mu.Lock()
-				outstanding := sent - served - c.Rejected()
+				outstanding := sent - served - c.Rejected() - c.Shed()
 				mu.Unlock()
 				if outstanding >= p.MaxOutstanding {
 					dropped++
@@ -291,9 +354,11 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 				mu.Lock()
 				sendAt[idx] = msSince(start)
 				mu.Unlock()
+				// Per-clip width, mirroring the scheduler target: the batch
+				// former only co-batches frames of one shape class.
 				ok := c.Send(&transport.FrameMsg{
 					FrameIndex:   idx,
-					Width:        64,
+					Width:        int32(64 + 16*(i%len(p.Clips))),
 					Height:       48,
 					Seed:         int64(i)*1_000_003 + int64(k),
 					PaddingBytes: int32(clip.PayloadBytes),
@@ -309,12 +374,13 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 				sent++
 			}
 
-			// Drain: every accepted send must resolve into a result or a
-			// reject; stragglers past the deadline are counted dropped.
+			// Drain: every accepted send must resolve into a result, a
+			// reject or a shed; stragglers past the deadline are counted
+			// dropped.
 			deadline := time.Now().Add(o.DrainTimeout)
 			for time.Now().Before(deadline) {
 				mu.Lock()
-				resolved := served + c.Rejected()
+				resolved := served + c.Rejected() + c.Shed()
 				mu.Unlock()
 				if resolved >= sent {
 					break
@@ -325,8 +391,8 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 			readers.Wait()
 
 			mu.Lock()
-			lost := sent - served - c.Rejected()
-			rejected := c.Rejected()
+			rejected, shed := c.Rejected(), c.Shed()
+			lost := sent - served - rejected - shed
 			mu.Unlock()
 			if lost < 0 {
 				lost = 0
@@ -334,6 +400,7 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 			a.mu.Lock()
 			a.offered += offered
 			a.rejected += rejected
+			a.shed += shed
 			a.dropped += dropped + lost
 			a.mu.Unlock()
 		}(i)
@@ -354,11 +421,13 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		slo.WaitMaxMs = round3(st.MaxWaitMs)
 		slo.QueueMeanDepth = round3(st.MeanQueueDepth)
 		slo.QueuePeakDepth = st.PeakQueueDepth
-		// The server must not have served or rejected more than the clients
+		slo.Batches = st.Batches
+		slo.MeanBatchSize = round3(st.MeanBatchSize)
+		// The server must not have resolved more frames than the clients
 		// saw plus what teardown abandoned; anything else is silent loss.
-		if st.Served+st.Rejected+st.Cancelled < a.served+a.rejected {
-			return nil, fmt.Errorf("drive tcp: accounting mismatch: clients saw served/rejected %d/%d, server served/rejected/cancelled %d/%d/%d",
-				a.served, a.rejected, st.Served, st.Rejected, st.Cancelled)
+		if st.Served+st.Rejected+st.Shed+st.Cancelled < a.served+a.rejected+a.shed {
+			return nil, fmt.Errorf("drive tcp: accounting mismatch: clients saw served/rejected/shed %d/%d/%d, server served/rejected/shed/cancelled %d/%d/%d/%d",
+				a.served, a.rejected, a.shed, st.Served, st.Rejected, st.Shed, st.Cancelled)
 		}
 	}
 	return slo, nil
@@ -377,8 +446,9 @@ func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadge
 		Offered:        a.offered,
 		Served:         a.served,
 		Rejected:       a.rejected,
+		Shed:           a.shed,
 		Dropped:        a.dropped,
-		ConservationOK: a.offered == a.served+a.rejected+a.dropped,
+		ConservationOK: a.offered == a.served+a.rejected+a.shed+a.dropped,
 		LatMeanMs:      round3(a.lat.Mean()),
 		LatP50Ms:       round3(a.lat.Quantile(0.50)),
 		LatP95Ms:       round3(a.lat.Quantile(0.95)),

@@ -66,6 +66,80 @@ func TestRunSchedulerUnderContention(t *testing.T) {
 	}
 }
 
+// TestRunSchedulerBatchFormer drives the real scheduler with the
+// gather-window batch former on a single-clip fleet: launches must actually
+// gather (mean batch size above 1) and the driver's accounting must still
+// reconcile against the scheduler's (RunScheduler errors on any mismatch).
+func TestRunSchedulerBatchFormer(t *testing.T) {
+	p := loadgen.Profile{
+		Name: "batch-live", Sessions: 24, Accelerators: 2, QueueDepth: 16,
+		MaxOutstanding: 8, DurationMs: 2500, FPS: 8,
+		Arrival: loadgen.Bursty, Seed: 21,
+		Links:    []loadgen.LinkShape{loadgen.Fast},
+		Clips:    []loadgen.ClipClass{loadgen.ClipIndoor},
+		MaxBatch: 8, BatchWindowMs: 2,
+	}
+	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Batches == 0 || slo.MeanBatchSize <= 1.2 {
+		t.Errorf("batch former gathered nothing: %d batches, mean size %.2f", slo.Batches, slo.MeanBatchSize)
+	}
+}
+
+// TestRunSchedulerLatestWins drives the contention profile under the
+// latest-wins admission policy: stale frames must be shed (not silently
+// lost), the driver's shed tally must reconcile with the scheduler's, and
+// the conservation law must extend to the new outcome class.
+func TestRunSchedulerLatestWins(t *testing.T) {
+	p := loadgen.Profile{
+		Name: "shed-live", Sessions: 24, Accelerators: 1, QueueDepth: 4,
+		MaxOutstanding: 8, DurationMs: 2500, FPS: 8,
+		Arrival: loadgen.Bursty, Seed: 9,
+		Links:      []loadgen.LinkShape{loadgen.Fast},
+		Clips:      []loadgen.ClipClass{loadgen.ClipIndustrial},
+		ShedPolicy: "latest-wins",
+	}
+	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Shed == 0 {
+		t.Error("latest-wins shed nothing under sustained contention")
+	}
+}
+
+// TestRunTCPLatestWins is the socket counterpart: shed notices cross the
+// wire as TypeShed, the clients fold them into their outstanding windows,
+// and the run reconciles client tallies against the in-process server.
+func TestRunTCPLatestWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket run skipped in -short")
+	}
+	// Few sessions at a high rate against a tiny queue: latest-wins only
+	// fires when the arriving session already has its own frame queued, so
+	// the backlog must be per-session, not just fleet-wide.
+	p := loadgen.Profile{
+		Name: "tcp-shed", Sessions: 4, Accelerators: 1, QueueDepth: 3,
+		MaxOutstanding: 8, DurationMs: 1000, FPS: 30,
+		Arrival: loadgen.Steady, Seed: 13,
+		Links:      []loadgen.LinkShape{loadgen.Fast},
+		Clips:      []loadgen.ClipClass{loadgen.ClipStreet},
+		ShedPolicy: "latest-wins",
+	}
+	slo, err := RunTCP(p, Options{TimeScale: 0.2, Occupancy: 2, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Shed == 0 {
+		t.Error("latest-wins over TCP shed nothing; occupancy too light to exercise the policy")
+	}
+}
+
 // TestRunTCPConservation is the transport-level conformance counterpart:
 // the same profile over real loopback sockets, with client-side accounting
 // (results and wire rejects) reconciled against the in-process server.

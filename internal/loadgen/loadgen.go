@@ -140,6 +140,20 @@ type Profile struct {
 	// and Clips[i%len], a deterministic round-robin assignment.
 	Links []LinkShape `json:"links"`
 	Clips []ClipClass `json:"clips"`
+	// MaxBatch caps how many compatible frames (same clip class) one
+	// accelerator launch may serve — the edge.DequeuePolicy mirror. Zero or
+	// one keeps the single-dequeue discipline byte-identical to the
+	// committed baselines.
+	MaxBatch int `json:"max_batch,omitempty"`
+	// BatchWindowMs is how long an underfull batch holds its accelerator
+	// waiting for companions before launching (virtual ms; the wall-clock
+	// drivers scale it by TimeScale). Only meaningful with MaxBatch > 1.
+	BatchWindowMs float64 `json:"batch_window_ms,omitempty"`
+	// ShedPolicy selects the admission discipline at a full queue —
+	// edge.AdmissionPolicy names: "reject" (default, explicit reject) or
+	// "latest-wins" (shed the session's own oldest queued frame to admit
+	// the fresh one).
+	ShedPolicy string `json:"shed_policy,omitempty"`
 	// Seed pins every random draw in the run.
 	Seed int64 `json:"seed"`
 }
@@ -218,6 +232,15 @@ func (p Profile) withDefaults() Profile {
 	}
 	if len(p.Clips) == 0 {
 		p.Clips = DefaultClips
+	}
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 1
+	}
+	if p.BatchWindowMs < 0 {
+		p.BatchWindowMs = 0
+	}
+	if p.ShedPolicy == "" {
+		p.ShedPolicy = "reject"
 	}
 	return p
 }

@@ -101,6 +101,71 @@ func TestMoreAcceleratorsImproveTailLatency(t *testing.T) {
 	}
 }
 
+// TestBatchingImprovesThroughputInSim reads the batch arm against its
+// single-dequeue twin: with the gather-window former enabled, the same
+// contended fleet on the same seed must form real multi-frame launches and
+// convert the amortization into strictly more served frames at no worse
+// tail latency.
+func TestBatchingImprovesThroughputInSim(t *testing.T) {
+	single, err := ProfileByName("burst-contention-x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := ProfileByName("burst-batch-x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.MaxBatch <= 1 || batched.Seed != single.Seed || batched.Accelerators != single.Accelerators {
+		t.Fatalf("batch pair misconfigured: %+v vs %+v", single, batched)
+	}
+	a, b := Run(single), Run(batched)
+	t.Logf("single: served=%d p95=%.1f; batched: served=%d p95=%.1f batches=%d mean=%.2f",
+		a.Served, a.LatP95Ms, b.Served, b.LatP95Ms, b.Batches, b.MeanBatchSize)
+	if a.Batches != 0 || a.Shed != 0 {
+		t.Errorf("single-dequeue arm must report no batches or sheds: %+v", a)
+	}
+	if b.Batches == 0 || b.MeanBatchSize <= 1.5 {
+		t.Errorf("batch former idle: %d batches, mean size %.2f", b.Batches, b.MeanBatchSize)
+	}
+	if b.Served <= a.Served {
+		t.Errorf("batching did not raise throughput: served %d -> %d", a.Served, b.Served)
+	}
+	if b.LatP95Ms > a.LatP95Ms {
+		t.Errorf("batching worsened p95: %.1f -> %.1f ms", a.LatP95Ms, b.LatP95Ms)
+	}
+}
+
+// TestLatestWinsServesFresherFramesInSim reads the shed arm against its
+// reject twin: latest-wins must actually shed (stale frames displaced by
+// their own session's fresh ones) and the frames it does serve must be
+// fresher — lower median end-to-end latency — than under reject-when-full,
+// which serves the oldest queued frames to completion.
+func TestLatestWinsServesFresherFramesInSim(t *testing.T) {
+	reject, err := ProfileByName("burst-contention-x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := ProfileByName("burst-shed-x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shed.ShedPolicy != "latest-wins" || shed.Seed != reject.Seed {
+		t.Fatalf("shed pair misconfigured: %+v vs %+v", reject, shed)
+	}
+	a, b := Run(reject), Run(shed)
+	t.Logf("reject: served=%d p50=%.1f; latest-wins: served=%d shed=%d p50=%.1f",
+		a.Served, a.LatP50Ms, b.Served, b.Shed, b.LatP50Ms)
+	if a.Shed != 0 {
+		t.Errorf("reject arm must not shed, got %d", a.Shed)
+	}
+	if b.Shed == 0 {
+		t.Error("latest-wins arm shed nothing under sustained contention")
+	}
+	if b.LatP50Ms >= a.LatP50Ms {
+		t.Errorf("latest-wins did not serve fresher frames: p50 %.1f -> %.1f ms", a.LatP50Ms, b.LatP50Ms)
+	}
+}
+
 // TestRoundRobinKeepsFairSpreadInSim checks the fairness surface of the
 // report on a symmetric steady fleet: with identical sessions, round-robin
 // dequeue keeps the served-count spread small relative to the per-session

@@ -10,6 +10,12 @@ import "fmt"
 //   - burst-contention-x1 / -x4: the same heavily contended bursty fleet on
 //     1 vs 4 accelerators; the pair that shows pooling improving tail
 //     latency (p95) under contention.
+//   - burst-batch-x4: burst-contention-x4 with the gather-window batch
+//     former enabled (MaxBatch 4); read against -x4 it shows cross-session
+//     batching converting contention into amortized launches.
+//   - burst-shed-x1: burst-contention-x1 under the latest-wins admission
+//     policy; read against -x1 it shows stale frames shed per session
+//     instead of fresh frames rejected at the full queue.
 //   - fleet-1k: 1000 concurrent sessions ramping up on 4 accelerators, the
 //     scale demonstration.
 //   - ci-smoke: a seconds-scale contended profile for the blocking CI
@@ -33,6 +39,16 @@ func Profiles() []Profile {
 		{
 			Name: "burst-contention-x4", Sessions: 256, Accelerators: 4, QueueDepth: 32,
 			DurationMs: 15000, FPS: 1, Arrival: Bursty, Seed: 3,
+		},
+		{
+			Name: "burst-batch-x4", Sessions: 256, Accelerators: 4, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Bursty, Seed: 3,
+			MaxBatch: 4, BatchWindowMs: 2,
+		},
+		{
+			Name: "burst-shed-x1", Sessions: 256, Accelerators: 1, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Bursty, Seed: 3,
+			ShedPolicy: "latest-wins",
 		},
 		{
 			Name: "fleet-1k", Sessions: 1000, Accelerators: 4, QueueDepth: 64,

@@ -8,9 +8,10 @@ import (
 
 // SLO is one run's machine-readable serving report — the schema of each
 // entry in BENCH_serving.json. Every frame the workload offered is
-// reconciled into exactly one of served, rejected (edge admission shed) or
+// reconciled into exactly one of served, rejected (edge admission reject),
+// shed (latest-wins displacement of the session's own stale frame) or
 // dropped (client-side shed or lost at teardown); ConservationOK records
-// that the law offered == served + rejected + dropped held.
+// that the law offered == served + rejected + shed + dropped held.
 type SLO struct {
 	Profile string `json:"profile"`
 	// Target names the execution mode: "sim" (deterministic virtual time),
@@ -23,12 +24,20 @@ type SLO struct {
 	Accelerators int `json:"accelerators"`
 	QueueDepth   int `json:"queue_depth"`
 
-	// Frame accounting (the no-silent-loss law).
+	// Frame accounting (the no-silent-loss law). Shed counts latest-wins
+	// displacements; it stays zero (and absent from JSON) under the default
+	// reject policy, so pre-policy reports keep their exact schema.
 	Offered        int  `json:"offered"`
 	Served         int  `json:"served"`
 	Rejected       int  `json:"rejected"`
+	Shed           int  `json:"shed,omitempty"`
 	Dropped        int  `json:"dropped"`
 	ConservationOK bool `json:"conservation_ok"`
+
+	// Batch telemetry (zero and absent from JSON under single dequeue):
+	// launches performed and the mean number of frames per launch.
+	Batches       int     `json:"batches,omitempty"`
+	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
 
 	// End-to-end offload latency of served frames (generation to result
 	// delivery), in ms. Quantiles use metrics.Dist's documented
@@ -71,14 +80,14 @@ func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 // Check verifies the conservation law and basic sanity; it returns a
 // descriptive error naming the violated invariant.
 func (s *SLO) Check() error {
-	if s.Offered != s.Served+s.Rejected+s.Dropped {
-		return fmt.Errorf("loadgen %s/%s: conservation violated: offered %d != served %d + rejected %d + dropped %d",
-			s.Profile, s.Target, s.Offered, s.Served, s.Rejected, s.Dropped)
+	if s.Offered != s.Served+s.Rejected+s.Shed+s.Dropped {
+		return fmt.Errorf("loadgen %s/%s: conservation violated: offered %d != served %d + rejected %d + shed %d + dropped %d",
+			s.Profile, s.Target, s.Offered, s.Served, s.Rejected, s.Shed, s.Dropped)
 	}
 	if !s.ConservationOK {
 		return fmt.Errorf("loadgen %s/%s: run flagged conservation_ok=false", s.Profile, s.Target)
 	}
-	if s.Served < 0 || s.Rejected < 0 || s.Dropped < 0 {
+	if s.Served < 0 || s.Rejected < 0 || s.Shed < 0 || s.Dropped < 0 {
 		return fmt.Errorf("loadgen %s/%s: negative accounting: %+v", s.Profile, s.Target, s)
 	}
 	if s.ServedMin > s.ServedMax || s.FairnessSpread != s.ServedMax-s.ServedMin {
@@ -91,9 +100,12 @@ func (s *SLO) Check() error {
 // String renders a one-line human summary.
 func (s *SLO) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %-9s %5d sess %d accel: offered %6d = served %6d + rejected %6d + dropped %6d",
-		s.Profile, s.Target, s.Sessions, s.Accelerators, s.Offered, s.Served, s.Rejected, s.Dropped)
+	fmt.Fprintf(&b, "%-18s %-9s %5d sess %d accel: offered %6d = served %6d + rejected %6d + shed %6d + dropped %6d",
+		s.Profile, s.Target, s.Sessions, s.Accelerators, s.Offered, s.Served, s.Rejected, s.Shed, s.Dropped)
 	fmt.Fprintf(&b, " | lat p50/p95/p99 %.1f/%.1f/%.1f ms | queue mean %.1f peak %d | served min/max %d/%d",
 		s.LatP50Ms, s.LatP95Ms, s.LatP99Ms, s.QueueMeanDepth, s.QueuePeakDepth, s.ServedMin, s.ServedMax)
+	if s.Batches > 0 {
+		fmt.Fprintf(&b, " | batches %d mean %.2f", s.Batches, s.MeanBatchSize)
+	}
 	return b.String()
 }

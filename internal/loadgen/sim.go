@@ -7,14 +7,17 @@ import (
 
 	"edgeis/internal/metrics"
 	"edgeis/internal/netsim"
+	"edgeis/internal/segmodel"
 )
 
 // The in-process simulator: a virtual-time event queue over the whole
 // fleet. It models the mobile side (per-session outstanding cap, uplink
 // pacing), the edge admission discipline of edge.Scheduler (bounded queue,
-// explicit reject, fair per-session round-robin dequeue onto the
-// earliest-free accelerator) and the downlink delivery of results. Nothing
-// reads the wall clock, so a run is a pure function of (Profile, Seed).
+// explicit reject or latest-wins shedding, fair per-session round-robin
+// dequeue onto the earliest-free accelerator, optional cross-session
+// batching under the gather-window former) and the downlink delivery of
+// results. Nothing reads the wall clock, so a run is a pure function of
+// (Profile, Seed).
 
 // evKind tags simulator events.
 type evKind uint8
@@ -24,10 +27,14 @@ const (
 	evGen evKind = iota
 	// evArrive: an uplinked frame reaches edge admission.
 	evArrive
-	// evInferDone: an accelerator finishes one inference.
+	// evInferDone: an accelerator finishes one launch (one frame, or a
+	// gathered batch completing together).
 	evInferDone
 	// evDeliver: a result reaches the mobile (latency sample point).
 	evDeliver
+	// evFlush: an underfull batch's gather window expires; the reserved
+	// accelerator tops the batch up and launches whatever it has.
+	evFlush
 )
 
 // event is one scheduled simulator step. seq breaks time ties in push
@@ -39,6 +46,7 @@ type event struct {
 	sess  int
 	accel int
 	job   *simJob
+	batch []*simJob
 }
 
 // simJob is one offloaded frame in flight.
@@ -86,15 +94,18 @@ type sim struct {
 	maxAt float64
 
 	// Edge state, mirroring edge.Scheduler: rotating ring of sessions with
-	// pending work, queued count, per-accelerator busy horizon.
+	// pending work, queued count, per-accelerator busy horizon. staged holds
+	// an underfull batch per reserved accelerator during its gather window.
 	ring      []int
 	queued    int
 	accelIdle []bool
 	busyMs    []float64
+	staged    [][]*simJob
 	edgeRng   *rand.Rand
 
-	offered, served, rejected, dropped int
-	lat, waits, depths                 metrics.Dist
+	offered, served, rejected, shed, dropped int
+	batches, batchJobs                       int
+	lat, waits, depths                       metrics.Dist
 }
 
 // Run executes the profile on the virtual-time simulator and returns its
@@ -106,6 +117,7 @@ func Run(p Profile) *SLO {
 		sess:      make([]*simSession, p.Sessions),
 		accelIdle: make([]bool, p.Accelerators),
 		busyMs:    make([]float64, p.Accelerators),
+		staged:    make([][]*simJob, p.Accelerators),
 		edgeRng:   rand.New(rand.NewSource(p.Seed*7_369_131 + 17)),
 	}
 	for i := range s.accelIdle {
@@ -135,6 +147,8 @@ func Run(p Profile) *SLO {
 			s.inferDone(e)
 		case evDeliver:
 			s.deliver(e)
+		case evFlush:
+			s.flush(e)
 		}
 	}
 	return s.report()
@@ -165,16 +179,32 @@ func (s *sim) generate(e event) {
 		job: &simJob{sess: e.sess, genAt: e.at, arriveAt: e.at + upMs}})
 }
 
-// arrive handles edge admission: a full queue rejects explicitly, an
-// admitted frame joins its session's pending list and the round-robin ring.
+// arrive handles edge admission: a full queue rejects explicitly under the
+// default policy; under latest-wins it sheds the session's own oldest
+// queued frame to admit the fresh one (degrading to reject when the session
+// has nothing queued). An admitted frame joins its session's pending list
+// and the round-robin ring.
 func (s *sim) arrive(e event) {
 	ss := s.sess[e.sess]
+	// Ring membership is decided before any shed mutates pending, exactly
+	// like edge.Scheduler: a latest-wins shed can momentarily empty the
+	// pending list without the session ever leaving the ring.
+	inRing := len(ss.pending) > 0
 	if s.queued >= s.p.QueueDepth {
-		s.rejected++
-		ss.outstanding--
-		return
+		if s.p.ShedPolicy == "latest-wins" && len(ss.pending) > 0 {
+			// The shed frame's result will never come back, so its
+			// outstanding slot frees immediately.
+			ss.pending = ss.pending[1:]
+			s.queued--
+			s.shed++
+			ss.outstanding--
+		} else {
+			s.rejected++
+			ss.outstanding--
+			return
+		}
 	}
-	if len(ss.pending) == 0 {
+	if !inRing {
 		s.ring = append(s.ring, e.sess)
 	}
 	ss.pending = append(ss.pending, e.job)
@@ -200,30 +230,110 @@ func (s *sim) dispatch(now float64) {
 		if accel < 0 {
 			return
 		}
+		if s.p.MaxBatch <= 1 {
+			// Single-dequeue path, kept verbatim: the committed baselines
+			// depend on the exact operation and RNG-draw order here.
+			si := s.ring[0]
+			s.ring = s.ring[1:]
+			ss := s.sess[si]
+			j := ss.pending[0]
+			ss.pending = ss.pending[1:]
+			s.queued--
+			if len(ss.pending) > 0 {
+				s.ring = append(s.ring, si)
+			}
+			s.waits.Add(now - j.arriveAt)
+			inferMs := ss.clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
+			s.accelIdle[accel] = false
+			s.busyMs[accel] += inferMs
+			s.push(event{at: now + inferMs, kind: evInferDone, accel: accel, batch: []*simJob{j}})
+			continue
+		}
+		batch := s.gather(nil)
+		if len(batch) < s.p.MaxBatch && s.p.BatchWindowMs > 0 {
+			// Underfull: reserve the accelerator for one gather window;
+			// frames arriving meanwhile top the batch up at flush time.
+			s.accelIdle[accel] = false
+			s.staged[accel] = batch
+			s.push(event{at: now + s.p.BatchWindowMs, kind: evFlush, accel: accel})
+			continue
+		}
+		s.launch(now, accel, batch)
+	}
+}
+
+// gather forms one batch under the edge's discipline: the ring-front
+// session's oldest job anchors the clip class (rotating to the back while it
+// still has pending work), then one compatible job per ring session joins in
+// ring order, up to MaxBatch. A non-nil seed batch is topped up instead —
+// the flush path after a gather window.
+func (s *sim) gather(batch []*simJob) []*simJob {
+	if len(batch) == 0 {
 		si := s.ring[0]
 		s.ring = s.ring[1:]
 		ss := s.sess[si]
-		j := ss.pending[0]
+		batch = append(batch, ss.pending[0])
 		ss.pending = ss.pending[1:]
 		s.queued--
 		if len(ss.pending) > 0 {
 			s.ring = append(s.ring, si)
 		}
-		s.waits.Add(now - j.arriveAt)
-		inferMs := ss.clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
-		s.accelIdle[accel] = false
-		s.busyMs[accel] += inferMs
-		s.push(event{at: now + inferMs, kind: evInferDone, sess: si, accel: accel, job: j})
 	}
+	class := s.sess[batch[0].sess].clip.Name
+	for i := 0; i < len(s.ring) && len(batch) < s.p.MaxBatch; {
+		si := s.ring[i]
+		ss := s.sess[si]
+		if ss.clip.Name != class {
+			i++
+			continue
+		}
+		batch = append(batch, ss.pending[0])
+		ss.pending = ss.pending[1:]
+		s.queued--
+		if len(ss.pending) == 0 {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return batch
 }
 
-// inferDone frees the accelerator, paces the result over the session's
-// downlink and pulls the next request.
+// launch starts one accelerator pass over a batch: per-job inference costs
+// draw in batch order, the launch holds the accelerator for the amortized
+// batch cost (segmodel.BatchMs), and every job in the batch completes
+// together when the launch does.
+func (s *sim) launch(now float64, accel int, batch []*simJob) {
+	solos := make([]float64, len(batch))
+	for i, j := range batch {
+		s.waits.Add(now - j.arriveAt)
+		solos[i] = s.sess[j.sess].clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
+	}
+	batchMs := segmodel.BatchMs(solos)
+	s.accelIdle[accel] = false
+	s.busyMs[accel] += batchMs
+	s.batches++
+	s.batchJobs += len(batch)
+	s.push(event{at: now + batchMs, kind: evInferDone, accel: accel, batch: batch})
+}
+
+// flush fires when a staged batch's gather window expires: top it up with
+// whatever compatible work arrived during the window, then launch.
+func (s *sim) flush(e event) {
+	batch := s.staged[e.accel]
+	s.staged[e.accel] = nil
+	s.launch(e.at, e.accel, s.gather(batch))
+}
+
+// inferDone frees the accelerator, paces each completed result over its
+// session's downlink in batch order and pulls the next work.
 func (s *sim) inferDone(e event) {
-	ss := s.sess[e.sess]
 	s.accelIdle[e.accel] = true
-	downMs := ss.down.TransferMs(e.at, ss.clip.ResultBytes)
-	s.push(event{at: e.at + downMs, kind: evDeliver, sess: e.sess, job: e.job})
+	for _, j := range e.batch {
+		ss := s.sess[j.sess]
+		downMs := ss.down.TransferMs(e.at, ss.clip.ResultBytes)
+		s.push(event{at: e.at + downMs, kind: evDeliver, sess: j.sess, job: j})
+	}
 	s.dispatch(e.at)
 }
 
@@ -254,6 +364,10 @@ func (s *sim) report() *SLO {
 		}
 		util /= float64(len(s.busyMs))
 	}
+	meanBatch := 0.0
+	if s.batches > 0 {
+		meanBatch = float64(s.batchJobs) / float64(s.batches)
+	}
 	slo := &SLO{
 		Profile:         s.p.Name,
 		Target:          "sim",
@@ -264,8 +378,11 @@ func (s *sim) report() *SLO {
 		Offered:         s.offered,
 		Served:          s.served,
 		Rejected:        s.rejected,
+		Shed:            s.shed,
 		Dropped:         s.dropped,
-		ConservationOK:  s.offered == s.served+s.rejected+s.dropped,
+		ConservationOK:  s.offered == s.served+s.rejected+s.shed+s.dropped,
+		Batches:         s.batches,
+		MeanBatchSize:   round3(meanBatch),
 		LatMeanMs:       round3(s.lat.Mean()),
 		LatP50Ms:        round3(s.lat.Quantile(0.50)),
 		LatP95Ms:        round3(s.lat.Quantile(0.95)),

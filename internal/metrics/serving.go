@@ -94,6 +94,7 @@ type ServingRow struct {
 	Session     string
 	Served      int
 	Rejected    int
+	Shed        int
 	MeanInferMs float64
 	MeanWaitMs  float64
 }
@@ -103,11 +104,32 @@ type ServingRow struct {
 func ServingTable(title string, rows []ServingRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
-	fmt.Fprintf(&b, "%-28s %8s %9s %10s %10s\n",
-		"session", "served", "rejected", "infer ms", "wait ms")
+	fmt.Fprintf(&b, "%-28s %8s %9s %6s %10s %10s\n",
+		"session", "served", "rejected", "shed", "infer ms", "wait ms")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-28s %8d %9d %10.1f %10.2f\n",
-			r.Session, r.Served, r.Rejected, r.MeanInferMs, r.MeanWaitMs)
+		fmt.Fprintf(&b, "%-28s %8d %9d %6d %10.1f %10.2f\n",
+			r.Session, r.Served, r.Rejected, r.Shed, r.MeanInferMs, r.MeanWaitMs)
 	}
+	return b.String()
+}
+
+// SizeHistogram renders launch-size counts (counts[i] = launches of size
+// i+1) as "[1:12 4:3]", skipping empty buckets; all-empty renders "[]".
+// Deterministic by construction: buckets print in ascending size order.
+func SizeHistogram(counts []int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%d", i+1, n)
+	}
+	b.WriteByte(']')
 	return b.String()
 }

@@ -59,3 +59,55 @@ func TestSimBackendMultiAccelerator(t *testing.T) {
 		t.Errorf("second delivery did not overlap: 1-accel %.3f, 2-accel %.3f", serialSecond, pooledSecond)
 	}
 }
+
+// TestSimBackendBatchFormer pins the simulated batch former: a backlog of
+// compatible offloads served with MaxBatch=4 completes sooner than with the
+// one-job-per-launch edge (amortized launches), while MaxBatch=1 reproduces
+// the legacy schedule exactly.
+func TestSimBackendBatchFormer(t *testing.T) {
+	frames := backendtest.Frames(9, 6)
+	run := func(maxBatch int) (last float64, results int) {
+		b := pipeline.NewSimBackend(pipeline.SimBackendConfig{
+			Profile:  netsim.DefaultProfile(netsim.WiFi5),
+			Seed:     9,
+			MaxBatch: maxBatch,
+		})
+		// Deep queue so the burst backlogs instead of dropping.
+		b.Bind(frames, 8)
+		var out []pipeline.ScheduledResult
+		for i := 0; i < 5; i++ {
+			req := &pipeline.OffloadRequest{
+				FrameIndex:   i,
+				PayloadBytes: 20_000,
+				Quality:      func(x, y int) float64 { return 1 },
+			}
+			out = append(out, b.Submit(req, 0)...)
+		}
+		out = append(out, b.Advance(1e12)...)
+		for _, r := range out {
+			if r.At > last {
+				last = r.At
+			}
+		}
+		if st := b.Stats(); st.DroppedOffloads != 0 {
+			t.Fatalf("maxBatch=%d: unexpected drops %d", maxBatch, st.DroppedOffloads)
+		}
+		return last, len(out)
+	}
+
+	singleLast, singleN := run(1)
+	batchLast, batchN := run(4)
+	if singleN != 5 || batchN != 5 {
+		t.Fatalf("results: single=%d batch=%d, want 5", singleN, batchN)
+	}
+	if batchLast >= singleLast {
+		t.Errorf("batched backlog not faster: single last delivery %.3f ms, batched %.3f ms",
+			singleLast, batchLast)
+	}
+
+	// MaxBatch=1 must be byte-identical to the default config.
+	againLast, _ := run(1)
+	if againLast != singleLast {
+		t.Errorf("maxBatch=1 not deterministic: %.6f vs %.6f", singleLast, againLast)
+	}
+}

@@ -94,6 +94,10 @@ type Config struct {
 	// EdgeAccelerators sizes the simulated edge's inference pool (simulated
 	// backend only); zero or one keeps the deterministic single accelerator.
 	EdgeAccelerators int
+	// EdgeMaxBatch bounds the simulated edge's cross-queue batch former
+	// (simulated backend only); zero or one keeps the deterministic
+	// one-job-per-launch edge.
+	EdgeMaxBatch int
 	// Seed drives all stochastic components.
 	Seed int64
 	// Backend overrides the edge serving the run. Nil builds the default
@@ -188,6 +192,7 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 			Profile:      profile,
 			Seed:         cfg.Seed,
 			Accelerators: cfg.EdgeAccelerators,
+			MaxBatch:     cfg.EdgeMaxBatch,
 		})
 	}
 	e := &Engine{

@@ -31,6 +31,7 @@ type Client struct {
 	lastErr  error
 	sent     int
 	rejected int
+	shed     int
 }
 
 // ClientOption customizes a client connection.
@@ -141,6 +142,16 @@ func (c *Client) Rejected() int {
 	return c.rejected
 }
 
+// Shed returns the number of this client's frames the edge displaced in
+// favour of its own fresher frames (TypeShed replies under the latest-wins
+// admission policy). Like rejections they are per-frame and non-fatal, and
+// callers account them as dropped offloads.
+func (c *Client) Shed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed
+}
+
 // Err returns the terminal connection error, if any.
 func (c *Client) Err() error {
 	c.mu.Lock()
@@ -204,6 +215,15 @@ func (c *Client) readLoop() {
 			}
 			c.mu.Lock()
 			c.rejected++
+			c.mu.Unlock()
+			continue
+		case terr == nil && t == TypeShed:
+			if _, _, serr := UnmarshalShed(payload); serr != nil {
+				c.setErr(serr)
+				return
+			}
+			c.mu.Lock()
+			c.shed++
 			c.mu.Unlock()
 			continue
 		}

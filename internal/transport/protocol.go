@@ -44,6 +44,17 @@ const (
 	// scheduler queue was full). Unlike TypeError it is per-frame and
 	// non-fatal: the connection keeps serving later frames.
 	TypeReject
+	// TypeShed reports that the edge displaced one queued frame in favour of
+	// a fresher frame from the same session (latest-wins admission). It
+	// carries a reason code; like TypeReject it is per-frame and non-fatal.
+	TypeShed
+)
+
+// Shed reason codes carried by TypeShed.
+const (
+	// ShedStaleReplaced: the frame was queued but a fresher frame from the
+	// same session arrived at a full queue and took its slot.
+	ShedStaleReplaced uint8 = 1
 )
 
 // Errors.
@@ -521,6 +532,31 @@ func UnmarshalReject(b []byte) (int32, error) {
 		return 0, r.err
 	}
 	return idx, nil
+}
+
+// MarshalShed encodes a TypeShed message for one displaced frame.
+func MarshalShed(frameIndex int32, reason uint8) []byte {
+	var w writer
+	w.u8(protocolVersion)
+	w.u8(TypeShed)
+	w.i32(frameIndex)
+	w.u8(reason)
+	return w.buf
+}
+
+// UnmarshalShed decodes a TypeShed message, returning the displaced frame's
+// index and the reason code.
+func UnmarshalShed(b []byte) (int32, uint8, error) {
+	r := reader{buf: b}
+	if r.u8() != protocolVersion || r.u8() != TypeShed {
+		return 0, 0, ErrBadMessage
+	}
+	idx := r.i32()
+	reason := r.u8()
+	if !r.done() {
+		return 0, 0, r.err
+	}
+	return idx, reason, nil
 }
 
 // MessageType peeks a payload's type tag without decoding the body.

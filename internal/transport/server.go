@@ -38,6 +38,16 @@ type Server struct {
 	wallOccupancy float64
 	// continuity enables per-session CIIA guidance reuse (edge.Session.Guide).
 	continuity bool
+	// admission and dequeue are the scheduler policies; nil means the
+	// historical reject-when-full / single-dequeue defaults.
+	admission edge.AdmissionPolicy
+	dequeue   edge.DequeuePolicy
+	// connPipeline bounds a connection's outstanding frames. 1 (the
+	// default) is the historical serial loop: read, infer, write, repeat.
+	// Higher values let a connection keep several frames in flight, which
+	// both overlaps uplink with inference and gives the latest-wins
+	// admission policy stale queued frames to displace.
+	connPipeline int
 	// Per-message socket deadlines; zero means none.
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -108,6 +118,33 @@ func WithGuidanceContinuity() ServerOption {
 	return func(s *Server) { s.continuity = true }
 }
 
+// WithAdmissionPolicy selects the scheduler's admission discipline (default
+// edge.RejectWhenFull). With edge.LatestWins a full queue sheds the arriving
+// session's own stale queued frame (reported as TypeShed) instead of
+// rejecting the fresh one.
+func WithAdmissionPolicy(p edge.AdmissionPolicy) ServerOption {
+	return func(s *Server) { s.admission = p }
+}
+
+// WithDequeuePolicy selects the scheduler's dequeue discipline (default
+// edge.SingleDequeue). With edge.GatherBatch workers gather cross-session
+// batches of compatible frames and serve them in one amortized launch.
+func WithDequeuePolicy(p edge.DequeuePolicy) ServerOption {
+	return func(s *Server) { s.dequeue = p }
+}
+
+// WithConnPipeline lets each connection keep up to n frames in flight
+// instead of the serial read-infer-write loop. Values below 2 keep the
+// serial loop. Latest-wins shedding over TCP needs n >= 2: a serial
+// connection never has a stale frame queued to displace.
+func WithConnPipeline(n int) ServerOption {
+	return func(s *Server) {
+		if n > 1 {
+			s.connPipeline = n
+		}
+	}
+}
+
 // WithConnReadTimeout drops connections that stay idle longer than d
 // between frames, so abandoned mobiles cannot pin server goroutines forever.
 func WithConnReadTimeout(d time.Duration) ServerOption {
@@ -137,6 +174,26 @@ func (a *modelAccelerator) Run(in segmodel.Input, g segmodel.Guidance) (*segmode
 	return out, inferMs
 }
 
+// RunBatch serves a gathered batch in one amortized launch (edge.
+// BatchAccelerator): each frame's output is what a solo Run would produce,
+// the launch latency follows segmodel.BatchMs over the scaled solo
+// latencies, and with wall occupancy the accelerator is held once for the
+// whole launch rather than per frame — that amortization is where batching
+// buys throughput.
+func (a *modelAccelerator) RunBatch(ins []segmodel.Input, gs []segmodel.Guidance) ([]*segmodel.Result, float64) {
+	outs := make([]*segmodel.Result, len(ins))
+	solos := make([]float64, len(ins))
+	for i, in := range ins {
+		outs[i] = a.model.Run(in, gs[i])
+		solos[i] = outs[i].TotalMs() * a.scale
+	}
+	launchMs := segmodel.BatchMs(solos)
+	if a.occupancy > 0 {
+		time.Sleep(time.Duration(launchMs * a.occupancy * float64(time.Millisecond)))
+	}
+	return outs, launchMs
+}
+
 // NewServer builds an edge server around the given model.
 func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 	s := &Server{
@@ -150,10 +207,18 @@ func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.connPipeline == 0 && s.admission != nil && s.admission.Name() != "reject" {
+		// Latest-wins needs stale frames queued per session to have anything
+		// to displace; a serial connection never queues more than one. Give
+		// shedding servers a working pipeline unless the caller chose one.
+		s.connPipeline = 4
+	}
 	s.sched = edge.NewScheduler(edge.Config{
 		Workers:            s.accelerators,
 		QueueDepth:         s.queueDepth,
 		GuidanceContinuity: s.continuity,
+		Admission:          s.admission,
+		Dequeue:            s.dequeue,
 		NewAccelerator: func(int) edge.Accelerator {
 			return &modelAccelerator{
 				model:     model.Clone(),
@@ -248,6 +313,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	sess := s.sched.NewSession(conn.RemoteAddr().String())
 	defer sess.Close()
+	if s.connPipeline > 1 {
+		s.servePipelined(conn, sess)
+		return
+	}
 	for {
 		if s.readTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
@@ -285,6 +354,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			continue
+		case errors.Is(err, edge.ErrShed):
+			// Unreachable on a serial connection (never more than one frame
+			// outstanding, so the session has no stale frame to displace),
+			// but kept symmetric with the pipelined path.
+			if werr := s.write(conn, MarshalShed(frame.FrameIndex, ShedStaleReplaced)); werr != nil {
+				s.logf("write shed: %v", werr)
+				return
+			}
+			continue
 		case err != nil:
 			// Scheduler shut down: the connection is going away too.
 			return
@@ -298,6 +376,82 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("write: %v", err)
 			return
 		}
+	}
+}
+
+// servePipelined handles one connection with up to connPipeline frames in
+// flight: the read loop decodes frames and resolves guidance in arrival
+// order (the CIIA context is order-sensitive), then hands each frame to a
+// goroutine that blocks in the scheduler and writes the outcome under a
+// shared write lock. Outcomes may interleave out of frame order — the
+// client correlates by FrameIndex. When the read loop exits, closing the
+// session unblocks queued frames (ErrClosed, nothing written) so the drain
+// cannot hang on a dead peer.
+func (s *Server) servePipelined(conn net.Conn, sess *edge.Session) {
+	var wmu sync.Mutex
+	write := func(payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return s.write(conn, payload)
+	}
+	sem := make(chan struct{}, s.connPipeline)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	defer sess.Close()
+	for {
+		if s.readTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
+				s.logf("set read deadline: %v", err)
+				return
+			}
+		}
+		payload, err := ReadMessage(conn)
+		if err != nil {
+			if timeoutError(err) {
+				s.logf("idle connection dropped: %v", err)
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("read: %v", err)
+			}
+			return
+		}
+		frame, err := UnmarshalFrame(payload)
+		if err != nil {
+			s.logf("decode: %v", err)
+			if werr := write(MarshalError(err.Error())); werr != nil {
+				s.logf("write error report: %v", werr)
+			}
+			return
+		}
+		in, guidance := frameInput(frame)
+		g := sess.Guide(guidance)
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(frame *FrameMsg, in segmodel.Input, g segmodel.Guidance) {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			out, inferMs, err := sess.Infer(in, g)
+			var werr error
+			switch {
+			case errors.Is(err, edge.ErrQueueFull):
+				werr = write(MarshalReject(frame.FrameIndex))
+			case errors.Is(err, edge.ErrShed):
+				werr = write(MarshalShed(frame.FrameIndex, ShedStaleReplaced))
+			case err != nil:
+				// Session or scheduler closed; the connection is going away.
+				return
+			default:
+				res := &ResultMsg{FrameIndex: frame.FrameIndex, InferMs: inferMs}
+				for _, d := range out.Detections {
+					res.Detections = append(res.Detections, FromDetection(d, s.maxContour))
+				}
+				werr = write(MarshalResult(res))
+			}
+			if werr != nil {
+				s.logf("write: %v", werr)
+				// Kill the socket so the read loop notices and winds down.
+				conn.Close()
+			}
+		}(frame, in, g)
 	}
 }
 
@@ -350,8 +504,11 @@ type ServerStats struct {
 	// ActiveConns and PeakConns track concurrent connections.
 	ActiveConns int
 	PeakConns   int
-	// Rejected counts frames shed at admission (sent back as TypeReject).
+	// Rejected counts frames refused at admission (sent back as
+	// TypeReject); Shed counts stale frames displaced by fresher ones under
+	// latest-wins (sent back as TypeShed).
 	Rejected int
+	Shed     int
 	// Scheduler is the full serving-layer snapshot (queue depth, wait
 	// times, session population).
 	Scheduler edge.Stats
@@ -369,6 +526,7 @@ func (s *Server) Stats() ServerStats {
 		ActiveConns: active,
 		PeakConns:   peak,
 		Rejected:    sched.Rejected,
+		Shed:        sched.Shed,
 		Scheduler:   sched,
 	}
 }

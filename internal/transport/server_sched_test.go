@@ -129,8 +129,19 @@ func TestServerRejectsSurfaceToClients(t *testing.T) {
 		defer func() { _ = cl.Close() }()
 		cls[i] = cl
 	}
-	if st := srv.Stats(); st.ActiveConns != clients || st.PeakConns != clients {
-		t.Errorf("conns: active=%d peak=%d, want %d/%d", st.ActiveConns, st.PeakConns, clients, clients)
+	// Dial returns on TCP connect, which can race the server's accept loop
+	// registering the session; poll briefly before asserting.
+	connDeadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.ActiveConns == clients && st.PeakConns == clients {
+			break
+		}
+		if time.Now().After(connDeadline) {
+			t.Errorf("conns: active=%d peak=%d, want %d/%d", st.ActiveConns, st.PeakConns, clients, clients)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 
 	for i, cl := range cls {
@@ -350,5 +361,105 @@ func TestDialRetryBoundedFailure(t *testing.T) {
 	// connection refusals.
 	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
 		t.Errorf("backoff too short: %v", elapsed)
+	}
+}
+
+func TestShedMessageRoundTrip(t *testing.T) {
+	b := MarshalShed(42, ShedStaleReplaced)
+	if typ, err := MessageType(b); err != nil || typ != TypeShed {
+		t.Fatalf("type = %d, err = %v", typ, err)
+	}
+	idx, reason, err := UnmarshalShed(b)
+	if err != nil || idx != 42 || reason != ShedStaleReplaced {
+		t.Fatalf("idx = %d, reason = %d, err = %v", idx, reason, err)
+	}
+	if _, _, err := UnmarshalShed(MarshalReject(1)); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, _, err := UnmarshalShed(append(MarshalShed(1, 1), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestServerShedsSurfaceToClients runs latest-wins over real sockets: a
+// pipelined client bursting faster than the accelerator drains must see its
+// stale frames come back as TypeShed (not TypeReject, not silence), and the
+// no-silent-loss law sent == results + rejected + shed must reconcile
+// between client counters and server stats.
+func TestServerShedsSurfaceToClients(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.YOLACT),
+		WithAccelerators(1),
+		WithQueueDepth(1),
+		// ~120 simulated ms * 2 => each inference holds the accelerator
+		// ~240ms wall, so a burst of 6 far outruns the drain.
+		WithWallOccupancy(2),
+		WithAdmissionPolicy(edge.LatestWins{}),
+		WithConnPipeline(8),
+	)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cl, err := Dial(addr.String(), time.Second, WithSendQueue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	const burst = 6
+	for i := 0; i < burst; i++ {
+		f := sampleFrame()
+		f.FrameIndex = int32(i)
+		if !cl.Send(f) {
+			t.Fatalf("send %d rejected locally", i)
+		}
+		// Space sends just enough that each frame reaches admission before
+		// the next: the pipelined server resolves frames on independent
+		// goroutines, so a zero-gap burst can reach the scheduler out of
+		// order and "latest" would no longer mean the last sent. 20ms is
+		// far below the ~240ms accelerator hold, so the queue still floods.
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Drain until every frame is accounted: a result, a reject, or a shed.
+	results := 0
+	gotLast := false
+	deadline := time.After(30 * time.Second)
+	for results+cl.Rejected()+cl.Shed() < burst {
+		select {
+		case res, ok := <-cl.Results():
+			if !ok {
+				t.Fatalf("connection lost: %v", cl.Err())
+			}
+			results++
+			if res.FrameIndex == burst-1 {
+				gotLast = true
+			}
+		case <-deadline:
+			t.Fatalf("unaccounted frames: results=%d rejected=%d shed=%d of %d",
+				results, cl.Rejected(), cl.Shed(), burst)
+		}
+	}
+
+	if cl.Shed() == 0 {
+		t.Fatal("burst through a depth-1 queue under latest-wins produced no sheds")
+	}
+	// Latest-wins keeps the newest frame: the last of the burst must have
+	// been served, not shed.
+	if !gotLast {
+		t.Errorf("freshest frame of the burst was not served (results=%d shed=%d)",
+			results, cl.Shed())
+	}
+	st := srv.Stats()
+	if st.Served != results || st.Rejected != cl.Rejected() || st.Shed != cl.Shed() {
+		t.Errorf("server served/rejected/shed %d/%d/%d, client saw %d/%d/%d",
+			st.Served, st.Rejected, st.Shed, results, cl.Rejected(), cl.Shed())
+	}
+	if rows := srv.SessionStats(); len(rows) != 1 {
+		t.Errorf("session rows = %d, want 1", len(rows))
+	} else if rows[0].Shed != cl.Shed() {
+		t.Errorf("session shed %d, client saw %d", rows[0].Shed, cl.Shed())
 	}
 }

@@ -10,17 +10,23 @@ import (
 )
 
 // FormatServerStats renders the operator-facing server snapshot: one summary
-// line, then the per-session serving table with per-session reject counts.
-// The output is deterministic — sessions print in ascending session-ID
-// order regardless of the order they arrive in, so repeated printouts and
-// the golden test see identical tables. The caller decides where it goes
-// (edgeis-server logs it on its -stats interval and at shutdown).
+// line, a batch/shed policy line, then the per-session serving table with
+// per-session reject and shed counts. The output is deterministic —
+// sessions print in ascending session-ID order regardless of the order they
+// arrive in, so repeated printouts and the golden test see identical
+// tables. The caller decides where it goes (edgeis-server logs it on its
+// -stats interval and at shutdown).
 func FormatServerStats(st ServerStats, sessions []edge.SessionStats) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "served %d frames (rejected %d), mean inference %.1f ms; conns %d (peak %d); queue mean %.1f peak %d, wait mean %.2f ms p95 %.2f ms",
-		st.Served, st.Rejected, st.MeanInferMs, st.ActiveConns, st.PeakConns,
+	fmt.Fprintf(&b, "served %d frames (rejected %d, shed %d), mean inference %.1f ms; conns %d (peak %d); queue mean %.1f peak %d, wait mean %.2f ms p95 %.2f ms",
+		st.Served, st.Rejected, st.Shed, st.MeanInferMs, st.ActiveConns, st.PeakConns,
 		st.Scheduler.MeanQueueDepth, st.Scheduler.PeakQueueDepth,
 		st.Scheduler.MeanWaitMs, st.Scheduler.P95WaitMs)
+	if st.Scheduler.Batches > 0 {
+		fmt.Fprintf(&b, "\nbatches %d, mean size %.2f, sizes %s",
+			st.Scheduler.Batches, st.Scheduler.MeanBatchSize,
+			metrics.SizeHistogram(st.Scheduler.BatchSizeCounts))
+	}
 	if len(sessions) == 0 {
 		b.WriteByte('\n')
 		return b.String()
@@ -35,6 +41,7 @@ func FormatServerStats(st ServerStats, sessions []edge.SessionStats) string {
 			Session:     s.Label(),
 			Served:      s.Served,
 			Rejected:    s.Rejected,
+			Shed:        s.Shed,
 			MeanInferMs: s.MeanInferMs,
 			MeanWaitMs:  s.MeanWaitMs,
 		})

@@ -8,8 +8,9 @@ import (
 )
 
 // TestFormatServerStatsGolden pins the operator printout byte for byte: the
-// summary line, the table header, per-session reject counts, and ascending
-// session-ID order even when the input rows arrive shuffled.
+// summary line, the batch-size histogram line, the table header, per-session
+// reject and shed counts, and ascending session-ID order even when the input
+// rows arrive shuffled.
 func TestFormatServerStatsGolden(t *testing.T) {
 	st := ServerStats{
 		Served:      110,
@@ -17,25 +18,30 @@ func TestFormatServerStatsGolden(t *testing.T) {
 		ActiveConns: 2,
 		PeakConns:   5,
 		Rejected:    12,
+		Shed:        4,
 		Scheduler: edge.Stats{
-			MeanQueueDepth: 3.24,
-			PeakQueueDepth: 8,
-			MeanWaitMs:     1.234,
-			P95WaitMs:      4.567,
+			MeanQueueDepth:  3.24,
+			PeakQueueDepth:  8,
+			MeanWaitMs:      1.234,
+			P95WaitMs:       4.567,
+			Batches:         41,
+			MeanBatchSize:   2.683,
+			BatchSizeCounts: []int{20, 0, 15, 6},
 		},
 	}
 	// Deliberately out of ID order: the formatter must sort.
 	sessions := []edge.SessionStats{
-		{ID: 7, Remote: "10.0.0.2:6001", Served: 30, Rejected: 9, MeanInferMs: 55.01, MeanWaitMs: 2.5},
+		{ID: 7, Remote: "10.0.0.2:6001", Served: 30, Rejected: 9, Shed: 4, MeanInferMs: 55.01, MeanWaitMs: 2.5},
 		{ID: 3, Remote: "10.0.0.1:5555", Served: 80, Rejected: 3, MeanInferMs: 38.6, MeanWaitMs: 0.75},
 	}
 
 	want := strings.Join([]string{
-		"served 110 frames (rejected 12), mean inference 42.4 ms; conns 2 (peak 5); queue mean 3.2 peak 8, wait mean 1.23 ms p95 4.57 ms",
+		"served 110 frames (rejected 12, shed 4), mean inference 42.4 ms; conns 2 (peak 5); queue mean 3.2 peak 8, wait mean 1.23 ms p95 4.57 ms",
+		"batches 41, mean size 2.68, sizes [1:20 3:15 4:6]",
 		"== sessions ==",
-		"session                        served  rejected   infer ms    wait ms",
-		"3 10.0.0.1:5555                    80         3       38.6       0.75",
-		"7 10.0.0.2:6001                    30         9       55.0       2.50",
+		"session                        served  rejected   shed   infer ms    wait ms",
+		"3 10.0.0.1:5555                    80         3      0       38.6       0.75",
+		"7 10.0.0.2:6001                    30         9      4       55.0       2.50",
 		"",
 	}, "\n")
 	if got := FormatServerStats(st, sessions); got != want {
