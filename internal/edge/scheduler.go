@@ -199,6 +199,16 @@ func (s *Scheduler) NewSession(remote string) *Session {
 	return sess
 }
 
+// The outcome counters below move only through these mutators, so every
+// write the conservation law depends on (each admitted request ends up
+// served, rejected, shed or cancelled — never silently lost) is auditable
+// by the conservation analyzer. All mutators expect s.mu held.
+
+func (s *Scheduler) countServed(n int) { s.served += n }
+func (s *Scheduler) countRejected()    { s.rejected++ }
+func (s *Scheduler) countShed()        { s.shed++ }
+func (s *Scheduler) countCancelled()   { s.cancelled++ }
+
 // infer admits one request and blocks until it is served, rejected, shed or
 // cancelled. No scheduler lock is held while waiting.
 func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64, error) {
@@ -214,7 +224,7 @@ func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance)
 	inRing := len(sess.pending) > 0
 	switch s.admission.Admit(s.queued, s.depth, len(sess.pending)) {
 	case VerdictReject:
-		s.rejected++
+		s.countRejected()
 		s.mu.Unlock()
 		sess.noteRejected()
 		return nil, 0, ErrQueueFull
@@ -227,13 +237,14 @@ func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance)
 			stale := sess.pending[0]
 			sess.pending = sess.pending[1:]
 			s.queued--
-			s.shed++
+			s.countShed()
+			//edgeis:lockheld done is buffered (cap 1) and this is its only send, so it cannot block
 			stale.done <- jobResult{err: ErrShed}
 			defer sess.noteShed()
 		} else {
 			// A policy may only shed the arriving session's own work;
 			// with none queued the verdict degrades to a reject.
-			s.rejected++
+			s.countRejected()
 			s.mu.Unlock()
 			sess.noteRejected()
 			return nil, 0, ErrQueueFull
@@ -318,6 +329,7 @@ func (s *Scheduler) nextBatch() []*job {
 				// jobs already taken are in flight, so Close (which drains
 				// in-flight work) and session teardown stay correct while
 				// the lock is released.
+				//edgeis:lockdance the deferred unlock covers every other exit; this window release re-locks on the only path that reaches it
 				s.mu.Unlock()
 				time.Sleep(s.window)
 				s.mu.Lock()
@@ -373,7 +385,7 @@ func (s *Scheduler) worker(acc Accelerator) {
 
 		s.mu.Lock()
 		s.inflight -= len(batch)
-		s.served += len(batch)
+		s.countServed(len(batch))
 		// Batch telemetry only exists under the batch former; with single
 		// dequeue the stats surface stays exactly as it was before the
 		// policy layer (no batch line in FormatServerStats).
@@ -411,7 +423,8 @@ func (s *Scheduler) closeSession(sess *Session) {
 	// normally.
 	for _, j := range sess.pending {
 		s.queued--
-		s.cancelled++
+		s.countCancelled()
+		//edgeis:lockheld done is buffered (cap 1) and this is its only send, so it cannot block
 		j.done <- jobResult{err: ErrClosed}
 	}
 	sess.pending = nil

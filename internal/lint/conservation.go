@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// conservationPkgs are the packages whose counters the no-silent-loss law
+// (offered == served + rejected + shed + dropped) is reconciled across.
+var conservationPkgs = map[string]bool{
+	"edge":      true,
+	"transport": true,
+	"pipeline":  true,
+	"live":      true,
+	"loadgen":   true,
+	"drive":     true,
+}
+
+// counterFields are the accounting counter field names (matched
+// case-insensitively) the conservation law sums over. Throughput tallies
+// like sent/Submitted are not conserved quantities and stay unconstrained.
+var counterFields = map[string]bool{
+	"served":           true,
+	"offered":          true,
+	"rejected":         true,
+	"shed":             true,
+	"dropped":          true,
+	"cancelled":        true,
+	"discarded":        true,
+	"droppedoffloads":  true,
+	"discardedresults": true,
+}
+
+// counterMutators is the audited mutator set, keyed by package base then
+// "ReceiverType.method". Only these functions may write counter fields
+// directly; every other code path must go through them, so a new drop or
+// shed path cannot lose a frame without either calling a mutator or
+// tripping this analyzer.
+var counterMutators = map[string]map[string]bool{
+	"edge": {
+		"Scheduler.countServed":    true,
+		"Scheduler.countRejected":  true,
+		"Scheduler.countShed":      true,
+		"Scheduler.countCancelled": true,
+		"Session.noteServed":       true,
+		"Session.noteRejected":     true,
+		"Session.noteShed":         true,
+	},
+	"transport": {
+		"Client.noteRejected": true,
+		"Client.noteShed":     true,
+	},
+	"pipeline": {
+		"BackendStats.CountDropped":   true,
+		"BackendStats.CountDiscarded": true,
+	},
+	"loadgen": {
+		"sim.countOffered":  true,
+		"sim.countDropped":  true,
+		"sim.countRejected": true,
+		"sim.countShed":     true,
+		"sim.countServed":   true,
+	},
+	"drive": {
+		"agg.noteServed":   true,
+		"agg.noteRejected": true,
+		"agg.noteShed":     true,
+		"agg.noteDropped":  true,
+		"agg.absorb":       true,
+	},
+}
+
+// Conservation is the statically-enforced half of the no-silent-loss law:
+// runtime checks reconcile the counters, this analyzer guarantees every
+// counter movement is one of the audited mutations being reconciled.
+var Conservation = &Analyzer{
+	Name:      "conservation",
+	Directive: "counter",
+	Doc: `restricts accounting-counter writes to audited mutators
+
+The serving stack's conservation law (offered == served + rejected + shed +
+dropped) is only as strong as the guarantee that no code path moves a
+counter outside the audited mutator set. Writes to counter-named struct
+fields (served, offered, rejected, shed, dropped, cancelled, discarded,
+...) are flagged unless they occur inside a registered mutator method or
+aggregate same-named fields (dst.Served += src.Served). Reviewed direct
+writes must be annotated //edgeis:counter <reason>.`,
+	Run: runConservation,
+}
+
+func runConservation(pass *Pass) error {
+	if !conservationPkgs[pass.PkgBase()] {
+		return nil
+	}
+	allowed := counterMutators[pass.PkgBase()]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			if allowed[mutatorKey(d)] {
+				continue
+			}
+			checkCounterWrites(pass, d.Body)
+		}
+	}
+	return nil
+}
+
+// mutatorKey renders a declaration as "ReceiverType.method" (or just the
+// function name for plain functions, which are never in the audited set).
+func mutatorKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// checkCounterWrites flags assignments and ++/-- on counter fields within
+// one non-mutator function body.
+func checkCounterWrites(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				name, ok := counterFieldWrite(pass, lhs)
+				if !ok {
+					continue
+				}
+				if len(s.Rhs) == len(s.Lhs) && isSameNameAggregation(s.Tok, s.Rhs[i], name) {
+					continue
+				}
+				reportCounterWrite(pass, lhs.Pos(), name)
+			}
+		case *ast.IncDecStmt:
+			if name, ok := counterFieldWrite(pass, s.X); ok {
+				reportCounterWrite(pass, s.Pos(), name)
+			}
+		}
+		return true
+	})
+}
+
+func reportCounterWrite(pass *Pass, pos token.Pos, name string) {
+	pass.Reportf(pos,
+		"write to accounting counter %s outside the audited mutator set: route it through a registered mutator so the conservation law stays auditable, or annotate //edgeis:counter <reason>",
+		name)
+}
+
+// counterFieldWrite reports whether expr writes a struct field whose name
+// is one of the conserved counters. Local variables with counter-like
+// names are loop tallies, not conserved state, and are exempt.
+func counterFieldWrite(pass *Pass, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	if !counterFields[strings.ToLower(v.Name())] {
+		return "", false
+	}
+	// Counters count: only integer-typed fields are conserved quantities.
+	// A bool named Dropped is a per-item flag, not an accounting tally.
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// isSameNameAggregation exempts copies and roll-ups between same-named
+// counter fields (s.Served += o.Served, total.Dropped = run.Dropped):
+// counts move between scopes without being created or destroyed, so the
+// conservation law is preserved by construction.
+func isSameNameAggregation(tok token.Token, rhs ast.Expr, name string) bool {
+	if tok != token.ASSIGN && tok != token.ADD_ASSIGN {
+		return false
+	}
+	switch r := rhs.(type) {
+	case *ast.SelectorExpr:
+		return r.Sel.Name == name
+	case *ast.Ident:
+		return r.Name == name
+	}
+	return false
+}

@@ -98,7 +98,9 @@ func isNaN(x float64) bool {
 }
 
 func TestDirectiveDoesNotLeakAcrossAnalyzers(t *testing.T) {
-	// A wallclock directive must not suppress a mapiter finding.
+	// A wallclock directive must not suppress a mapiter finding — and since
+	// it then suppresses nothing at all, the stale-suppression audit flags
+	// the directive itself.
 	diags := checkSource(t, "vo", `package vo
 
 func f(m map[string]int) {
@@ -110,7 +112,50 @@ func f(m map[string]int) {
 
 func g(string) {}
 `)
-	if len(diags) != 1 || diags[0].Analyzer != "mapiter" {
-		t.Fatalf("want one mapiter finding, got %q", messages(diags))
+	var gotMapiter, gotStale bool
+	for _, d := range diags {
+		if d.Analyzer == "mapiter" {
+			gotMapiter = true
+		}
+		if d.Analyzer == "directive" && strings.Contains(d.Message, "no longer suppresses any walltime finding") {
+			gotStale = true
+		}
+	}
+	if !gotMapiter || !gotStale || len(diags) != 2 {
+		t.Fatalf("want unsuppressed mapiter + stale-directive findings, got %q", messages(diags))
+	}
+}
+
+func TestStaleDirectiveAudit(t *testing.T) {
+	// A reasoned directive whose finding has since been fixed is reported
+	// by the audit instead of rotting into misleading documentation.
+	diags := checkSource(t, "vo", `package vo
+
+//edgeis:ordered output is sorted before use
+func f() {}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "directive" ||
+		!strings.Contains(diags[0].Message, "no longer suppresses any mapiter finding") {
+		t.Fatalf("want one stale-directive finding, got %q", messages(diags))
+	}
+}
+
+func TestStaleAuditScopedToRunAnalyzers(t *testing.T) {
+	// When only mapiter runs, an unused wallclock directive is NOT audited:
+	// its owning analyzer never had the chance to use it.
+	pkg, err := lint.TypeCheck("vo", []string{"fix.go"}, map[string][]byte{"fix.go": []byte(`package vo
+
+//edgeis:wallclock frame pacing is genuinely wall-clock here
+func f() {}
+`)})
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	diags, err := lint.CheckPackage(pkg, []*lint.Analyzer{lint.MapIter})
+	if err != nil {
+		t.Fatalf("running mapiter: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("want no findings from a partial run, got %q", messages(diags))
 	}
 }

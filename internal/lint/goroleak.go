@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// longLivedPkgs are the packages whose processes outlive single requests:
+// the serving stack, the transport layer, and the load harness. A goroutine
+// spawned there with no shutdown path accumulates across sessions until the
+// process dies — the leak only shows up at fleet scale.
+var longLivedPkgs = map[string]bool{
+	"edge":      true,
+	"transport": true,
+	"live":      true,
+	"parallel":  true,
+	"pipeline":  true,
+	"loadgen":   true,
+	"drive":     true,
+}
+
+// GoroLeak requires every go statement in a long-lived package to be tied
+// to a shutdown path.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Directive: "detached",
+	Doc: `flags fire-and-forget goroutines in long-lived packages
+
+Every goroutine spawned in the serving stack must be joinable or drainable:
+its body signals a sync.WaitGroup, receives from a done/context channel,
+ranges over a close-drained work channel, or parks in a select. A body with
+none of these (or a spawn target the analyzer cannot resolve within the
+package) is fire-and-forget and is flagged. Goroutines that genuinely need
+no shutdown path must be annotated //edgeis:detached <reason>.`,
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !longLivedPkgs[pass.PkgBase()] {
+		return nil
+	}
+	decls := indexFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, desc := goBody(pass, g, decls)
+			if body == nil {
+				pass.Reportf(g.Go,
+					"goroutine target %s is not resolvable in this package; tie the spawn to a shutdown path or annotate //edgeis:detached <reason>",
+					desc)
+				return true
+			}
+			if !hasShutdownSignal(pass, body) {
+				pass.Reportf(g.Go,
+					"fire-and-forget goroutine %s: no WaitGroup.Done, done-channel receive, drained range, or select ties it to shutdown; annotate //edgeis:detached <reason> if intended",
+					desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// indexFuncDecls maps the package's function objects to their declarations
+// for one-level spawn-target resolution (go s.worker(...) checks worker's
+// body).
+func indexFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if d, ok := decl.(*ast.FuncDecl); ok && d.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+					decls[obj] = d
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body the go statement will run: a function literal's
+// own body, or (one level deep) the declaration of a same-package function
+// or method. desc names the target for diagnostics.
+func goBody(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if d := decls[fn]; d != nil {
+				return d.Body, fn.Name()
+			}
+			return nil, fn.Name()
+		}
+		return nil, fun.Name
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if d := decls[fn]; d != nil {
+				return d.Body, fn.Name()
+			}
+			return nil, fn.Name()
+		}
+		return nil, fun.Sel.Name
+	}
+	return nil, "expression"
+}
+
+// hasShutdownSignal reports whether body contains any of the accepted
+// lifetime ties: a WaitGroup.Done call, a channel receive (done channels
+// and ctx.Done() both appear as <-), a range over a channel (close-drained
+// worker pattern), or a select statement.
+func hasShutdownSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isSyncMethod(pass, sel, "WaitGroup") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

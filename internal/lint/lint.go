@@ -2,8 +2,10 @@
 // determinism and concurrency invariants the pipeline's paper-fidelity
 // claims rest on: no nondeterministic map iteration in seed-pinned code,
 // no wall-clock reads where virtual time must be used, no global math/rand
-// state shared across experiment arms, and no exact float equality in
-// scheduler/geometry ordering code.
+// state shared across experiment arms, no exact float equality in
+// scheduler/geometry ordering code, lock discipline and goroutine-lifetime
+// rules in the serving stack, and the no-silent-loss conservation law
+// (accounting counters only move through their audited mutators).
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic, analysistest-style fixtures) but is built on
@@ -21,9 +23,17 @@
 //	//edgeis:wallclock <why real time is required here>
 //	//edgeis:globalrand <why shared global rand state is safe>
 //	//edgeis:floateq   <why exact float equality is intended>
+//	//edgeis:lockdance <why this manual unlock under a pending defer is safe>
+//	//edgeis:lockheld  <why blocking while holding this mutex is safe>
+//	//edgeis:detached  <why this goroutine needs no shutdown path>
+//	//edgeis:wgadd     <why Add inside the goroutine cannot race Wait>
+//	//edgeis:counter   <why this counter write may bypass the mutators>
 //
 // Unknown //edgeis: directives and directives without a reason are
-// themselves reported, so suppressions cannot silently rot.
+// themselves reported. So is a well-formed directive that no longer
+// suppresses any finding of its owning analyzer: when the code a
+// suppression excused moves or gets fixed, the stale annotation is flagged
+// instead of rotting into misleading documentation.
 package lint
 
 import (
@@ -73,7 +83,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diagnostics *[]Diagnostic
-	directives  map[*ast.File][]directive
+	directives  map[*ast.File][]*directive
 }
 
 // Reportf records a finding at pos unless a matching suppression directive
@@ -93,12 +103,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // use for scoping (so fixtures named like real packages scope identically).
 func (p *Pass) PkgBase() string { return path.Base(p.PkgPath) }
 
-// directive is one parsed //edgeis:<name> comment.
+// directive is one parsed //edgeis:<name> comment. used records whether it
+// suppressed at least one finding in this Run, feeding the stale-suppression
+// audit; the entries are shared by pointer across the per-analyzer Pass
+// copies so usage accumulates over the whole suite.
 type directive struct {
 	line   int
 	name   string
 	reason string
 	pos    token.Pos
+	used   bool
 }
 
 // DirectivePrefix introduces a suppression comment.
@@ -110,11 +124,16 @@ var knownDirectives = map[string]bool{
 	"wallclock":  true,
 	"globalrand": true,
 	"floateq":    true,
+	"lockdance":  true,
+	"lockheld":   true,
+	"detached":   true,
+	"wgadd":      true,
+	"counter":    true,
 }
 
 // parseDirectives extracts //edgeis: directives from a file's comments.
-func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
-	var ds []directive
+func parseDirectives(fset *token.FileSet, file *ast.File) []*directive {
+	var ds []*directive
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := c.Text
@@ -123,7 +142,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
 			}
 			rest := strings.TrimPrefix(text, DirectivePrefix)
 			name, reason, _ := strings.Cut(rest, " ")
-			ds = append(ds, directive{
+			ds = append(ds, &directive{
 				line:   fset.Position(c.Pos()).Line,
 				name:   name,
 				reason: strings.TrimSpace(reason),
@@ -144,6 +163,7 @@ func (p *Pass) suppressed(pos token.Pos, name string) bool {
 	line := p.Fset.Position(pos).Line
 	for _, d := range p.directives[file] {
 		if d.name == name && d.reason != "" && (d.line == line || d.line == line-1) {
+			d.used = true
 			return true
 		}
 	}
@@ -189,16 +209,45 @@ func checkDirectiveWellFormed(pass *Pass) {
 	}
 }
 
+// auditStaleDirectives reports well-formed suppressions that no longer
+// suppress anything: a directive whose owning analyzer ran in this pass but
+// which matched no finding marks code that has moved or been fixed, and a
+// stale annotation rots into misleading documentation. Directives whose
+// owner was not in the analyzer list are left alone, so a partial -run
+// cannot flag the other analyzers' annotations.
+func auditStaleDirectives(pass *Pass, analyzers []*Analyzer) {
+	owner := map[string]string{}
+	for _, a := range analyzers {
+		if a.Directive != "" {
+			owner[a.Directive] = a.Name
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range pass.directives[f] {
+			name, ran := owner[d.name]
+			if !ran || d.used || d.reason == "" || !knownDirectives[d.name] {
+				continue
+			}
+			*pass.diagnostics = append(*pass.diagnostics, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message: fmt.Sprintf("suppression %s%s no longer suppresses any %s finding; remove the stale annotation",
+					DirectivePrefix, d.name, name),
+			})
+		}
+	}
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, WallTime, SeedRand, FloatEq}
+	return []*Analyzer{MapIter, WallTime, SeedRand, FloatEq, LockBalance, LockBlock, GoroLeak, WgAdd, Conservation}
 }
 
 // Run type-checks nothing itself; it applies the given analyzers to an
 // already type-checked package and returns the findings sorted by position.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, pkgPath string, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	directives := make(map[*ast.File][]directive, len(files))
+	directives := make(map[*ast.File][]*directive, len(files))
 	for _, f := range files {
 		directives[f] = parseDirectives(fset, f)
 	}
@@ -219,6 +268,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, pkgPath str
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	auditStaleDirectives(base, analyzers)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos

@@ -1,0 +1,68 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"edgeis/internal/lint"
+)
+
+// The loader's failure modes must surface as positioned errors, never
+// panics: a driver run against a broken tree should print file:line and
+// exit, not stack-trace.
+
+func TestTypeCheckReportsParseError(t *testing.T) {
+	_, err := lint.TypeCheck("bad", []string{"bad.go"}, map[string][]byte{
+		"bad.go": []byte("package bad\n\nfunc {\n"),
+	})
+	if err == nil {
+		t.Fatal("want a parse error, got nil")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Fatalf("parse error does not name the file: %v", err)
+	}
+}
+
+func TestTypeCheckReportsTypeErrorWithPosition(t *testing.T) {
+	_, err := lint.TypeCheck("bad", []string{"bad.go"}, map[string][]byte{
+		"bad.go": []byte("package bad\n\nfunc f() int { return undefinedIdent }\n"),
+	})
+	if err == nil {
+		t.Fatal("want a type error, got nil")
+	}
+	if !strings.Contains(err.Error(), "bad.go:3") {
+		t.Fatalf("type error does not carry file:line: %v", err)
+	}
+	if !strings.Contains(err.Error(), "undefinedIdent") {
+		t.Fatalf("type error does not name the offender: %v", err)
+	}
+}
+
+func TestTypeCheckReportsMissingExportData(t *testing.T) {
+	_, err := lint.TypeCheck("bad", []string{"bad.go"}, map[string][]byte{
+		"bad.go": []byte("package bad\n\nimport missing \"edgeis/internal/lint/nosuchpkg\"\n\nvar _ = missing.X\n"),
+	})
+	if err == nil {
+		t.Fatal("want an import error, got nil")
+	}
+	if !strings.Contains(err.Error(), "nosuchpkg") {
+		t.Fatalf("import error does not name the missing package: %v", err)
+	}
+}
+
+func TestLoadReportsBrokenPackage(t *testing.T) {
+	_, err := lint.Load("./testdata/src/broken")
+	if err == nil {
+		t.Fatal("want an error loading a broken package, got nil")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("load error does not identify the package: %v", err)
+	}
+}
+
+func TestLoadReportsUnknownPattern(t *testing.T) {
+	_, err := lint.Load("./no/such/dir")
+	if err == nil {
+		t.Fatal("want an error for an unknown pattern, got nil")
+	}
+}

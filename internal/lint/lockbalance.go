@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockBalance enforces lock discipline on every function in the tree: each
+// mu.Lock() must reach an Unlock (manual or deferred) on every path, merging
+// branches must agree on the held set, loops must not compound lock state,
+// and a manual Unlock under a still-pending deferred Unlock — the
+// unlock-relock dance the scheduler's gather window uses — must be reviewed
+// and annotated.
+var LockBalance = &Analyzer{
+	Name:      "lockbalance",
+	Directive: "lockdance",
+	Doc: `flags unbalanced mutex Lock/Unlock pairs
+
+Every sync.Mutex/RWMutex Lock must be released on all paths out of the
+function: an early return that skips the Unlock, a branch that unlocks on
+one arm only, or a loop body that locks once more per iteration is a
+deadlock (or double-unlock panic) waiting for the right interleaving. A
+manual Unlock while a deferred Unlock of the same mutex is still pending is
+the unlock-relock dance: legal but panic-prone under refactoring, so each
+reviewed instance must be annotated //edgeis:lockdance <reason>.`,
+	Run: runLockBalance,
+}
+
+// displayKey renders a lock-state key for humans: the "/r" suffix marking
+// the RWMutex reader side becomes an explicit annotation.
+func displayKey(key string) string {
+	if base, ok := strings.CutSuffix(key, "/r"); ok {
+		return base + " (read side)"
+	}
+	return key
+}
+
+func runLockBalance(pass *Pass) error {
+	w := &lockWalker{pass: pass}
+	line := func(pos token.Pos) int { return pass.Fset.Position(pos).Line }
+	w.hooks = lockHooks{
+		onDoubleLock: func(call *ast.CallExpr, op *mutexOp, prev token.Pos) {
+			pass.Reportf(call.Pos(),
+				"%s of %s while already held since line %d: self-deadlock on this path",
+				op.name, displayKey(op.key), line(prev))
+		},
+		onUnlockUnheld: func(call *ast.CallExpr, op *mutexOp) {
+			pass.Reportf(call.Pos(),
+				"%s of %s which is not held on this path", op.name, displayKey(op.key))
+		},
+		onDance: func(call *ast.CallExpr, op *mutexOp, deferPos token.Pos) {
+			pass.Reportf(call.Pos(),
+				"manual %s of %s while its deferred unlock (line %d) is pending: unlock-relock dance; annotate //edgeis:lockdance <reason> once reviewed",
+				op.name, displayKey(op.key), line(deferPos))
+		},
+		onHeldAtReturn: func(pos token.Pos, key string, lockPos token.Pos) {
+			pass.Reportf(pos,
+				"%s locked at line %d is still held at this return with no deferred unlock",
+				displayKey(key), line(lockPos))
+		},
+		onBranchImbalance: func(pos token.Pos, key string) {
+			pass.Reportf(pos,
+				"%s is held on some paths but not others where branches merge",
+				displayKey(key))
+		},
+		onLoopImbalance: func(pos token.Pos, key string) {
+			pass.Reportf(pos,
+				"%s changes held state across one loop iteration: each pass compounds the imbalance",
+				displayKey(key))
+		},
+	}
+	for _, f := range pass.Files {
+		w.walkFile(f)
+	}
+	return nil
+}

@@ -1,0 +1,618 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared machinery behind the lockbalance and lockblock
+// analyzers: a path-sensitive walk over one function body that tracks which
+// sync.Mutex/sync.RWMutex receivers are held at every statement. Branches
+// fork the state and merge it back (paths that return are excluded from the
+// merge), loops must preserve the entry state across an iteration, and
+// go-statement and function-literal bodies are analyzed independently with
+// an empty state — a goroutine never inherits its spawner's critical
+// section. The walk is deliberately syntactic about aliasing: a mutex is
+// keyed by the printed receiver expression ("s.mu", with an "/r" suffix for
+// the RWMutex reader side), which matches how this codebase names locks and
+// keeps the analysis cheap and predictable.
+
+// mutexOp is one classified Lock/Unlock-family call site.
+type mutexOp struct {
+	key  string // printed receiver expression; "/r"-suffixed for RLock/RUnlock
+	name string // method name: Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
+}
+
+// classifyMutexOp returns the mutex operation call performs, or nil. Only
+// methods whose receiver resolves (directly or through embedding) to
+// sync.Mutex or sync.RWMutex count; sync.Cond and user types with
+// coincidental method names do not.
+func classifyMutexOp(pass *Pass, call *ast.CallExpr) *mutexOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil
+	}
+	if !isSyncMethod(pass, sel, "Mutex", "RWMutex") {
+		return nil
+	}
+	op := &mutexOp{key: types.ExprString(sel.X), name: sel.Sel.Name}
+	if strings.HasPrefix(sel.Sel.Name, "R") || sel.Sel.Name == "TryRLock" {
+		op.key += "/r"
+	}
+	return op
+}
+
+// isSyncMethod reports whether sel is a method whose receiver is one of the
+// named sync types.
+func isSyncMethod(pass *Pass, sel *ast.SelectorExpr, typeNames ...string) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, name := range typeNames {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lockState is the mutexes held on one control-flow path.
+type lockState struct {
+	held     map[string]token.Pos // key -> position of the Lock call
+	deferred map[string]token.Pos // key -> position of the deferred Unlock
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]token.Pos{}}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// sameHeld reports whether two states hold the same lock set.
+func (st *lockState) sameHeld(other *lockState) bool {
+	if len(st.held) != len(other.held) {
+		return false
+	}
+	for k := range st.held {
+		if _, ok := other.held[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockHooks are the analyzer-specific callbacks the walker fires. Any nil
+// hook is skipped, so lockbalance and lockblock share one walk.
+type lockHooks struct {
+	// onDoubleLock: key locked at prev is locked again by call.
+	onDoubleLock func(call *ast.CallExpr, op *mutexOp, prev token.Pos)
+	// onUnlockUnheld: call unlocks a key no path-visible Lock is holding.
+	onUnlockUnheld func(call *ast.CallExpr, op *mutexOp)
+	// onDance: call manually unlocks a key whose deferred Unlock (at
+	// deferPos) is still pending — the unlock-relock dance.
+	onDance func(call *ast.CallExpr, op *mutexOp, deferPos token.Pos)
+	// onHeldAtReturn: key locked at lockPos is still held when the function
+	// returns at pos with no deferred Unlock covering it.
+	onHeldAtReturn func(pos token.Pos, key string, lockPos token.Pos)
+	// onBranchImbalance: key is held on some merging paths but not others.
+	onBranchImbalance func(pos token.Pos, key string)
+	// onLoopImbalance: the loop body changes key's held/free status, so each
+	// iteration compounds the imbalance.
+	onLoopImbalance func(pos token.Pos, key string)
+	// onBlocking: a potentially blocking operation (what) runs while key,
+	// locked at lockPos, is held.
+	onBlocking func(pos token.Pos, what, key string, lockPos token.Pos)
+	// blockingCall classifies analyzer-specific blocking calls; it is only
+	// consulted while at least one lock is held.
+	blockingCall func(call *ast.CallExpr) (string, bool)
+}
+
+// lockWalker drives one analyzer's walk over a file's functions.
+type lockWalker struct {
+	pass  *Pass
+	hooks lockHooks
+}
+
+// walkFile analyzes every function body in f independently.
+func (w *lockWalker) walkFile(f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				w.funcBody(d.Body)
+			}
+		case *ast.GenDecl:
+			// Package-level initializer expressions can carry closures.
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, newLockState())
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcBody analyzes one function or closure body with a fresh state and
+// checks the implicit return at the closing brace.
+func (w *lockWalker) funcBody(body *ast.BlockStmt) {
+	st := newLockState()
+	if !w.stmts(body.List, st) {
+		w.checkReturn(body.Rbrace, st)
+	}
+}
+
+// stmts walks a statement list; true means the path terminated (returned,
+// branched away, or entered a loop it cannot leave).
+func (w *lockWalker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+type lockBranch struct {
+	st   *lockState
+	term bool
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		w.blocking(s.Pos(), "channel send", st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.expr(a, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.funcBody(lit.Body)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		w.checkReturn(s.Pos(), st)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the structured path; treating them as
+		// terminators keeps the merge sound at the cost of not chasing the
+		// jump target.
+		return s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		then := &lockBranch{st: st.clone()}
+		then.term = w.stmts(s.Body.List, then.st)
+		alt := &lockBranch{st: st.clone()}
+		if s.Else != nil {
+			alt.term = w.stmt(s.Else, alt.st)
+		}
+		return w.merge(st, s.Body.Lbrace, []*lockBranch{then, alt})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Tag, st)
+		return w.caseClauses(s.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st, true)
+	case *ast.SelectStmt:
+		return w.selectStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		body := st.clone()
+		term := w.stmts(s.Body.List, body)
+		if !term && s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		if !term {
+			w.requireLoopBalance(s.For, st, body)
+		}
+		// for {} with no break never falls out of the loop; every exit is a
+		// return inside the body, which the walk above already checked.
+		if s.Cond == nil && !hasBreak(s.Body) {
+			return true
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		body := st.clone()
+		if !w.stmts(s.Body.List, body) {
+			w.requireLoopBalance(s.For, st, body)
+		}
+	}
+	return false
+}
+
+// caseClauses merges the bodies of a switch. implicitFallthrough: when no
+// default clause exists the zero-case path carries the entry state.
+func (w *lockWalker) caseClauses(body *ast.BlockStmt, st *lockState, implicitPath bool) bool {
+	var branches []*lockBranch
+	hasDefault := false
+	for _, cs := range body.List {
+		clause, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		for _, e := range clause.List {
+			w.expr(e, st)
+		}
+		b := &lockBranch{st: st.clone()}
+		b.term = w.stmts(clause.Body, b.st)
+		branches = append(branches, b)
+	}
+	if implicitPath && !hasDefault {
+		branches = append(branches, &lockBranch{st: st.clone()})
+	}
+	return w.merge(st, body.Lbrace, branches)
+}
+
+func (w *lockWalker) selectStmt(s *ast.SelectStmt, st *lockState) bool {
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		if clause, ok := cs.(*ast.CommClause); ok && clause.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		w.blocking(s.Select, "select without a default case", st)
+	}
+	var branches []*lockBranch
+	for _, cs := range s.Body.List {
+		clause, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		b := &lockBranch{st: st.clone()}
+		// The comm operation itself is the select's decision point, not an
+		// extra blocking site; walk its sub-expressions without reporting
+		// the top-level send/receive.
+		w.commStmt(clause.Comm, b.st)
+		b.term = w.stmts(clause.Body, b.st)
+		branches = append(branches, b)
+	}
+	return w.merge(st, s.Body.Lbrace, branches)
+}
+
+// commStmt walks a select comm clause's statement, skipping the blocking
+// report for its top-level channel operation (the select already decided).
+func (w *lockWalker) commStmt(s ast.Stmt, st *lockState) {
+	stripRecv := func(e ast.Expr) {
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.expr(u.X, st)
+			return
+		}
+		w.expr(e, st)
+	}
+	switch s := s.(type) {
+	case nil:
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			stripRecv(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, st)
+		}
+	case *ast.ExprStmt:
+		stripRecv(s.X)
+	}
+}
+
+// merge folds branch exit states back into st. Terminated branches left the
+// function and do not constrain the merged state; if every branch
+// terminated the whole statement terminates. Live branches must agree on
+// the held set — a key held on one path but not another is exactly the
+// "forgot to unlock in the early-return arm" bug.
+func (w *lockWalker) merge(st *lockState, pos token.Pos, branches []*lockBranch) bool {
+	var live []*lockBranch
+	for _, b := range branches {
+		if !b.term {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	first := live[0].st
+	for _, b := range live[1:] {
+		if !first.sameHeld(b.st) {
+			for _, key := range heldDiff(first, b.st) {
+				if w.hooks.onBranchImbalance != nil {
+					w.hooks.onBranchImbalance(pos, key)
+				}
+			}
+			break
+		}
+	}
+	// Continue with the first live branch; deferred unlocks union across
+	// live branches so a conditional defer still covers the return check.
+	st.held = first.held
+	st.deferred = first.deferred
+	for _, b := range live[1:] {
+		for k, v := range b.st.deferred {
+			if _, ok := st.deferred[k]; !ok {
+				st.deferred[k] = v
+			}
+		}
+	}
+	return false
+}
+
+// heldDiff returns the keys held in exactly one of the two states.
+func heldDiff(a, b *lockState) []string {
+	var keys []string
+	for k := range a.held {
+		if _, ok := b.held[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	for k := range b.held {
+		if _, ok := a.held[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// requireLoopBalance reports keys whose held status differs between loop
+// entry and the end of one iteration: each pass would lock or unlock once
+// more than the last.
+func (w *lockWalker) requireLoopBalance(pos token.Pos, entry, exit *lockState) {
+	if entry.sameHeld(exit) {
+		return
+	}
+	if w.hooks.onLoopImbalance != nil {
+		for _, key := range heldDiff(entry, exit) {
+			w.hooks.onLoopImbalance(pos, key)
+		}
+	}
+}
+
+// checkReturn fires when a path leaves the function: every held lock must
+// have a deferred Unlock covering it.
+func (w *lockWalker) checkReturn(pos token.Pos, st *lockState) {
+	if w.hooks.onHeldAtReturn == nil {
+		return
+	}
+	for key, lockPos := range st.held {
+		if _, ok := st.deferred[key]; !ok {
+			w.hooks.onHeldAtReturn(pos, key, lockPos)
+		}
+	}
+}
+
+// deferStmt records deferred unlocks. A deferred closure counts as a
+// deferred unlock for each mutex it unlocks without also locking it; a
+// closure that locks anything is analyzed as an ordinary function body
+// instead (it is self-contained at return time).
+func (w *lockWalker) deferStmt(s *ast.DeferStmt, st *lockState) {
+	for _, a := range s.Call.Args {
+		w.expr(a, st)
+	}
+	if op := classifyMutexOp(w.pass, s.Call); op != nil {
+		if op.name == "Unlock" || op.name == "RUnlock" {
+			st.deferred[op.key] = s.Defer
+		}
+		return
+	}
+	lit, ok := s.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	locks := map[string]bool{}
+	var unlocks []*mutexOp
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op := classifyMutexOp(w.pass, call); op != nil {
+			switch op.name {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				locks[op.key] = true
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, op)
+			}
+		}
+		return true
+	})
+	covered := false
+	for _, op := range unlocks {
+		if !locks[op.key] {
+			st.deferred[op.key] = s.Defer
+			covered = true
+		}
+	}
+	if !covered {
+		w.funcBody(lit.Body)
+	}
+}
+
+// expr walks an expression with the current lock state: mutex operations
+// mutate it, closures are analyzed independently, and receives/blocking
+// calls are reported while a lock is held.
+func (w *lockWalker) expr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.funcBody(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blocking(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			if op := classifyMutexOp(w.pass, n); op != nil {
+				w.mutexOp(n, op, st)
+				return false
+			}
+			if isCondWait(w.pass, n) {
+				// sync.Cond.Wait atomically releases and reacquires its
+				// mutex; the net lock state is unchanged and parking on the
+				// condition is the intended use, not a lock-held stall.
+				return false
+			}
+			if len(st.held) > 0 && w.hooks.blockingCall != nil {
+				if what, ok := w.hooks.blockingCall(n); ok {
+					w.blocking(n.Pos(), what, st)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp applies one Lock/Unlock call to the path state. TryLock's
+// conditional acquisition is ignored rather than modeled.
+func (w *lockWalker) mutexOp(call *ast.CallExpr, op *mutexOp, st *lockState) {
+	switch op.name {
+	case "Lock", "RLock":
+		if prev, ok := st.held[op.key]; ok {
+			if w.hooks.onDoubleLock != nil {
+				w.hooks.onDoubleLock(call, op, prev)
+			}
+			return
+		}
+		st.held[op.key] = call.Pos()
+	case "Unlock", "RUnlock":
+		if deferPos, ok := st.deferred[op.key]; ok {
+			if w.hooks.onDance != nil {
+				w.hooks.onDance(call, op, deferPos)
+			}
+		}
+		if _, ok := st.held[op.key]; ok {
+			delete(st.held, op.key)
+		} else if _, ok := st.deferred[op.key]; !ok {
+			if w.hooks.onUnlockUnheld != nil {
+				w.hooks.onUnlockUnheld(call, op)
+			}
+		}
+	}
+}
+
+// blocking reports a blocking operation against every held lock.
+func (w *lockWalker) blocking(pos token.Pos, what string, st *lockState) {
+	if w.hooks.onBlocking == nil || len(st.held) == 0 {
+		return
+	}
+	for key, lockPos := range st.held {
+		w.hooks.onBlocking(pos, what, key, lockPos)
+	}
+}
+
+// isCondWait reports whether call is sync.Cond.Wait.
+func isCondWait(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	return isSyncMethod(pass, sel, "Cond")
+}
+
+// hasBreak reports whether body contains a break that targets this loop
+// (any unlabeled break not inside a nested for/switch/select).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			// A break inside these binds to them, not to the outer loop.
+			// Labeled breaks could still escape, but a labeled break targeting
+			// an unlabeled-for cannot exist, and the enclosing LabeledStmt
+			// case is rare enough to accept the approximation.
+			return false
+		}
+		return !found
+	}
+	ast.Inspect(body, walk)
+	return found
+}

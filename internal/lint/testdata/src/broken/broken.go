@@ -1,0 +1,6 @@
+// Fixture: intentionally fails type-checking, exercising the loader's
+// error path (testdata is invisible to ./... patterns, so the tree still
+// builds).
+package broken
+
+func f() int { return undefinedIdent }

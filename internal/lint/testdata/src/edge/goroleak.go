@@ -1,0 +1,83 @@
+// Fixture: package "edge" is in goroleak's long-lived set, so every
+// goroutine must be tied to a shutdown path — WaitGroup, done channel,
+// close-drained range, or a select with a shutdown case.
+package edge
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+	done chan struct{}
+	n    int
+}
+
+func work() {}
+
+// Flagged: fire-and-forget closure with no shutdown signal.
+func detachedFunc() {
+	go func() { // want "fire-and-forget goroutine func literal"
+		work()
+	}()
+}
+
+// Flagged: a resolvable spawn target with no shutdown signal in its body.
+func spawnHelper() {
+	go work() // want "fire-and-forget goroutine work"
+}
+
+// Flagged: a spawn target outside the package cannot be audited.
+func spawnForeign() {
+	go time.Sleep(0) // want "goroutine target Sleep is not resolvable in this package"
+}
+
+// Suppressed: a reviewed one-shot helper carries its reason.
+func reviewedDetached() {
+	//edgeis:detached one-shot startup probe, bounded by process lifetime
+	go work()
+}
+
+// Guard: the WaitGroup-tied closure is joinable.
+func tiedWg(p *pool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+// worker drains the close-drained jobs channel.
+func (p *pool) worker() {
+	for range p.jobs {
+		p.n++
+	}
+}
+
+// Guard: a method spawn resolves one level deep to the drained worker.
+func tiedMethod(p *pool) {
+	go p.worker()
+}
+
+// Guard: a done-channel receive ties the goroutine to shutdown.
+func tiedDone(p *pool) {
+	go func() {
+		<-p.done
+	}()
+}
+
+// Guard: a select-parked goroutine observes a shutdown case.
+func tiedSelect(p *pool) {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}

@@ -1,0 +1,66 @@
+// Fixture: package "loadgen" is inside the conservation scope, so counter
+// fields only move through the audited mutator set.
+package loadgen
+
+type sim struct {
+	served   int
+	offered  int
+	rejected int
+	// dropped here is a per-frame flag, not a counter: bools are exempt.
+	dropped bool
+}
+
+type SLO struct {
+	Served  int
+	Dropped int
+}
+
+// countServed and countOffered are registered mutators: their direct
+// writes are the audited set.
+
+func (s *sim) countServed() { s.served++ }
+
+func (s *sim) countOffered() { s.offered++ }
+
+// Flagged: a counter write outside the mutator set.
+func admit(s *sim) {
+	s.rejected++ // want "write to accounting counter rejected"
+}
+
+// Flagged: assignment forms are writes too.
+func reset(s *sim) {
+	s.served = 0 // want "write to accounting counter served"
+}
+
+// Suppressed: a reviewed direct write carries its reason.
+func reviewedWrite(s *sim) {
+	//edgeis:counter test-only reset, reviewed with the accounting audit
+	s.served = 0
+}
+
+// Guard: moving counters through the mutators is the sanctioned path.
+func serve(s *sim) {
+	s.countServed()
+	s.countOffered()
+}
+
+// Guard: same-name aggregation moves counts between scopes without
+// creating or destroying any.
+func fold(dst, src *SLO) {
+	dst.Served += src.Served
+	dst.Dropped = src.Dropped
+}
+
+// Guard: local tallies are loop bookkeeping, not conserved state.
+func tally(xs []int) int {
+	served := 0
+	for range xs {
+		served++
+	}
+	return served
+}
+
+// Guard: boolean flags sharing a counter name are not counters.
+func mark(s *sim) {
+	s.dropped = true
+}

@@ -1,0 +1,135 @@
+// Fixture for the lockbalance analyzer: every Lock must reach an Unlock on
+// all paths, branches must merge with the same held set, loops must not
+// compound lock state, and the unlock-relock dance needs a reviewed
+// annotation.
+package lockbal
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Flagged: the early-return arm leaves mu held forever.
+func leakOnReturn(b *box, bail bool) {
+	b.mu.Lock()
+	if bail {
+		return // want "still held at this return"
+	}
+	b.mu.Unlock()
+}
+
+// Flagged: one arm unlocks, the other does not, and both fall through.
+func branchImbalance(b *box, flip bool) int {
+	b.mu.Lock()
+	if flip { // want "held on some paths but not others"
+		b.mu.Unlock()
+	}
+	return b.n
+}
+
+// Flagged: a manual unlock while the deferred unlock is still pending is
+// the unlock-relock dance — a double-unlock panic one refactor away.
+func dance(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Unlock() // want "unlock-relock dance"
+	b.mu.Lock()
+	return b.n
+}
+
+// Flagged: locking a mutex already held on this path self-deadlocks.
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want "already held since line"
+	b.mu.Unlock()
+}
+
+// Flagged: unlocking a mutex this path never locked.
+func unlockUnheld(b *box) {
+	b.mu.Unlock() // want "not held on this path"
+}
+
+// Flagged: each iteration locks once more than it unlocks.
+func loopImbalance(b *box, xs []int) {
+	for range xs { // want "changes held state across one loop iteration"
+		b.mu.Lock()
+	}
+}
+
+// Suppressed: a reviewed gather-window style dance carries its reason.
+func reviewedDance(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//edgeis:lockdance reviewed: the window release re-locks on the only path that reaches it
+	b.mu.Unlock()
+	b.mu.Lock()
+	return b.n
+}
+
+// Guard: the canonical defer-based critical section.
+func deferBalanced(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Guard: the pool pattern — unlock-and-return inside a loop branch plus an
+// unlock after the loop covers every path exactly once.
+func loopEarlyReturn(b *box, xs []int) int {
+	b.mu.Lock()
+	for _, x := range xs {
+		if x > 0 {
+			b.mu.Unlock()
+			return x
+		}
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// Guard: the reader and writer sides of an RWMutex balance independently.
+func rwSides(b *box) int {
+	b.rw.RLock()
+	n := b.n
+	b.rw.RUnlock()
+	b.rw.Lock()
+	b.n = n + 1
+	b.rw.Unlock()
+	return n
+}
+
+// Guard: a goroutine body starts with no inherited critical section and
+// balances on its own.
+func spawn(b *box) {
+	b.mu.Lock()
+	go func() {
+		b.mu.Lock()
+		b.mu.Unlock()
+	}()
+	b.mu.Unlock()
+}
+
+// Guard: back-to-back manual sections are balanced — no deferred unlock is
+// pending, so no dance.
+func manualSections(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Lock()
+	b.n--
+	b.mu.Unlock()
+}
+
+// Guard: a deferred closure that only unlocks counts as the deferred
+// unlock for the return check.
+func deferClosure(b *box) int {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	return b.n
+}

@@ -1,0 +1,13 @@
+// Fixture: package "metrics" is outside the conservation scope; its
+// tallies are free-form and nothing here is flagged.
+package metrics
+
+type hist struct {
+	served  int
+	dropped int
+}
+
+func observe(h *hist) {
+	h.served++
+	h.dropped++
+}

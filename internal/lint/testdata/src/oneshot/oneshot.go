@@ -1,0 +1,10 @@
+// Fixture: package "oneshot" is outside goroleak's long-lived set — a
+// short-lived tool may fire and forget, so nothing here is flagged.
+package oneshot
+
+func work() {}
+
+func fireAndForget() {
+	go work()
+	go func() { work() }()
+}

@@ -1,0 +1,68 @@
+// Fixture for the wgadd analyzer: WaitGroup.Add must happen-before the
+// Wait that observes it, so Add inside the spawned goroutine is flagged —
+// unless the group itself lives inside that goroutine.
+package wgfix
+
+import "sync"
+
+type group struct {
+	wg sync.WaitGroup
+}
+
+func work() {}
+
+// Flagged: Add races a Wait that may already have returned.
+func addInside(g *group) {
+	go func() {
+		g.wg.Add(1) // want "WaitGroup.Add on g.wg inside the goroutine"
+		defer g.wg.Done()
+		work()
+	}()
+	g.wg.Wait()
+}
+
+var fleet sync.WaitGroup
+
+// Flagged: package-level groups race the same way.
+func addInsideGlobal() {
+	go func() {
+		fleet.Add(1) // want "WaitGroup.Add on fleet inside the goroutine"
+		defer fleet.Done()
+		work()
+	}()
+	fleet.Wait()
+}
+
+// Suppressed: a reviewed exception carries its reason.
+func reviewedAdd(g *group) {
+	go func() {
+		//edgeis:wgadd the spawner parks on a barrier that outlives this Add
+		g.wg.Add(1)
+		defer g.wg.Done()
+		work()
+	}()
+}
+
+// Guard: Add before the go statement is the correct pattern.
+func addBefore(g *group) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		work()
+	}()
+	g.wg.Wait()
+}
+
+// Guard: a WaitGroup declared inside the goroutine is its own
+// synchronization domain.
+func localGroup() {
+	go func() {
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			work()
+		}()
+		inner.Wait()
+	}()
+}

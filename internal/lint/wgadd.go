@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WgAdd flags the classic WaitGroup race: calling Add inside the goroutine
+// it accounts for. If Wait runs before the goroutine is scheduled, the
+// counter is still zero and Wait returns with the work unstarted — a drain
+// path that silently drops frames under exactly the load it exists for.
+var WgAdd = &Analyzer{
+	Name:      "wgadd",
+	Directive: "wgadd",
+	Doc: `flags WaitGroup.Add calls inside the spawned goroutine
+
+sync.WaitGroup.Add must happen-before the Wait that observes it; an Add
+inside the goroutine races Wait, which can return before the goroutine is
+scheduled. Only Adds on a WaitGroup declared outside the goroutine body are
+flagged — a group created and waited on entirely inside the goroutine is
+its own synchronization domain. Reviewed exceptions must be annotated
+//edgeis:wgadd <reason>.`,
+	Run: runWgAdd,
+}
+
+func runWgAdd(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineAdds(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineAdds reports WaitGroup.Add calls lexically inside lit whose
+// group is declared outside it. Nested go statements are skipped — each is
+// checked against its own literal.
+func checkGoroutineAdds(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" || !isSyncMethod(pass, sel, "WaitGroup") {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[root]
+		if obj == nil || (obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Add on %s inside the goroutine it accounts for races Wait; Add before the go statement, or annotate //edgeis:wgadd <reason>",
+			exprString(pass, sel.X))
+		return true
+	})
+}
+
+// rootIdent returns the base identifier of a selector chain (s.wg -> s),
+// or nil when the base is not a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -76,7 +76,7 @@ func (b *TCPBackend) Bind(frames []*scene.Frame, queueDepth int) {
 func (b *TCPBackend) Submit(req *pipeline.OffloadRequest, sendAt float64) []pipeline.ScheduledResult {
 	msg := ToFrameMsg(req, b.frames[req.FrameIndex], b.grid, b.seed)
 	if !b.client.Send(msg) {
-		b.stats.DroppedOffloads++
+		b.stats.CountDropped(1)
 		return nil
 	}
 	b.stats.Submitted++
@@ -96,7 +96,7 @@ func (b *TCPBackend) reconcileRejects() {
 		return
 	}
 	b.seenRejects, b.seenSheds = rejects, sheds
-	b.stats.DroppedOffloads += fresh
+	b.stats.CountDropped(fresh)
 	b.outstanding -= fresh
 	if b.outstanding < 0 {
 		b.outstanding = 0
@@ -140,7 +140,7 @@ func (b *TCPBackend) take(res *transport.ResultMsg, now float64) (pipeline.Sched
 		b.outstanding--
 	}
 	if int(res.FrameIndex) < 0 || int(res.FrameIndex) >= len(b.frames) {
-		b.stats.DiscardedResults++
+		b.stats.CountDiscarded()
 		return pipeline.ScheduledResult{}, false
 	}
 	b.stats.Results++

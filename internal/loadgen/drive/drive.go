@@ -75,6 +75,50 @@ type agg struct {
 	lat                                      metrics.Dist
 }
 
+// noteServed, noteRejected, noteShed, noteDropped and absorb are the
+// audited mutators for the driver's fleet accounting: every outcome a
+// session goroutine observes moves through exactly one of them, which is
+// what lets the post-run reconciliation against the scheduler's (or
+// server's) own counters treat any difference as a real loss. They take
+// a.mu internally, so callers must not hold it — or any other lock.
+
+func (a *agg) noteServed(sess int, latMs float64) {
+	a.mu.Lock()
+	a.served++
+	a.servedBy[sess]++
+	a.lat.Add(latMs)
+	a.mu.Unlock()
+}
+
+func (a *agg) noteRejected() {
+	a.mu.Lock()
+	a.rejected++
+	a.mu.Unlock()
+}
+
+func (a *agg) noteShed() {
+	a.mu.Lock()
+	a.shed++
+	a.mu.Unlock()
+}
+
+func (a *agg) noteDropped() {
+	a.mu.Lock()
+	a.dropped++
+	a.mu.Unlock()
+}
+
+// absorb folds a session goroutine's local tallies into the fleet totals
+// when the session finishes.
+func (a *agg) absorb(offered, rejected, shed, dropped int) {
+	a.mu.Lock()
+	a.offered += offered
+	a.rejected += rejected
+	a.shed += shed
+	a.dropped += dropped
+	a.mu.Unlock()
+}
+
 // fairness returns the per-session served extremes.
 func (a *agg) fairness() (min, max int) {
 	for i, n := range a.servedBy {
@@ -213,30 +257,23 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 					in := segmodel.Input{Width: 64 + 16*(i%len(p.Clips)), Height: 48, Seed: int64(i)}
 					_, _, err := sess.Infer(in, nil)
 					doneMs := msSince(start)
-					a.mu.Lock()
 					switch {
 					case err == nil:
-						a.served++
-						a.servedBy[i]++
-						a.lat.Add(doneMs - genAt*o.TimeScale)
+						a.noteServed(i, doneMs-genAt*o.TimeScale)
 					case errors.Is(err, edge.ErrQueueFull):
-						a.rejected++
+						a.noteRejected()
 					case errors.Is(err, edge.ErrShed):
-						a.shed++
+						a.noteShed()
 					default:
-						a.dropped++ // teardown cancellation
+						a.noteDropped() // teardown cancellation
 					}
-					a.mu.Unlock()
 					mu.Lock()
 					outstanding--
 					mu.Unlock()
 				}(genAt, upMs)
 			}
 			reqs.Wait()
-			a.mu.Lock()
-			a.offered += offered
-			a.dropped += dropped
-			a.mu.Unlock()
+			a.absorb(offered, 0, 0, dropped)
 		}(i)
 	}
 	fleet.Wait()
@@ -323,16 +360,17 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 				defer readers.Done()
 				for res := range c.Results() {
 					mu.Lock()
-					if at, ok := sendAt[res.FrameIndex]; ok {
+					at, ok := sendAt[res.FrameIndex]
+					if ok {
 						delete(sendAt, res.FrameIndex)
 						served++
-						a.mu.Lock()
-						a.served++
-						a.servedBy[i]++
-						a.lat.Add(msSince(start) - at)
-						a.mu.Unlock()
 					}
 					mu.Unlock()
+					// The fleet mutator takes a.mu itself, so it runs
+					// outside this session's map lock.
+					if ok {
+						a.noteServed(i, msSince(start)-at)
+					}
 				}
 			}()
 
@@ -397,12 +435,7 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 			if lost < 0 {
 				lost = 0
 			}
-			a.mu.Lock()
-			a.offered += offered
-			a.rejected += rejected
-			a.shed += shed
-			a.dropped += dropped + lost
-			a.mu.Unlock()
+			a.absorb(offered, rejected, shed, dropped+lost)
 		}(i)
 	}
 	fleet.Wait()

@@ -160,17 +160,35 @@ func (s *sim) push(e event) {
 	heap.Push(&s.heap, e)
 }
 
+// Counter mutators: the audited set the conservation analyzer admits for
+// the simulator's SLO counters. The sim is single-goroutine, so these add
+// no locking — only the guarantee that every movement between outcome
+// classes (offered == served + rejected + shed + dropped) is one greppable
+// call site.
+
+func (s *sim) countOffered()  { s.offered++ }
+func (s *sim) countDropped()  { s.dropped++ }
+func (s *sim) countRejected() { s.rejected++ }
+func (s *sim) countShed()     { s.shed++ }
+
+// countServed moves one frame into the served class on both the fleet and
+// per-session tallies, keeping the fairness report consistent with the SLO.
+func (s *sim) countServed(ss *simSession) {
+	ss.served++
+	s.served++
+}
+
 // generate handles one frame generation: client-side shed when the session
 // is at its outstanding cap, otherwise uplink pacing toward the edge.
 func (s *sim) generate(e event) {
 	ss := s.sess[e.sess]
-	s.offered++
+	s.countOffered()
 	ss.nextGen++
 	if ss.nextGen < len(ss.arrivals) {
 		s.push(event{at: ss.arrivals[ss.nextGen], kind: evGen, sess: e.sess})
 	}
 	if ss.outstanding >= s.p.MaxOutstanding {
-		s.dropped++
+		s.countDropped()
 		return
 	}
 	ss.outstanding++
@@ -196,10 +214,10 @@ func (s *sim) arrive(e event) {
 			// outstanding slot frees immediately.
 			ss.pending = ss.pending[1:]
 			s.queued--
-			s.shed++
+			s.countShed()
 			ss.outstanding--
 		} else {
-			s.rejected++
+			s.countRejected()
 			ss.outstanding--
 			return
 		}
@@ -341,8 +359,7 @@ func (s *sim) inferDone(e event) {
 func (s *sim) deliver(e event) {
 	ss := s.sess[e.sess]
 	ss.outstanding--
-	ss.served++
-	s.served++
+	s.countServed(ss)
 	s.lat.Add(e.at - e.job.genAt)
 }
 

@@ -39,6 +39,15 @@ type BackendStats struct {
 	DownlinkBytes int
 }
 
+// CountDropped and CountDiscarded are the audited mutators for the loss
+// counters shared by every backend (sim, loopback, live): routing each
+// dropped offload and discarded result through them keeps the conservation
+// law's loss side greppable across simulated and live runs alike.
+
+func (s *BackendStats) CountDropped(n int) { s.DroppedOffloads += n }
+
+func (s *BackendStats) CountDiscarded() { s.DiscardedResults++ }
+
 // ScheduledResult is an edge result with its simulated delivery time. Live
 // backends stamp results with the poll time — the earliest simulated instant
 // the mobile could observe them.
@@ -195,7 +204,7 @@ func (b *SimBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResu
 	b.waiting = append(b.waiting, waitingOffload{arrival: arrive, req: req})
 	if len(b.waiting) > b.queueDepth {
 		b.waiting = b.waiting[1:]
-		b.stats.DroppedOffloads++
+		b.stats.CountDropped(1)
 	}
 	return out
 }
@@ -399,7 +408,7 @@ func (b *LoopbackBackend) Bind(frames []*scene.Frame, queueDepth int) {
 // when the single accelerator finishes the request.
 func (b *LoopbackBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResult {
 	if b.inflight >= b.queueDepth {
-		b.stats.DroppedOffloads++
+		b.stats.CountDropped(1)
 		return nil
 	}
 	b.stats.Submitted++

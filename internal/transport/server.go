@@ -392,6 +392,9 @@ func (s *Server) servePipelined(conn net.Conn, sess *edge.Session) {
 	write := func(payload []byte) error {
 		wmu.Lock()
 		defer wmu.Unlock()
+		// Serializing whole-message writes on the shared conn is this
+		// lock's entire purpose; the write deadline bounds the hold.
+		//edgeis:lockheld wmu exists to serialize conn writes; s.write is deadline-bounded
 		return s.write(conn, payload)
 	}
 	sem := make(chan struct{}, s.connPipeline)
