@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgeis/internal/segmodel"
+)
+
+// flakyListener injects transient Accept failures before delegating to the
+// real listener, modelling EMFILE pressure or aborted handshakes.
+type flakyListener struct {
+	net.Listener
+	failures int32
+}
+
+var errTransient = errors.New("transient accept failure")
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if atomic.AddInt32(&l.failures, -1) >= 0 {
+		return nil, errTransient
+	}
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopSurvivesTransientError pins the accept loop's recovery
+// behaviour: a transient Accept error must not permanently stop the server
+// admitting connections. Before the fix the loop returned on any error, so
+// the TCP backlog kept completing handshakes while no connection was ever
+// served — exactly the silent fleet-wide outage this test would time out on.
+func TestAcceptLoopSurvivesTransientError(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.MaskRCNN))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyListener{Listener: ln, failures: 2}
+	srv.ln = flaky
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	}()
+
+	client, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+	}()
+
+	if !client.Send(sampleFrame()) {
+		t.Fatal("send rejected")
+	}
+	select {
+	case res := <-client.Results():
+		if res.FrameIndex != 42 {
+			t.Errorf("frame index = %d", res.FrameIndex)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result: accept loop did not survive the transient error")
+	}
+	if atomic.LoadInt32(&flaky.failures) >= 0 {
+		t.Error("listener never consumed its injected failures")
+	}
+	if st := srv.Stats(); st.Served != 1 {
+		t.Errorf("served = %d, want 1", st.Served)
+	}
+}

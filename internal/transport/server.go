@@ -256,18 +256,30 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed {
+			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.logf("accept: %v", err)
-			return
+			// A transient accept failure (EMFILE pressure, an aborted
+			// handshake) must not stop the edge admitting the whole fleet:
+			// log, back off briefly, and keep accepting. Only Close (or the
+			// listener dying underneath us) ends the loop.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.logf("accept: %v (retrying in %v)", err, backoff)
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		if !s.track(conn) {
 			// Raced with Close: drop the connection instead of serving it.
 			conn.Close()
