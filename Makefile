@@ -13,13 +13,13 @@ test: ## Run the full test suite.
 short: ## Run the suite without the long integration sweeps.
 	$(GO) test -short ./...
 
-race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip). Includes the multi-client edge-scheduler tests, which are occupancy-bound so their scaling assertions hold under -race.
+race: ## Full suite under the race detector (slow; the heaviest sweeps self-skip). Includes the multi-client edge-scheduler tests, which are occupancy-bound so their scaling assertions hold under -race. The loadgen drive tests run a shortened smoke profile (see raceProfile) so their wall-clock pacing stays bounded.
 	$(GO) test -race ./...
 
 vet: ## Standard static analysis.
 	$(GO) vet ./...
 
-lint: ## Repo-specific determinism/concurrency analyzers (see DESIGN.md §11).
+lint: ## Repo-specific determinism/concurrency analyzers (see DESIGN.md §11 and §16).
 	$(GO) run ./cmd/edgeis-lint ./...
 
 fuzz: ## Brief fuzz pass over the wire-protocol decoders.

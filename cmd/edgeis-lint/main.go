@@ -2,10 +2,19 @@
 // analyzers. It enforces the determinism and concurrency invariants the
 // paper-fidelity claims rest on:
 //
-//	mapiter   no order-sensitive map iteration in seed-deterministic packages
-//	walltime  no wall-clock reads where the virtual clock must be used
-//	seedrand  no math/rand global state shared across experiment arms
-//	floateq   no exact float equality in scheduler/geometry decisions
+//	mapiter       no order-sensitive map iteration in seed-deterministic packages
+//	walltime      no wall-clock reads where the virtual clock must be used
+//	seedrand      no math/rand global state shared across experiment arms
+//	floateq       no exact float equality in scheduler/geometry decisions
+//	lockbalance   every Lock paired with an Unlock on every path; no silent
+//	              unlock-relock dances inside a critical section
+//	lockblock     no blocking operation (channel op, net.Conn I/O,
+//	              Accelerator.Run) while a mutex is held
+//	goroleak      goroutines in long-lived serving packages must be tied to a
+//	              shutdown path (WaitGroup, done channel, drained range, select)
+//	wgadd         WaitGroup.Add may not run inside the goroutine it accounts for
+//	conservation  serving counters (served/rejected/shed/dropped/...) only move
+//	              through their audited mutator methods
 //
 // Usage:
 //
@@ -13,8 +22,9 @@
 //
 // Packages default to ./.... Exit status is 0 for a clean tree, 1 when
 // findings were reported, 2 on a loader or usage error. Findings are
-// suppressed per line with //edgeis:<directive> <reason> comments; see
-// internal/lint and DESIGN.md §11 for the grammar.
+// suppressed per line with //edgeis:<directive> <reason> comments; unused
+// suppressions are themselves findings. See internal/lint and DESIGN.md
+// §11 and §16 for the grammar.
 package main
 
 import (

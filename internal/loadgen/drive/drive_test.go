@@ -13,6 +13,20 @@ func fastOpts() Options {
 	return Options{TimeScale: 0.2, Occupancy: 0.25, DrainTimeout: 10 * time.Second}
 }
 
+// raceProfile bounds a profile to a short smoke run under the race
+// detector, whose ~10-20x slowdown would otherwise blow the suite budget.
+// The conservation checks stay strict on the shortened run — the law must
+// hold at any length — while timing-shape assertions (shed counts, batch
+// means) are separately gated on raceEnabled because the detector's
+// scheduling skew makes them flappy.
+func raceProfile(p loadgen.Profile) loadgen.Profile {
+	if raceEnabled {
+		p.Name += "-race-smoke"
+		p.DurationMs = 600
+	}
+	return p
+}
+
 // checkConservation asserts the no-silent-loss law and report sanity that
 // every live run must satisfy regardless of host timing.
 func checkConservation(t *testing.T, slo *loadgen.SLO) {
@@ -35,7 +49,7 @@ func TestRunSchedulerConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slo, err := RunScheduler(p, fastOpts())
+	slo, err := RunScheduler(raceProfile(p), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +70,12 @@ func TestRunSchedulerUnderContention(t *testing.T) {
 		Links: []loadgen.LinkShape{loadgen.Fast},
 		Clips: []loadgen.ClipClass{loadgen.ClipIndustrial},
 	}
-	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	slo, err := RunScheduler(raceProfile(p), Options{TimeScale: 0.25, Occupancy: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkConservation(t, slo)
-	if slo.Rejected+slo.Dropped == 0 {
+	if !raceEnabled && slo.Rejected+slo.Dropped == 0 {
 		t.Error("contention profile shed nothing; occupancy too light to exercise rejects")
 	}
 }
@@ -79,12 +93,12 @@ func TestRunSchedulerBatchFormer(t *testing.T) {
 		Clips:    []loadgen.ClipClass{loadgen.ClipIndoor},
 		MaxBatch: 8, BatchWindowMs: 2,
 	}
-	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	slo, err := RunScheduler(raceProfile(p), Options{TimeScale: 0.25, Occupancy: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkConservation(t, slo)
-	if slo.Batches == 0 || slo.MeanBatchSize <= 1.2 {
+	if !raceEnabled && (slo.Batches == 0 || slo.MeanBatchSize <= 1.2) {
 		t.Errorf("batch former gathered nothing: %d batches, mean size %.2f", slo.Batches, slo.MeanBatchSize)
 	}
 }
@@ -102,12 +116,12 @@ func TestRunSchedulerLatestWins(t *testing.T) {
 		Clips:      []loadgen.ClipClass{loadgen.ClipIndustrial},
 		ShedPolicy: "latest-wins",
 	}
-	slo, err := RunScheduler(p, Options{TimeScale: 0.25, Occupancy: 1})
+	slo, err := RunScheduler(raceProfile(p), Options{TimeScale: 0.25, Occupancy: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkConservation(t, slo)
-	if slo.Shed == 0 {
+	if !raceEnabled && slo.Shed == 0 {
 		t.Error("latest-wins shed nothing under sustained contention")
 	}
 }
@@ -130,12 +144,12 @@ func TestRunTCPLatestWins(t *testing.T) {
 		Clips:      []loadgen.ClipClass{loadgen.ClipStreet},
 		ShedPolicy: "latest-wins",
 	}
-	slo, err := RunTCP(p, Options{TimeScale: 0.2, Occupancy: 2, DrainTimeout: 10 * time.Second})
+	slo, err := RunTCP(raceProfile(p), Options{TimeScale: 0.2, Occupancy: 2, DrainTimeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkConservation(t, slo)
-	if slo.Shed == 0 {
+	if !raceEnabled && slo.Shed == 0 {
 		t.Error("latest-wins over TCP shed nothing; occupancy too light to exercise the policy")
 	}
 }
@@ -151,7 +165,7 @@ func TestRunTCPConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	slo, err := RunTCP(p, fastOpts())
+	slo, err := RunTCP(raceProfile(p), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +183,9 @@ func TestOfferedScheduleMatchesSimulator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Both targets replay the same (possibly race-shortened) profile, so
+	// the offered schedules must still agree exactly.
+	p = raceProfile(p)
 	simSLO := loadgen.Run(p)
 	liveSLO, err := RunScheduler(p, fastOpts())
 	if err != nil {

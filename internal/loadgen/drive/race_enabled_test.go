@@ -1,0 +1,9 @@
+//go:build race
+
+package drive
+
+// raceEnabled reports whether the race detector is compiled in. The drive
+// tests pace real goroutines against wall time; under the detector's
+// ~10-20x slowdown they run a shortened smoke profile and skip
+// timing-shape assertions, keeping only the conservation law strict.
+const raceEnabled = true
