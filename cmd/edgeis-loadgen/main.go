@@ -62,11 +62,14 @@ func run() error {
 		maxBatch  = flag.Int("max-batch", 0, "override the profile's max frames per accelerator launch (0 = profile value)")
 		batchWin  = flag.Float64("batch-window", -1, "override the profile's gather window in virtual ms (-1 = profile value)")
 		shedPol   = flag.String("shed-policy", "", "override the profile's admission policy: reject or latest-wins (empty = profile value)")
+		keyframe  = flag.Int("keyframe-interval", 0, "override the profile's keyframe interval; N > 1 enables the skip-compute feature cache (0 = profile value)")
+		skip      = flag.Bool("skip-compute", false, "shorthand for -keyframe-interval 4 on profiles that leave it unset")
 	)
 	flag.Parse()
 
 	// Policy overrides let one command A/B a profile against the batch
-	// former or latest-wins without defining a new named arm.
+	// former, latest-wins or the skip-compute feature cache without
+	// defining a new named arm.
 	override := func(p loadgen.Profile) loadgen.Profile {
 		if *maxBatch > 0 {
 			p.MaxBatch = *maxBatch
@@ -76,6 +79,11 @@ func run() error {
 		}
 		if *shedPol != "" {
 			p.ShedPolicy = *shedPol
+		}
+		if *keyframe > 0 {
+			p.KeyframeInterval = *keyframe
+		} else if *skip && p.KeyframeInterval == 0 {
+			p.KeyframeInterval = 4
 		}
 		return p
 	}

@@ -9,11 +9,16 @@
 // session's own stale frame to admit the fresh one), and -max-batch with
 // -batch-window turns on the cross-session gather-window batch former.
 //
+// -keyframe-interval enables per-session temporal-redundancy skip-compute:
+// one frame in every N recomputes the full backbone, the rest warp the
+// session's cached keyframe features at partial cost.
+//
 // Usage:
 //
 //	edgeis-server [-addr :7465] [-model mask-rcnn|yolact|yolov3] [-device tx2|xavier]
 //	              [-accelerators 1] [-queue-depth 32] [-occupancy 0] [-continuity]
 //	              [-shed-policy reject|latest-wins] [-max-batch 1] [-batch-window 0]
+//	              [-keyframe-interval 1]
 package main
 
 import (
@@ -49,6 +54,7 @@ func run() error {
 		shed      = flag.String("shed-policy", "reject", "admission policy at a full queue: reject or latest-wins")
 		maxBatch  = flag.Int("max-batch", 1, "max compatible frames per accelerator launch (1 = single dequeue)")
 		batchWin  = flag.Duration("batch-window", 0, "how long an underfull batch waits for compatible frames (needs -max-batch > 1)")
+		keyframe  = flag.Int("keyframe-interval", 1, "force a full-backbone keyframe every N frames per session; N > 1 enables the skip-compute feature cache")
 		statsSecs = flag.Int("stats", 10, "stats print interval in seconds (0 = off)")
 	)
 	flag.Parse()
@@ -99,6 +105,11 @@ func run() error {
 		opts = append(opts, transport.WithDequeuePolicy(edge.GatherBatch{Max: *maxBatch, GatherWindow: *batchWin}))
 	} else if *batchWin > 0 {
 		return fmt.Errorf("-batch-window needs -max-batch > 1")
+	}
+	if *keyframe > 1 {
+		opts = append(opts, transport.WithKeyframePolicy(segmodel.KeyframePolicy{Interval: *keyframe}))
+	} else if *keyframe < 1 {
+		return fmt.Errorf("-keyframe-interval must be >= 1")
 	}
 	srv := transport.NewServer(segmodel.New(kind), opts...)
 	bound, err := srv.Listen(*addr)

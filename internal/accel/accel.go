@@ -44,7 +44,25 @@ type Plan struct {
 	DisablePruning bool
 }
 
-var _ segmodel.Guidance = (*Plan)(nil)
+var (
+	_ segmodel.Guidance     = (*Plan)(nil)
+	_ segmodel.AreaProvider = (*Plan)(nil)
+)
+
+// AreaBoxes implements segmodel.AreaProvider: the pixel boxes of the
+// instructed areas, in plan order. The keyframe decision of skip-compute
+// (segmodel.KeyframePolicy) measures guidance churn on them — how far the
+// CIIA-transferred contours moved since the session's cached keyframe.
+func (p *Plan) AreaBoxes() []mask.Box {
+	if len(p.Areas) == 0 {
+		return nil
+	}
+	out := make([]mask.Box, len(p.Areas))
+	for i, a := range p.Areas {
+		out[i] = a.Box
+	}
+	return out
+}
 
 // ObjectPrior is a transferred-mask summary handed to the plan builder.
 type ObjectPrior struct {

@@ -159,18 +159,27 @@ func (g GatherBatch) Window() time.Duration {
 }
 
 // BatchClass is the compatibility key of the batch former: only jobs whose
-// inputs share a resolution and guidance class can ride one accelerator
-// launch, because a real batched kernel needs uniform tensor shapes and a
-// guided two-stage pass evaluates a different network slice than a vanilla
-// one.
+// inputs share a resolution, guidance class and keyframe class can ride one
+// accelerator launch, because a real batched kernel needs uniform tensor
+// shapes, a guided two-stage pass evaluates a different network slice than
+// a vanilla one, and a keyframe (full backbone) launch has a completely
+// different cost shape than a non-keyframe (warped feature) launch —
+// co-batching the two would let the cheap warp jobs hide behind a full
+// backbone and destroy the amortization math.
 type BatchClass struct {
 	Width, Height int
 	Guided        bool
+	// Keyframe separates full-backbone launches from skip-compute
+	// (warped-feature) launches. With skip-compute disabled every request
+	// is a keyframe, so the field is constant and the batch former behaves
+	// exactly as before it existed.
+	Keyframe bool
 }
 
-// ClassOf computes the batch class of one request.
-func ClassOf(in segmodel.Input, g segmodel.Guidance) BatchClass {
-	return BatchClass{Width: in.Width, Height: in.Height, Guided: g != nil}
+// ClassOf computes the batch class of one request under its keyframe
+// decision.
+func ClassOf(in segmodel.Input, g segmodel.Guidance, keyframe bool) BatchClass {
+	return BatchClass{Width: in.Width, Height: in.Height, Guided: g != nil, Keyframe: keyframe}
 }
 
 // BatchAccelerator is an Accelerator that can serve a whole batch in one
@@ -184,4 +193,20 @@ type BatchAccelerator interface {
 	// RunBatch serves len(ins) compatible jobs in one launch. gs[i] is the
 	// guidance of ins[i]; outs[i] its result.
 	RunBatch(ins []segmodel.Input, gs []segmodel.Guidance) (outs []*segmodel.Result, launchMs float64)
+}
+
+// WarpAccelerator is an Accelerator that can serve non-keyframe requests
+// from cached backbone features at the partial (warp) cost. Workers probe
+// for it when a job's keyframe decision says skip-compute; accelerators
+// that do not implement it serve the job at full cost (correct, just
+// unaccelerated — the decision still counts as a cache hit in stats, since
+// the cache state advanced on it).
+type WarpAccelerator interface {
+	Accelerator
+	// RunWarped serves one non-keyframe request under its decision.
+	RunWarped(in segmodel.Input, g segmodel.Guidance, d segmodel.KeyframeDecision) (out *segmodel.Result, inferMs float64)
+	// RunWarpedBatch serves a batch of non-keyframe requests in one
+	// amortized launch; the batch former guarantees a uniform keyframe
+	// class, so ds[i] are all non-keyframes.
+	RunWarpedBatch(ins []segmodel.Input, gs []segmodel.Guidance, ds []segmodel.KeyframeDecision) (outs []*segmodel.Result, launchMs float64)
 }

@@ -38,6 +38,12 @@ type Config struct {
 	// Dequeue shapes accelerator launches; nil means SingleDequeue (the
 	// historical one-job-per-worker discipline).
 	Dequeue DequeuePolicy
+	// Keyframe enables temporal-redundancy skip-compute: sessions keep a
+	// feature cache of their last keyframe and non-keyframe requests are
+	// served at the partial warp cost by WarpAccelerator workers. The zero
+	// policy (Interval 0) disables it — every request is a keyframe and
+	// behaviour is byte-identical to a build without the cache.
+	Keyframe segmodel.KeyframePolicy
 }
 
 // DefaultQueueDepth is the admission bound when Config leaves it zero.
@@ -49,6 +55,7 @@ type job struct {
 	in       segmodel.Input
 	g        segmodel.Guidance
 	class    BatchClass
+	decision segmodel.KeyframeDecision
 	enqueued time.Time
 	done     chan jobResult
 }
@@ -72,6 +79,7 @@ type Scheduler struct {
 	maxBatch   int
 	window     time.Duration
 	dequeue    string
+	keyframe   segmodel.KeyframePolicy
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -94,6 +102,8 @@ type Scheduler struct {
 	rejected    int
 	shed        int
 	cancelled   int
+	keyframes   int
+	warped      int
 	inferSum    float64
 	waits       metrics.Dist
 	depths      metrics.Dist
@@ -141,6 +151,13 @@ type Stats struct {
 	MeanBatchSize   float64
 	MaxBatchSize    int
 	BatchSizeCounts []int
+	// Skip-compute telemetry: with a keyframe policy enabled,
+	// KeyframesServed (feature-cache misses: full backbone) and
+	// WarpedServed (cache hits: partial warp cost) partition Served —
+	// KeyframesServed + WarpedServed == Served once drained. Both stay
+	// zero with the policy off.
+	KeyframesServed int
+	WarpedServed    int
 	// Session population.
 	ActiveSessions int
 	PeakSessions   int
@@ -168,6 +185,7 @@ func NewScheduler(cfg Config) *Scheduler {
 		maxBatch:   cfg.Dequeue.MaxBatch(),
 		window:     cfg.Dequeue.Window(),
 		dequeue:    cfg.Dequeue.Name(),
+		keyframe:   cfg.Keyframe,
 		sessions:   make(map[*Session]struct{}),
 	}
 	s.batchCounts = make([]int, s.maxBatch)
@@ -209,13 +227,31 @@ func (s *Scheduler) countRejected()    { s.rejected++ }
 func (s *Scheduler) countShed()        { s.shed++ }
 func (s *Scheduler) countCancelled()   { s.cancelled++ }
 
+// countKeyframes and countWarped split countServed by keyframe class when a
+// keyframe policy is enabled: keyframes are feature-cache misses (full
+// backbone), warped frames cache hits (partial warp cost). Together they
+// must always equal served. Both expect s.mu held.
+func (s *Scheduler) countKeyframes(n int) { s.keyframes += n }
+func (s *Scheduler) countWarped(n int)    { s.warped += n }
+
 // infer admits one request and blocks until it is served, rejected, shed or
 // cancelled. No scheduler lock is held while waiting.
+//
+// The keyframe decision is made here, at admission time, because it is the
+// session's only cross-frame state transition and admissions are the
+// arrival order of the session's frames. It happens before the scheduler
+// lock is taken (the decision reads the session's cache under sess.mu,
+// which is never held together with s.mu); if the decided request then
+// fails to reach an accelerator, the cache is conservatively invalidated
+// below so no later frame warps from a pyramid that was never computed.
 func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance) (*segmodel.Result, float64, error) {
-	j := &job{sess: sess, in: in, g: g, class: ClassOf(in, g), enqueued: time.Now(), done: make(chan jobResult, 1)}
+	d := sess.decide(s.keyframe, in, g)
+	j := &job{sess: sess, in: in, g: g, class: ClassOf(in, g, d.Keyframe), decision: d,
+		enqueued: time.Now(), done: make(chan jobResult, 1)}
 	s.mu.Lock()
 	if s.closed || sess.closed {
 		s.mu.Unlock()
+		sess.dropCacheFor(d)
 		return nil, 0, ErrClosed
 	}
 	// A session is in the ring iff it has pending work; capture that before
@@ -227,6 +263,7 @@ func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance)
 		s.countRejected()
 		s.mu.Unlock()
 		sess.noteRejected()
+		sess.dropCacheFor(d)
 		return nil, 0, ErrQueueFull
 	case VerdictShedOldest:
 		if len(sess.pending) > 0 {
@@ -241,12 +278,19 @@ func (s *Scheduler) infer(sess *Session, in segmodel.Input, g segmodel.Guidance)
 			//edgeis:lockheld done is buffered (cap 1) and this is its only send, so it cannot block
 			stale.done <- jobResult{err: ErrShed}
 			defer sess.noteShed()
+			// A shed keyframe never reaches an accelerator, so the cached
+			// pyramid any later non-keyframe would warp from does not
+			// exist; invalidate once the lock is dropped.
+			if stale.decision.Keyframe {
+				defer sess.dropCacheFor(stale.decision)
+			}
 		} else {
 			// A policy may only shed the arriving session's own work;
 			// with none queued the verdict degrades to a reject.
 			s.countRejected()
 			s.mu.Unlock()
 			sess.noteRejected()
+			sess.dropCacheFor(d)
 			return nil, 0, ErrQueueFull
 		}
 	}
@@ -348,6 +392,7 @@ func (s *Scheduler) nextBatch() []*job {
 func (s *Scheduler) worker(acc Accelerator) {
 	defer s.wg.Done()
 	bacc, canBatch := acc.(BatchAccelerator)
+	wacc, canWarp := acc.(WarpAccelerator)
 	for {
 		batch := s.nextBatch()
 		if batch == nil {
@@ -358,18 +403,37 @@ func (s *Scheduler) worker(acc Accelerator) {
 			waitMs[i] = float64(time.Since(j.enqueued)) / float64(time.Millisecond)
 		}
 
+		// The batch former never mixes keyframe classes (BatchClass
+		// includes Keyframe), so one probe of the head job decides the
+		// launch shape for the whole batch.
+		warp := canWarp && !batch[0].decision.Keyframe
+
 		outs := make([]*segmodel.Result, len(batch))
 		perMs := make([]float64, len(batch))
 		switch {
 		case len(batch) == 1:
-			outs[0], perMs[0] = acc.Run(batch[0].in, batch[0].g)
+			if warp {
+				outs[0], perMs[0] = wacc.RunWarped(batch[0].in, batch[0].g, batch[0].decision)
+			} else {
+				outs[0], perMs[0] = acc.Run(batch[0].in, batch[0].g)
+			}
 		case canBatch:
 			ins := make([]segmodel.Input, len(batch))
 			gs := make([]segmodel.Guidance, len(batch))
 			for i, j := range batch {
 				ins[i], gs[i] = j.in, j.g
 			}
-			bouts, launchMs := bacc.RunBatch(ins, gs)
+			var bouts []*segmodel.Result
+			var launchMs float64
+			if warp {
+				ds := make([]segmodel.KeyframeDecision, len(batch))
+				for i, j := range batch {
+					ds[i] = j.decision
+				}
+				bouts, launchMs = wacc.RunWarpedBatch(ins, gs, ds)
+			} else {
+				bouts, launchMs = bacc.RunBatch(ins, gs)
+			}
 			copy(outs, bouts)
 			// Every job in the launch completes together.
 			for i := range perMs {
@@ -379,13 +443,26 @@ func (s *Scheduler) worker(acc Accelerator) {
 			// The accelerator cannot batch: serve serially. Correct but
 			// unamortized — batching pays off only with a BatchAccelerator.
 			for i, j := range batch {
-				outs[i], perMs[i] = acc.Run(j.in, j.g)
+				if warp {
+					outs[i], perMs[i] = wacc.RunWarped(j.in, j.g, j.decision)
+				} else {
+					outs[i], perMs[i] = acc.Run(j.in, j.g)
+				}
 			}
 		}
 
 		s.mu.Lock()
 		s.inflight -= len(batch)
 		s.countServed(len(batch))
+		if s.keyframe.Enabled() {
+			// Partition served by keyframe class; the class is uniform
+			// across the batch.
+			if batch[0].decision.Keyframe {
+				s.countKeyframes(len(batch))
+			} else {
+				s.countWarped(len(batch))
+			}
+		}
 		// Batch telemetry only exists under the batch former; with single
 		// dequeue the stats surface stays exactly as it was before the
 		// policy layer (no batch line in FormatServerStats).
@@ -458,6 +535,8 @@ func (s *Scheduler) Stats() Stats {
 		PeakQueueDepth:  int(s.depths.Max()),
 		Batches:         s.batches,
 		BatchSizeCounts: append([]int(nil), s.batchCounts...),
+		KeyframesServed: s.keyframes,
+		WarpedServed:    s.warped,
 		ActiveSessions:  len(s.sessions),
 		PeakSessions:    s.peakSess,
 	}

@@ -38,6 +38,13 @@ type Session struct {
 	// plan is the last non-nil CIIA guidance the client sent — the
 	// per-client context that stays alive across requests.
 	plan segmodel.Guidance
+	// cache is the session's skip-compute feature cache: the metadata of
+	// the last keyframe's backbone pyramid. It is created lazily on the
+	// first keyframe decision under an enabled policy, invalidated when a
+	// decided keyframe fails to reach an accelerator or guidance
+	// continuity breaks (the decision function handles the latter), and
+	// evicted when the session closes. Nil whenever skip-compute is off.
+	cache *segmodel.FeatureCache
 }
 
 // SessionStats is a point-in-time snapshot of one session.
@@ -126,10 +133,44 @@ func (sess *Session) Stats() SessionStats {
 
 // Close detaches the session from the scheduler: queued-but-unstarted
 // requests fail with ErrClosed (unblocking their waiters), later Infer
-// calls are rejected, and the session stops appearing in Sessions. Safe to
-// call more than once.
+// calls are rejected, and the session stops appearing in Sessions. The
+// session's feature cache is evicted with it. Safe to call more than once.
 func (sess *Session) Close() {
 	sess.sched.closeSession(sess)
+	sess.mu.Lock()
+	sess.cache = nil
+	sess.mu.Unlock()
+}
+
+// decide classifies one request as keyframe or non-keyframe against the
+// session's feature cache, creating the cache on first use. It advances
+// the cache's cross-frame state, so the scheduler calls it exactly once
+// per request, in admission order. Must not be called with the scheduler's
+// mutex held (it takes sess.mu).
+func (sess *Session) decide(p segmodel.KeyframePolicy, in segmodel.Input, g segmodel.Guidance) segmodel.KeyframeDecision {
+	if !p.Enabled() {
+		return segmodel.KeyframeDecision{Keyframe: true, Reason: segmodel.KeyDisabled}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.cache == nil {
+		sess.cache = segmodel.NewFeatureCache()
+	}
+	return p.Decide(sess.cache, in, g)
+}
+
+// dropCacheFor invalidates the feature cache after the request carrying
+// the given decision failed to reach an accelerator. Only a lost keyframe
+// matters: its pyramid was never computed, so later frames must not warp
+// from it. A lost non-keyframe leaves the cached keyframe intact. Must not
+// be called with the scheduler's mutex held.
+func (sess *Session) dropCacheFor(d segmodel.KeyframeDecision) {
+	if !d.Keyframe || d.Reason == segmodel.KeyDisabled {
+		return
+	}
+	sess.mu.Lock()
+	sess.cache.Invalidate()
+	sess.mu.Unlock()
 }
 
 // noteServed records one answered request's latencies.

@@ -11,6 +11,7 @@ import (
 	"edgeis/internal/parallel"
 	"edgeis/internal/pipeline"
 	"edgeis/internal/roisel"
+	"edgeis/internal/segmodel"
 	"edgeis/internal/transfer"
 )
 
@@ -93,6 +94,41 @@ func AblationCompressionBudget(seed int64, frames int) *Result {
 		r.Addf("per-offload reduction: %s", pct(metrics.Reduction(perFull, perCFRS)))
 	}
 	r.Addf("accuracy: uniform %.3f vs CFRS %.3f IoU", full.Acc.MeanIoU(), cfrs.Acc.MeanIoU())
+	return r
+}
+
+// AblationKeyframeInterval sweeps the edge's temporal-redundancy keyframe
+// interval (YolactEdge-style skip-compute): a full backbone pass every N
+// frames, warped cached features in between. It reports the accuracy floor
+// against the per-frame edge inference cost the cache buys back. Interval 1
+// is the all-keyframe baseline (policy disabled — byte-identical to the
+// historical engine). Not part of All(): the committed EXPERIMENTS.md report
+// is golden-pinned and this arm is recorded separately (edgeis-bench ablkf).
+func AblationKeyframeInterval(seed int64, frames int) *Result {
+	if frames == 0 {
+		frames = DefaultClipFrames
+	}
+	r := &Result{ID: "AblKF", Title: "Edge skip-compute keyframe interval (feature cache)"}
+	clips := dataset.KITTI(seed, frames)
+	cam := EvalCamera()
+
+	r.Addf("%-9s %9s %14s %14s", "interval", "IoU", "edge ms/frame", "edge infer ms")
+	lines := parallel.Map([]int{1, 2, 4, 8}, func(_ int, n int) string {
+		out := RunCustomClipsEngine("kf", clips, netsim.WiFi5, seed,
+			func(cfg *pipeline.Config) {
+				cfg.EdgeKeyframe = segmodel.KeyframePolicy{Interval: n}
+			},
+			func(cfgSeed int64) pipeline.Strategy {
+				return core.NewSystem(core.Config{Camera: cam, Device: device.IPhone11, Seed: cfgSeed})
+			})
+		perFrame := 0.0
+		if out.Stats.EdgeResultCount > 0 {
+			perFrame = out.Stats.EdgeInferMsSum / float64(out.Stats.EdgeResultCount)
+		}
+		return fmt.Sprintf("%-9d %9.3f %14.1f %14.0f", n, out.Acc.MeanIoU(),
+			perFrame, out.Stats.EdgeInferMsSum)
+	})
+	r.Lines = append(r.Lines, lines...)
 	return r
 }
 

@@ -175,6 +175,14 @@ func RunClips(kind SystemKind, clips []dataset.Clip, medium netsim.Medium, dev d
 // results are merged strictly in clip order. build receives the per-clip
 // seed and must return a fresh strategy each call.
 func RunCustomClips(name string, clips []dataset.Clip, medium netsim.Medium, seed int64, build func(cfgSeed int64) pipeline.Strategy) RunOutcome {
+	return RunCustomClipsEngine(name, clips, medium, seed, nil, build)
+}
+
+// RunCustomClipsEngine is RunCustomClips with an engine-config hook: mutate
+// (nil = no-op) edits each clip's pipeline.Config after the standard fields
+// are filled, for experiments that exercise edge-side engine features (e.g.
+// the skip-compute keyframe policy) rather than strategy-side knobs.
+func RunCustomClipsEngine(name string, clips []dataset.Clip, medium netsim.Medium, seed int64, mutate func(*pipeline.Config), build func(cfgSeed int64) pipeline.Strategy) RunOutcome {
 	cam := EvalCamera()
 	outs := parallel.Map(clips, func(i int, clip dataset.Clip) clipOutcome {
 		cfg := pipeline.Config{
@@ -185,6 +193,9 @@ func RunCustomClips(name string, clips []dataset.Clip, medium netsim.Medium, see
 			CameraSpeed: clip.CameraSpeed,
 			Medium:      medium,
 			Seed:        seed + int64(i)*101,
+		}
+		if mutate != nil {
+			mutate(&cfg)
 		}
 		engine := pipeline.NewEngine(cfg, build(cfg.Seed))
 		evals, stats := engine.Run()

@@ -31,6 +31,11 @@ var counterFields = map[string]bool{
 	"discarded":        true,
 	"droppedoffloads":  true,
 	"discardedresults": true,
+	// The skip-compute partition counters (keyframes + warped == served)
+	// are conserved the same way: served frames split into exactly one of
+	// the two classes, so their writes must be auditable too.
+	"keyframes": true,
+	"warped":    true,
 }
 
 // counterMutators is the audited mutator set, keyed by package base then
@@ -44,6 +49,8 @@ var counterMutators = map[string]map[string]bool{
 		"Scheduler.countRejected":  true,
 		"Scheduler.countShed":      true,
 		"Scheduler.countCancelled": true,
+		"Scheduler.countKeyframes": true,
+		"Scheduler.countWarped":    true,
 		"Session.noteServed":       true,
 		"Session.noteRejected":     true,
 		"Session.noteShed":         true,
@@ -57,11 +64,13 @@ var counterMutators = map[string]map[string]bool{
 		"BackendStats.CountDiscarded": true,
 	},
 	"loadgen": {
-		"sim.countOffered":  true,
-		"sim.countDropped":  true,
-		"sim.countRejected": true,
-		"sim.countShed":     true,
-		"sim.countServed":   true,
+		"sim.countOffered":   true,
+		"sim.countDropped":   true,
+		"sim.countRejected":  true,
+		"sim.countShed":      true,
+		"sim.countServed":    true,
+		"sim.countKeyframes": true,
+		"sim.countWarped":    true,
 	},
 	"drive": {
 		"agg.noteServed":   true,

@@ -6,6 +6,9 @@ type sim struct {
 	served   int
 	offered  int
 	rejected int
+	// keyframes/warped are the skip-compute partition of served.
+	keyframes int
+	warped    int
 	// dropped here is a per-frame flag, not a counter: bools are exempt.
 	dropped bool
 }
@@ -22,6 +25,9 @@ func (s *sim) countServed() { s.served++ }
 
 func (s *sim) countOffered() { s.offered++ }
 
+// countKeyframes is a registered mutator for the skip-compute partition.
+func (s *sim) countKeyframes(n int) { s.keyframes += n }
+
 // Flagged: a counter write outside the mutator set.
 func admit(s *sim) {
 	s.rejected++ // want "write to accounting counter rejected"
@@ -30,6 +36,11 @@ func admit(s *sim) {
 // Flagged: assignment forms are writes too.
 func reset(s *sim) {
 	s.served = 0 // want "write to accounting counter served"
+}
+
+// Flagged: the skip-compute partition counters are conserved quantities.
+func warpDirect(s *sim) {
+	s.warped++ // want "write to accounting counter warped"
 }
 
 // Suppressed: a reviewed direct write carries its reason.
@@ -42,6 +53,7 @@ func reviewedWrite(s *sim) {
 func serve(s *sim) {
 	s.countServed()
 	s.countOffered()
+	s.countKeyframes(1)
 }
 
 // Guard: same-name aggregation moves counts between scopes without

@@ -178,6 +178,35 @@ func (a *clipAccelerator) RunBatch(ins []segmodel.Input, gs []segmodel.Guidance)
 	return make([]*segmodel.Result, len(ins)), launchMs
 }
 
+// warpMs is the cost of one job under its keyframe decision: keyframes pay
+// the clip's full inference latency, non-keyframes its warp latency.
+func (a *clipAccelerator) warpMs(in segmodel.Input, d segmodel.KeyframeDecision) float64 {
+	if d.Keyframe {
+		return a.soloMs(in)
+	}
+	return a.p.ClipFor(int(in.Seed)).WarpMs
+}
+
+// RunWarped implements edge.WarpAccelerator: a non-keyframe holds the
+// worker for the clip's warp cost, which is where skip-compute buys
+// wall-clock throughput on this target.
+func (a *clipAccelerator) RunWarped(in segmodel.Input, g segmodel.Guidance, d segmodel.KeyframeDecision) (*segmodel.Result, float64) {
+	inferMs := a.warpMs(in, d)
+	time.Sleep(time.Duration(inferMs * a.frac * a.scale * float64(time.Millisecond)))
+	return nil, inferMs
+}
+
+// RunWarpedBatch implements edge.WarpAccelerator for gathered launches.
+func (a *clipAccelerator) RunWarpedBatch(ins []segmodel.Input, gs []segmodel.Guidance, ds []segmodel.KeyframeDecision) ([]*segmodel.Result, float64) {
+	solos := make([]float64, len(ins))
+	for i, in := range ins {
+		solos[i] = a.warpMs(in, ds[i])
+	}
+	launchMs := segmodel.BatchMs(solos)
+	time.Sleep(time.Duration(launchMs * a.frac * a.scale * float64(time.Millisecond)))
+	return make([]*segmodel.Result, len(ins)), launchMs
+}
+
 // policies resolves the profile's admission and dequeue policies onto edge
 // types; the gather window stretches with the run's TimeScale just like the
 // generation schedule does.
@@ -213,6 +242,7 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		QueueDepth: p.QueueDepth,
 		Admission:  admission,
 		Dequeue:    dequeue,
+		Keyframe:   p.KeyframePolicy(),
 		NewAccelerator: func(int) edge.Accelerator {
 			return &clipAccelerator{p: p, scale: o.TimeScale, frac: o.Occupancy}
 		},
@@ -287,6 +317,13 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		return nil, fmt.Errorf("drive scheduler: accounting mismatch: driver served/rejected/shed %d/%d/%d, scheduler served/rejected/shed/cancelled %d/%d/%d/%d",
 			a.served, a.rejected, a.shed, st.Served, st.Rejected, st.Shed, st.Cancelled)
 	}
+	// Skip-compute partition law, reconciled against the scheduler's own
+	// counters: with the feature cache on, every served frame is exactly one
+	// of keyframe or warped.
+	if p.SkipCompute() && st.KeyframesServed+st.WarpedServed != st.Served {
+		return nil, fmt.Errorf("drive scheduler: keyframe partition violated: keyframes %d + warped %d != served %d",
+			st.KeyframesServed, st.WarpedServed, st.Served)
+	}
 	slo := newSLO(p, "scheduler", a, horizon)
 	slo.WaitMeanMs = round3(st.MeanWaitMs)
 	slo.WaitP95Ms = round3(st.P95WaitMs)
@@ -295,6 +332,9 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	slo.QueuePeakDepth = st.PeakQueueDepth
 	slo.Batches = st.Batches
 	slo.MeanBatchSize = round3(st.MeanBatchSize)
+	slo.KeyframesServed = st.KeyframesServed
+	slo.WarpedServed = st.WarpedServed
+	slo.KeyframeRate = keyframeRate(st.KeyframesServed, st.WarpedServed)
 	return slo, nil
 }
 
@@ -323,6 +363,9 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		}
 		if dequeue != nil {
 			srvOpts = append(srvOpts, transport.WithDequeuePolicy(dequeue))
+		}
+		if p.SkipCompute() {
+			srvOpts = append(srvOpts, transport.WithKeyframePolicy(p.KeyframePolicy()))
 		}
 		srv = transport.NewServer(segmodel.New(segmodel.YOLOv3), srvOpts...)
 		bound, err := srv.Listen("127.0.0.1:0")
@@ -456,11 +499,19 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 		slo.QueuePeakDepth = st.PeakQueueDepth
 		slo.Batches = st.Batches
 		slo.MeanBatchSize = round3(st.MeanBatchSize)
+		slo.KeyframesServed = st.KeyframesServed
+		slo.WarpedServed = st.WarpedServed
+		slo.KeyframeRate = keyframeRate(st.KeyframesServed, st.WarpedServed)
 		// The server must not have resolved more frames than the clients
 		// saw plus what teardown abandoned; anything else is silent loss.
 		if st.Served+st.Rejected+st.Shed+st.Cancelled < a.served+a.rejected+a.shed {
 			return nil, fmt.Errorf("drive tcp: accounting mismatch: clients saw served/rejected/shed %d/%d/%d, server served/rejected/shed/cancelled %d/%d/%d/%d",
 				a.served, a.rejected, a.shed, st.Served, st.Rejected, st.Shed, st.Cancelled)
+		}
+		// Server-side partition law under an enabled feature cache.
+		if p.SkipCompute() && st.KeyframesServed+st.WarpedServed != st.Served {
+			return nil, fmt.Errorf("drive tcp: keyframe partition violated: keyframes %d + warped %d != served %d",
+				st.KeyframesServed, st.WarpedServed, st.Served)
 		}
 	}
 	return slo, nil
@@ -496,3 +547,11 @@ func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadge
 
 // round3 matches the simulator's report quantization.
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// keyframeRate matches the simulator's keyframe-fraction rounding.
+func keyframeRate(keyframes, warped int) float64 {
+	if keyframes+warped == 0 {
+		return 0
+	}
+	return round3(float64(keyframes) / float64(keyframes+warped))
+}

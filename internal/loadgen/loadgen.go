@@ -30,6 +30,7 @@ import (
 
 	"edgeis/internal/edge"
 	"edgeis/internal/netsim"
+	"edgeis/internal/segmodel"
 )
 
 // ArrivalKind selects a session's offload arrival process.
@@ -91,13 +92,22 @@ type ClipClass struct {
 	ResultBytes int `json:"result_bytes"`
 	// InferMs is the nominal edge inference latency for this class.
 	InferMs float64 `json:"infer_ms"`
+	// WarpMs is the nominal non-keyframe (skip-compute) inference latency:
+	// warping the session's cached keyframe features instead of recomputing
+	// the backbone. Only read when Profile.KeyframeInterval enables the
+	// feature cache; zero then defaults to InferMs (no saving), so a profile
+	// must opt its clips into the cheaper warp cost explicitly.
+	WarpMs float64 `json:"warp_ms,omitempty"`
 }
 
-// Clip classes, named after the scene presets they stand in for.
+// Clip classes, named after the scene presets they stand in for. WarpMs is
+// calibrated like segmodel's skip-compute profiles: the warp retains the
+// detection heads and drops most of the backbone, roughly 40% of the solo
+// cost for these two-stage-dominated classes.
 var (
-	ClipStreet     = ClipClass{Name: "street", PayloadBytes: 26000, ResultBytes: 2600, InferMs: 42}
-	ClipIndoor     = ClipClass{Name: "indoor", PayloadBytes: 18000, ResultBytes: 1800, InferMs: 31}
-	ClipIndustrial = ClipClass{Name: "industrial", PayloadBytes: 34000, ResultBytes: 3400, InferMs: 55}
+	ClipStreet     = ClipClass{Name: "street", PayloadBytes: 26000, ResultBytes: 2600, InferMs: 42, WarpMs: 16}
+	ClipIndoor     = ClipClass{Name: "indoor", PayloadBytes: 18000, ResultBytes: 1800, InferMs: 31, WarpMs: 12}
+	ClipIndustrial = ClipClass{Name: "industrial", PayloadBytes: 34000, ResultBytes: 3400, InferMs: 55, WarpMs: 20}
 )
 
 // DefaultClips is the standard clip mix.
@@ -154,6 +164,14 @@ type Profile struct {
 	// "latest-wins" (shed the session's own oldest queued frame to admit
 	// the fresh one).
 	ShedPolicy string `json:"shed_policy,omitempty"`
+	// KeyframeInterval enables per-session temporal-redundancy skip-compute
+	// on the edge: one frame in every KeyframeInterval recomputes the full
+	// backbone (clip InferMs) and the rest warp the session's cached
+	// keyframe features (clip WarpMs). A keyframe lost to admission reject
+	// or latest-wins shedding invalidates the session's cache, forcing the
+	// next frame to be a keyframe. Zero or one disables the cache and keeps
+	// runs byte-identical to the committed baselines.
+	KeyframeInterval int `json:"keyframe_interval,omitempty"`
 	// Seed pins every random draw in the run.
 	Seed int64 `json:"seed"`
 }
@@ -193,6 +211,17 @@ func (p Profile) SessionArrivals(i int) []float64 {
 		out = append(out, next)
 		t = next
 	}
+}
+
+// SkipCompute reports whether the profile enables the keyframe feature
+// cache.
+func (p Profile) SkipCompute() bool { return p.KeyframeInterval > 1 }
+
+// KeyframePolicy maps the profile onto the serving stack's skip-compute
+// policy (loadgen workloads carry no contours, so the policy is purely
+// interval-driven; the churn trigger never fires on guidance-less frames).
+func (p Profile) KeyframePolicy() segmodel.KeyframePolicy {
+	return segmodel.KeyframePolicy{Interval: p.KeyframeInterval}
 }
 
 // withDefaults fills zero fields with the standard values.
@@ -241,6 +270,19 @@ func (p Profile) withDefaults() Profile {
 	}
 	if p.ShedPolicy == "" {
 		p.ShedPolicy = "reject"
+	}
+	if p.SkipCompute() {
+		// Clips without an explicit warp cost serve non-keyframes at full
+		// cost; copy before filling so the shared default clip slice is
+		// never mutated.
+		clips := make([]ClipClass, len(p.Clips))
+		copy(clips, p.Clips)
+		for i := range clips {
+			if clips[i].WarpMs <= 0 {
+				clips[i].WarpMs = clips[i].InferMs
+			}
+		}
+		p.Clips = clips
 	}
 	return p
 }

@@ -18,8 +18,16 @@ import "fmt"
 //     instead of fresh frames rejected at the full queue.
 //   - fleet-1k: 1000 concurrent sessions ramping up on 4 accelerators, the
 //     scale demonstration.
+//   - steady-scene-x2 / steady-scene-skip-x2: the same oversubscribed
+//     steady street fleet on 2 accelerators, all-keyframe vs the feature
+//     cache at KeyframeInterval 4; the pair that shows skip-compute
+//     converting temporal redundancy into served throughput (read the
+//     served counts and p50 against each other).
 //   - ci-smoke: a seconds-scale contended profile for the blocking CI
 //     determinism/conservation check.
+//   - ci-smoke-skip: ci-smoke with the feature cache enabled, so the CI
+//     smoke also pins skip-compute determinism and the keyframe partition
+//     law (keyframes + warped == served).
 //   - tcp-smoke: a small wall-clock-friendly profile for the live targets
 //     (scheduler, tcp); also run on sim for cross-target comparison.
 func Profiles() []Profile {
@@ -27,6 +35,11 @@ func Profiles() []Profile {
 		{
 			Name: "ci-smoke", Sessions: 32, Accelerators: 1, QueueDepth: 16,
 			DurationMs: 3000, FPS: 2, Arrival: Steady, Seed: 1,
+		},
+		{
+			Name: "ci-smoke-skip", Sessions: 32, Accelerators: 1, QueueDepth: 16,
+			DurationMs: 3000, FPS: 2, Arrival: Steady, Seed: 1,
+			KeyframeInterval: 4,
 		},
 		{
 			Name: "steady-light", Sessions: 64, Accelerators: 4, QueueDepth: 32,
@@ -53,6 +66,17 @@ func Profiles() []Profile {
 		{
 			Name: "fleet-1k", Sessions: 1000, Accelerators: 4, QueueDepth: 64,
 			DurationMs: 20000, FPS: 0.5, Arrival: Ramp, RampFactor: 6, Seed: 4,
+		},
+		{
+			Name: "steady-scene-x2", Sessions: 96, Accelerators: 2, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 6,
+			Clips: []ClipClass{ClipStreet},
+		},
+		{
+			Name: "steady-scene-skip-x2", Sessions: 96, Accelerators: 2, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 6,
+			Clips:            []ClipClass{ClipStreet},
+			KeyframeInterval: 4,
 		},
 		{
 			Name: "tcp-smoke", Sessions: 12, Accelerators: 2, QueueDepth: 8,

@@ -39,6 +39,14 @@ type SLO struct {
 	Batches       int     `json:"batches,omitempty"`
 	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
 
+	// Skip-compute telemetry (zero and absent from JSON when the profile's
+	// KeyframeInterval disables the feature cache): served frames that paid
+	// the full backbone vs the warp cost, and the keyframe fraction of
+	// served. When enabled, KeyframesServed + WarpedServed == Served.
+	KeyframesServed int     `json:"keyframes_served,omitempty"`
+	WarpedServed    int     `json:"warped_served,omitempty"`
+	KeyframeRate    float64 `json:"keyframe_rate,omitempty"`
+
 	// End-to-end offload latency of served frames (generation to result
 	// delivery), in ms. Quantiles use metrics.Dist's documented
 	// nearest-rank estimator over its retained window.
@@ -77,6 +85,15 @@ type SLO struct {
 // underlying computation is already deterministic.
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
+// keyframeRate is the keyframe fraction of served frames under an enabled
+// feature cache (0 when nothing was partitioned).
+func keyframeRate(keyframes, warped int) float64 {
+	if keyframes+warped == 0 {
+		return 0
+	}
+	return round3(float64(keyframes) / float64(keyframes+warped))
+}
+
 // Check verifies the conservation law and basic sanity; it returns a
 // descriptive error naming the violated invariant.
 func (s *SLO) Check() error {
@@ -94,6 +111,16 @@ func (s *SLO) Check() error {
 		return fmt.Errorf("loadgen %s/%s: fairness fields inconsistent: min %d max %d spread %d",
 			s.Profile, s.Target, s.ServedMin, s.ServedMax, s.FairnessSpread)
 	}
+	if s.KeyframesServed < 0 || s.WarpedServed < 0 {
+		return fmt.Errorf("loadgen %s/%s: negative skip-compute accounting: keyframes %d warped %d",
+			s.Profile, s.Target, s.KeyframesServed, s.WarpedServed)
+	}
+	// Skip-compute partition law: when the feature cache classified frames,
+	// every served frame is exactly one of keyframe or warped.
+	if s.KeyframesServed+s.WarpedServed > 0 && s.KeyframesServed+s.WarpedServed != s.Served {
+		return fmt.Errorf("loadgen %s/%s: keyframe partition violated: keyframes %d + warped %d != served %d",
+			s.Profile, s.Target, s.KeyframesServed, s.WarpedServed, s.Served)
+	}
 	return nil
 }
 
@@ -106,6 +133,9 @@ func (s *SLO) String() string {
 		s.LatP50Ms, s.LatP95Ms, s.LatP99Ms, s.QueueMeanDepth, s.QueuePeakDepth, s.ServedMin, s.ServedMax)
 	if s.Batches > 0 {
 		fmt.Fprintf(&b, " | batches %d mean %.2f", s.Batches, s.MeanBatchSize)
+	}
+	if s.KeyframesServed+s.WarpedServed > 0 {
+		fmt.Fprintf(&b, " | keyframes %d warped %d (rate %.2f)", s.KeyframesServed, s.WarpedServed, s.KeyframeRate)
 	}
 	return b.String()
 }

@@ -54,6 +54,10 @@ type simJob struct {
 	sess     int
 	genAt    float64
 	arriveAt float64
+	// keyframe is the skip-compute classification made at edge admission
+	// (constant true when the profile disables the feature cache); it picks
+	// the inference cost and the batch-compatibility class.
+	keyframe bool
 }
 
 // eventHeap is a min-heap on (at, seq).
@@ -83,6 +87,11 @@ type simSession struct {
 	outstanding int
 	pending     []*simJob
 	served      int
+	// kfValid/kfAge mirror the session's edge-side feature cache: valid
+	// after a keyframe decision, aged by each non-keyframe, invalidated when
+	// a decided keyframe is lost before serving (reject or shed).
+	kfValid bool
+	kfAge   int
 }
 
 // sim is the run state.
@@ -105,7 +114,10 @@ type sim struct {
 
 	offered, served, rejected, shed, dropped int
 	batches, batchJobs                       int
-	lat, waits, depths                       metrics.Dist
+	// keyframes/warped partition served when the profile enables
+	// skip-compute (both stay zero otherwise).
+	keyframes, warped  int
+	lat, waits, depths metrics.Dist
 }
 
 // Run executes the profile on the virtual-time simulator and returns its
@@ -178,6 +190,50 @@ func (s *sim) countServed(ss *simSession) {
 	s.served++
 }
 
+// countKeyframes and countWarped partition served frames by skip-compute
+// cost shape; only called when the profile enables the feature cache, so
+// KeyframesServed + WarpedServed == Served exactly when enabled.
+
+func (s *sim) countKeyframes(n int) { s.keyframes += n }
+
+func (s *sim) countWarped(n int) { s.warped += n }
+
+// decideKeyframe classifies one arriving frame against the session's
+// feature-cache mirror, in arrival order — the interval-driven half of
+// segmodel.KeyframePolicy.Decide (loadgen frames carry no contours, so the
+// churn trigger never fires). Keyframes refresh the cache, non-keyframes
+// age it.
+func (s *sim) decideKeyframe(ss *simSession) bool {
+	if !s.p.SkipCompute() {
+		return true
+	}
+	if !ss.kfValid || ss.kfAge+1 >= s.p.KeyframeInterval {
+		ss.kfValid, ss.kfAge = true, 0
+		return true
+	}
+	ss.kfAge++
+	return false
+}
+
+// dropKeyframeFor invalidates the session's cache mirror when a decided
+// keyframe is lost before serving: its features were never computed, so
+// the next frame must be a keyframe (edge.Session.dropCacheFor's rule). A
+// lost non-keyframe leaves the cached keyframe intact.
+func (s *sim) dropKeyframeFor(ss *simSession, keyframe bool) {
+	if s.p.SkipCompute() && keyframe {
+		ss.kfValid = false
+	}
+}
+
+// jobCost is the nominal accelerator cost of one job's cost shape.
+func (s *sim) jobCost(j *simJob) float64 {
+	clip := s.sess[j.sess].clip
+	if j.keyframe {
+		return clip.InferMs
+	}
+	return clip.WarpMs
+}
+
 // generate handles one frame generation: client-side shed when the session
 // is at its outstanding cap, otherwise uplink pacing toward the edge.
 func (s *sim) generate(e event) {
@@ -204,6 +260,10 @@ func (s *sim) generate(e event) {
 // and the round-robin ring.
 func (s *sim) arrive(e event) {
 	ss := s.sess[e.sess]
+	// Keyframe classification happens at admission in arrival order,
+	// mirroring edge.Scheduler's decide-before-admission: even a frame the
+	// queue then rejects has advanced the session's cache state.
+	e.job.keyframe = s.decideKeyframe(ss)
 	// Ring membership is decided before any shed mutates pending, exactly
 	// like edge.Scheduler: a latest-wins shed can momentarily empty the
 	// pending list without the session ever leaving the ring.
@@ -211,14 +271,18 @@ func (s *sim) arrive(e event) {
 	if s.queued >= s.p.QueueDepth {
 		if s.p.ShedPolicy == "latest-wins" && len(ss.pending) > 0 {
 			// The shed frame's result will never come back, so its
-			// outstanding slot frees immediately.
+			// outstanding slot frees immediately; if it was a decided
+			// keyframe, the cache it would have refreshed is gone too.
+			stale := ss.pending[0]
 			ss.pending = ss.pending[1:]
 			s.queued--
 			s.countShed()
 			ss.outstanding--
+			s.dropKeyframeFor(ss, stale.keyframe)
 		} else {
 			s.countRejected()
 			ss.outstanding--
+			s.dropKeyframeFor(ss, e.job.keyframe)
 			return
 		}
 	}
@@ -261,7 +325,7 @@ func (s *sim) dispatch(now float64) {
 				s.ring = append(s.ring, si)
 			}
 			s.waits.Add(now - j.arriveAt)
-			inferMs := ss.clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
+			inferMs := s.jobCost(j) * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
 			s.accelIdle[accel] = false
 			s.busyMs[accel] += inferMs
 			s.push(event{at: now + inferMs, kind: evInferDone, accel: accel, batch: []*simJob{j}})
@@ -297,11 +361,16 @@ func (s *sim) gather(batch []*simJob) []*simJob {
 			s.ring = append(s.ring, si)
 		}
 	}
+	// The anchor fixes both compatibility keys: clip class and keyframe
+	// class (a full-backbone launch and a cache warp are different cost
+	// shapes; with skip-compute off every job is a keyframe, so the test
+	// reduces to the historical clip-only key).
 	class := s.sess[batch[0].sess].clip.Name
+	kf := batch[0].keyframe
 	for i := 0; i < len(s.ring) && len(batch) < s.p.MaxBatch; {
 		si := s.ring[i]
 		ss := s.sess[si]
-		if ss.clip.Name != class {
+		if ss.clip.Name != class || ss.pending[0].keyframe != kf {
 			i++
 			continue
 		}
@@ -325,7 +394,7 @@ func (s *sim) launch(now float64, accel int, batch []*simJob) {
 	solos := make([]float64, len(batch))
 	for i, j := range batch {
 		s.waits.Add(now - j.arriveAt)
-		solos[i] = s.sess[j.sess].clip.InferMs * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
+		solos[i] = s.jobCost(j) * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
 	}
 	batchMs := segmodel.BatchMs(solos)
 	s.accelIdle[accel] = false
@@ -355,11 +424,19 @@ func (s *sim) inferDone(e event) {
 	s.dispatch(e.at)
 }
 
-// deliver records the served frame's end-to-end latency.
+// deliver records the served frame's end-to-end latency and its
+// skip-compute cost shape.
 func (s *sim) deliver(e event) {
 	ss := s.sess[e.sess]
 	ss.outstanding--
 	s.countServed(ss)
+	if s.p.SkipCompute() {
+		if e.job.keyframe {
+			s.countKeyframes(1)
+		} else {
+			s.countWarped(1)
+		}
+	}
 	s.lat.Add(e.at - e.job.genAt)
 }
 
@@ -400,6 +477,9 @@ func (s *sim) report() *SLO {
 		ConservationOK:  s.offered == s.served+s.rejected+s.shed+s.dropped,
 		Batches:         s.batches,
 		MeanBatchSize:   round3(meanBatch),
+		KeyframesServed: s.keyframes,
+		WarpedServed:    s.warped,
+		KeyframeRate:    keyframeRate(s.keyframes, s.warped),
 		LatMeanMs:       round3(s.lat.Mean()),
 		LatP50Ms:        round3(s.lat.Quantile(0.50)),
 		LatP95Ms:        round3(s.lat.Quantile(0.95)),

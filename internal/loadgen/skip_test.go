@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSkipComputeDeterministicInSim extends the CI determinism gate to the
+// feature cache: two runs of the skip-compute smoke profile must be
+// byte-identical, and every served frame must be classified as exactly one
+// of keyframe or warped (the partition law Check() enforces).
+func TestSkipComputeDeterministicInSim(t *testing.T) {
+	p, err := ProfileByName("ci-smoke-skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SkipCompute() {
+		t.Fatalf("ci-smoke-skip does not enable the feature cache: %+v", p)
+	}
+	a, b := Run(p), Run(p)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two runs of %s differ:\n%s\n%s", p.Name, ja, jb)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.KeyframesServed == 0 || a.WarpedServed == 0 {
+		t.Fatalf("skip profile did not exercise both classes: keyframes %d warped %d", a.KeyframesServed, a.WarpedServed)
+	}
+	if a.KeyframesServed+a.WarpedServed != a.Served {
+		t.Fatalf("partition law: keyframes %d + warped %d != served %d", a.KeyframesServed, a.WarpedServed, a.Served)
+	}
+}
+
+// TestSkipComputeImprovesThroughputInSim reads the skip arm against its
+// all-keyframe twin — the acceptance pair BENCH_serving.json commits. The
+// same oversubscribed steady fleet on the same seed must convert temporal
+// redundancy into materially more served frames and fresher medians.
+func TestSkipComputeImprovesThroughputInSim(t *testing.T) {
+	full, err := ProfileByName("steady-scene-x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := ProfileByName("steady-scene-skip-x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skip.KeyframeInterval <= 1 || full.KeyframeInterval > 1 || skip.Seed != full.Seed ||
+		skip.Sessions != full.Sessions || skip.Accelerators != full.Accelerators {
+		t.Fatalf("skip pair misconfigured: %+v vs %+v", full, skip)
+	}
+	a, b := Run(full), Run(skip)
+	t.Logf("all-keyframe: served=%d p50=%.1f; skip: served=%d p50=%.1f keyframes=%d warped=%d rate=%.2f",
+		a.Served, a.LatP50Ms, b.Served, b.LatP50Ms, b.KeyframesServed, b.WarpedServed, b.KeyframeRate)
+	if a.KeyframesServed != 0 || a.WarpedServed != 0 || a.KeyframeRate != 0 {
+		t.Errorf("all-keyframe arm must report no skip telemetry: %+v", a)
+	}
+	if got := float64(b.Served); got < 1.5*float64(a.Served) {
+		t.Errorf("skip-compute served %d, want >= 1.5x the all-keyframe %d", b.Served, a.Served)
+	}
+	if b.LatP50Ms >= a.LatP50Ms {
+		t.Errorf("skip-compute did not reduce p50: %.1f -> %.1f ms", a.LatP50Ms, b.LatP50Ms)
+	}
+	// Under saturation rejected keyframes invalidate the cache and force
+	// retries, so the rate sits above the ideal 1/Interval — but warped
+	// frames must still dominate for the arm to mean anything.
+	if b.KeyframeRate <= 0 || b.KeyframeRate >= 0.5 {
+		t.Errorf("keyframe rate %.2f outside (0, 0.5)", b.KeyframeRate)
+	}
+}
+
+// TestKeyframeIntervalOneIsDisabled pins the compatibility contract: an
+// interval of 1 (every frame a keyframe) is the same policy-off path as the
+// zero value — byte-identical reports with no skip telemetry.
+func TestKeyframeIntervalOneIsDisabled(t *testing.T) {
+	base, err := ProfileByName("ci-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.KeyframeInterval = 1
+	if one.SkipCompute() {
+		t.Fatal("interval 1 must not enable the feature cache")
+	}
+	a, b := Run(base), Run(one)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("interval 1 changed the report:\n%s\n%s", ja, jb)
+	}
+	if a.KeyframesServed != 0 || a.WarpedServed != 0 {
+		t.Fatalf("disabled run reported skip telemetry: %+v", a)
+	}
+}
+
+// TestWithDefaultsFillsWarpCost checks the clip normalization: under an
+// enabled cache, clips lacking an explicit warp cost fall back to full
+// inference cost (no accidental free warps), and the shared default clip
+// slice is never mutated in place.
+func TestWithDefaultsFillsWarpCost(t *testing.T) {
+	custom := ClipClass{Name: "bare", InferMs: 50, PayloadBytes: 90 << 10, ResultBytes: 4 << 10}
+	p := Profile{KeyframeInterval: 4, Clips: []ClipClass{custom}}.withDefaults()
+	if got := p.Clips[0].WarpMs; got != custom.InferMs {
+		t.Errorf("bare clip WarpMs = %v, want filled to InferMs %v", got, custom.InferMs)
+	}
+
+	before := make([]ClipClass, len(DefaultClips))
+	copy(before, DefaultClips)
+	_ = Profile{KeyframeInterval: 4}.withDefaults()
+	for i, c := range DefaultClips {
+		if c != before[i] {
+			t.Fatalf("withDefaults mutated shared DefaultClips[%d]: %+v -> %+v", i, before[i], c)
+		}
+	}
+
+	for _, c := range DefaultClips {
+		if c.WarpMs <= 0 || c.WarpMs >= c.InferMs {
+			t.Errorf("clip %s: WarpMs %v must be in (0, InferMs %v)", c.Name, c.WarpMs, c.InferMs)
+		}
+	}
+}

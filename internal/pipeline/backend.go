@@ -93,6 +93,41 @@ type EdgeBackend interface {
 type waitingOffload struct {
 	arrival float64
 	req     *OffloadRequest
+	// decision is the keyframe classification made at Submit time; it rides
+	// the queue so the launch charges the matching cost shape.
+	decision segmodel.KeyframeDecision
+}
+
+// keyframeState is the skip-compute decision state a simulated backend owns
+// for its single client stream: the policy plus the stream's feature cache.
+// The engine drives one mobile, so one cache suffices — the multi-session
+// equivalent lives in edge.Session. Decisions must be made in Submit order:
+// Decide is the only place cross-frame cache state advances.
+type keyframeState struct {
+	policy segmodel.KeyframePolicy
+	cache  *segmodel.FeatureCache
+}
+
+// decide classifies one offload, creating the cache on first use. With the
+// policy disabled it returns the constant keyframe decision and never touches
+// the cache, so default runs stay byte-identical to a cache-free build.
+func (k *keyframeState) decide(in segmodel.Input, g segmodel.Guidance) segmodel.KeyframeDecision {
+	if !k.policy.Enabled() {
+		return segmodel.KeyframeDecision{Keyframe: true, Reason: segmodel.KeyDisabled}
+	}
+	if k.cache == nil {
+		k.cache = segmodel.NewFeatureCache()
+	}
+	return k.policy.Decide(k.cache, in, g)
+}
+
+// dropFor invalidates the cache when a decided keyframe is lost to queue
+// overflow before serving — its pyramid was never computed, so later frames
+// must not warp from it. Mirrors edge.Session.dropCacheFor.
+func (k *keyframeState) dropFor(d segmodel.KeyframeDecision) {
+	if d.Keyframe && d.Reason != segmodel.KeyDisabled {
+		k.cache.Invalidate()
+	}
 }
 
 // SimBackend is the simulated edge: an uplink and downlink from netsim and a
@@ -115,9 +150,10 @@ type SimBackend struct {
 	maxBatch int
 	// freeAt is the busy horizon of each simulated accelerator; requests are
 	// served FIFO on the earliest-free one (lowest index breaks ties).
-	freeAt  []float64
-	waiting []waitingOffload
-	stats   BackendStats
+	freeAt   []float64
+	waiting  []waitingOffload
+	keyframe keyframeState
+	stats    BackendStats
 }
 
 // SimBackendConfig assembles a simulated edge.
@@ -139,6 +175,11 @@ type SimBackendConfig struct {
 	// launch (segmodel.BatchMs). Zero or one keeps the historical
 	// one-job-per-launch edge, whose event order the goldens pin.
 	MaxBatch int
+	// Keyframe enables temporal-redundancy skip-compute: non-keyframes warp
+	// the stream's cached backbone pyramid at partial cost instead of
+	// recomputing it. The zero policy keeps every frame a keyframe and the
+	// schedule byte-identical to a build without the feature cache.
+	Keyframe segmodel.KeyframePolicy
 }
 
 // NewSimBackend builds the simulated edge backend.
@@ -164,6 +205,7 @@ func NewSimBackend(cfg SimBackendConfig) *SimBackend {
 		queueDepth: 1,
 		maxBatch:   cfg.MaxBatch,
 		freeAt:     make([]float64, cfg.Accelerators),
+		keyframe:   keyframeState{policy: cfg.Keyframe},
 	}
 }
 
@@ -191,20 +233,31 @@ func (b *SimBackend) Bind(frames []*scene.Frame, queueDepth int) {
 }
 
 // Submit models the uplink and enqueues at the edge. Queue overflow drops
-// the oldest waiting offload (latest-wins) and counts it.
+// the oldest waiting offload (latest-wins) and counts it; a dropped keyframe
+// additionally invalidates the feature cache, since the pyramid later frames
+// were decided to warp from was never computed.
 func (b *SimBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResult {
 	b.stats.Submitted++
 	b.stats.UplinkBytes += req.PayloadBytes
+	// Classify at submit time, in send order — the decision function is the
+	// only place cross-frame cache state advances. With the policy off the
+	// decision is constant and no model input is built here.
+	d := segmodel.KeyframeDecision{Keyframe: true, Reason: segmodel.KeyDisabled}
+	if b.keyframe.policy.Enabled() {
+		d = b.keyframe.decide(modelInput(b.frames, b.seed, req), req.Guidance)
+	}
 	upMs := b.uplink.TransferMs(sendAt, req.PayloadBytes)
 	arrive := sendAt + upMs
 	out := b.advance(arrive)
 	if accel, free := b.earliestFree(); free <= arrive && len(b.waiting) == 0 {
-		return append(out, b.startInference(req, arrive, accel))
+		return append(out, b.startInference(req, d, arrive, accel))
 	}
-	b.waiting = append(b.waiting, waitingOffload{arrival: arrive, req: req})
+	b.waiting = append(b.waiting, waitingOffload{arrival: arrive, req: req, decision: d})
 	if len(b.waiting) > b.queueDepth {
+		stale := b.waiting[0]
 		b.waiting = b.waiting[1:]
 		b.stats.CountDropped(1)
+		b.keyframe.dropFor(stale.decision)
 	}
 	return out
 }
@@ -233,18 +286,22 @@ func (b *SimBackend) advance(now float64) []ScheduledResult {
 			// The historical one-job-per-launch path, kept verbatim: its
 			// exact sequence of link and model calls is what the golden
 			// determinism tests pin.
-			out = append(out, b.startInference(item.req, start, accel))
+			out = append(out, b.startInference(item.req, item.decision, start, accel))
 			continue
 		}
 		// Batch former: extend the head with waiting offloads that have
 		// already arrived by the launch instant and share its guidance
 		// class (a guided two-stage pass evaluates a different network
-		// slice than a vanilla one, so the classes never co-batch).
+		// slice than a vanilla one, so the classes never co-batch) and its
+		// keyframe class (a full backbone and a cache warp are different
+		// cost shapes; with the policy off every decision is a keyframe, so
+		// the predicate reduces to the historical guidance-only test).
 		batch := []waitingOffload{item}
 		guided := item.req.Guidance != nil
 		for i := 0; len(batch) < b.maxBatch && i < len(b.waiting); {
 			w := b.waiting[i]
-			if w.arrival <= start && (w.req.Guidance != nil) == guided {
+			if w.arrival <= start && (w.req.Guidance != nil) == guided &&
+				w.decision.Keyframe == item.decision.Keyframe {
 				batch = append(batch, w)
 				b.waiting = append(b.waiting[:i], b.waiting[i+1:]...)
 			} else {
@@ -265,7 +322,7 @@ func (b *SimBackend) startBatch(batch []waitingOffload, startAt float64, accel i
 	solos := make([]float64, len(batch))
 	for i, item := range batch {
 		in := modelInput(b.frames, b.seed, item.req)
-		results[i] = b.model.Run(in, item.req.Guidance)
+		results[i] = b.model.RunWarped(in, item.req.Guidance, item.decision)
 		solos[i] = results[i].TotalMs() * b.inferScale
 	}
 	launchMs := segmodel.BatchMs(solos)
@@ -301,10 +358,12 @@ func (b *SimBackend) startBatch(batch []waitingOffload, startAt float64, accel i
 
 // startInference runs the model for a request whose service begins at
 // startAt on accelerator accel and schedules the result delivery over the
-// downlink.
-func (b *SimBackend) startInference(req *OffloadRequest, startAt float64, accel int) ScheduledResult {
+// downlink. The keyframe decision picks the cost shape: keyframes run the
+// full model (RunWarped is exactly Run then), non-keyframes charge the
+// partial warp cost.
+func (b *SimBackend) startInference(req *OffloadRequest, d segmodel.KeyframeDecision, startAt float64, accel int) ScheduledResult {
 	in := modelInput(b.frames, b.seed, req)
-	res := b.model.Run(in, req.Guidance)
+	res := b.model.RunWarped(in, req.Guidance, d)
 	inferMs := res.TotalMs() * b.inferScale
 	doneAt := startAt + inferMs
 	b.freeAt[accel] = doneAt
@@ -378,6 +437,7 @@ type LoopbackBackend struct {
 	queueDepth int
 	edgeFreeAt float64
 	inflight   int
+	keyframe   keyframeState
 	stats      BackendStats
 }
 
@@ -391,6 +451,13 @@ func NewLoopbackBackend(model *segmodel.Model, inferScale float64, seed int64) *
 		inferScale = 1
 	}
 	return &LoopbackBackend{model: model, inferScale: inferScale, seed: seed, queueDepth: 4}
+}
+
+// SetKeyframePolicy enables temporal-redundancy skip-compute on the loopback
+// edge. Must be called before the first Submit; the zero policy (the
+// default) keeps every frame a keyframe and the schedule unchanged.
+func (b *LoopbackBackend) SetKeyframePolicy(p segmodel.KeyframePolicy) {
+	b.keyframe.policy = p
 }
 
 // Name implements EdgeBackend.
@@ -407,14 +474,25 @@ func (b *LoopbackBackend) Bind(frames []*scene.Frame, queueDepth int) {
 // Submit implements EdgeBackend: the model runs immediately; delivery is due
 // when the single accelerator finishes the request.
 func (b *LoopbackBackend) Submit(req *OffloadRequest, sendAt float64) []ScheduledResult {
+	// Classify before the admission check, mirroring the live scheduler's
+	// decide-at-admission order; a rejected keyframe invalidates the cache.
+	// With the policy off the decision is constant and the overflow path
+	// does no model-input work, exactly as before.
+	var d segmodel.KeyframeDecision
+	if b.keyframe.policy.Enabled() {
+		d = b.keyframe.decide(modelInput(b.frames, b.seed, req), req.Guidance)
+	} else {
+		d = segmodel.KeyframeDecision{Keyframe: true, Reason: segmodel.KeyDisabled}
+	}
 	if b.inflight >= b.queueDepth {
 		b.stats.CountDropped(1)
+		b.keyframe.dropFor(d)
 		return nil
 	}
 	b.stats.Submitted++
 	b.stats.UplinkBytes += req.PayloadBytes
 	in := modelInput(b.frames, b.seed, req)
-	res := b.model.Run(in, req.Guidance)
+	res := b.model.RunWarped(in, req.Guidance, d)
 	inferMs := res.TotalMs() * b.inferScale
 	start := sendAt
 	if b.edgeFreeAt > start {

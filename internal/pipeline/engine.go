@@ -98,6 +98,11 @@ type Config struct {
 	// (simulated backend only); zero or one keeps the deterministic
 	// one-job-per-launch edge.
 	EdgeMaxBatch int
+	// EdgeKeyframe enables the simulated edge's temporal-redundancy
+	// skip-compute (simulated backend only): non-keyframes warp the cached
+	// backbone pyramid at partial cost. The zero policy keeps every frame a
+	// keyframe and the run byte-identical to a cache-free build.
+	EdgeKeyframe segmodel.KeyframePolicy
 	// Seed drives all stochastic components.
 	Seed int64
 	// Backend overrides the edge serving the run. Nil builds the default
@@ -193,6 +198,7 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 			Seed:         cfg.Seed,
 			Accelerators: cfg.EdgeAccelerators,
 			MaxBatch:     cfg.EdgeMaxBatch,
+			Keyframe:     cfg.EdgeKeyframe,
 		})
 	}
 	e := &Engine{

@@ -19,12 +19,20 @@ const BatchMarginalFrac = 0.5
 // latencies in one batch launch: the slowest frame in full plus the
 // marginal fraction of every other. The result is order-independent, and a
 // single-element batch costs exactly its solo latency.
+//
+// Negative solo latencies are clamped to zero before amortizing: a
+// miscalibrated cost model (e.g. a negative non-keyframe warp cost) must
+// never yield a negative launch time, and the clamp keeps the result
+// monotone in batch size.
 func BatchMs(soloMs []float64) float64 {
 	if len(soloMs) == 0 {
 		return 0
 	}
-	max, sum := soloMs[0], 0.0
+	max, sum := 0.0, 0.0
 	for _, ms := range soloMs {
+		if ms < 0 {
+			ms = 0
+		}
 		if ms > max {
 			max = ms
 		}
@@ -44,7 +52,11 @@ func (m *Model) RunBatch(ins []Input, gs []Guidance) (outs []*Result, launchMs f
 	solos := make([]float64, len(ins))
 	for i, in := range ins {
 		outs[i] = m.Run(in, gs[i])
-		solos[i] = outs[i].TotalMs()
+		// Clamp defensively: a profile with negative cost fields must not
+		// leak negative solo latencies into the amortization.
+		if solos[i] = outs[i].TotalMs(); solos[i] < 0 {
+			solos[i] = 0
+		}
 	}
 	return outs, BatchMs(solos)
 }

@@ -89,10 +89,19 @@ type Result struct {
 	RoIsProcessed    int
 
 	// Latency split in simulated milliseconds on the reference device.
+	// On warped (non-keyframe) runs BackboneMs holds the partial-backbone
+	// warp cost instead of Profile.BackboneMs.
 	BackboneMs  float64
 	RPNMs       float64
 	SelectionMs float64
 	HeadMs      float64
+
+	// Warped marks a non-keyframe run served from cached backbone
+	// features; CacheAge and ChangedTiles record the keyframe decision it
+	// was served under.
+	Warped       bool
+	CacheAge     int
+	ChangedTiles int
 }
 
 // TotalMs returns the end-to-end inference latency.
@@ -127,15 +136,24 @@ func (m *Model) Clone() *Model {
 // observation that end-to-end models are "hard to decompose, leaving little
 // room for improvement".
 func (m *Model) Run(in Input, g Guidance) *Result {
-	rng := rand.New(rand.NewSource(in.Seed))
+	rng := newRunRand(in.Seed)
 	if m.Profile.RoIMs > 0 {
-		return m.runTwoStage(in, g, rng)
+		return m.runTwoStage(in, g, rng, nil)
 	}
-	return m.runOneStage(in, rng)
+	return m.runOneStage(in, rng, nil)
 }
 
-// runTwoStage simulates the RPN + RoI-head pipeline.
-func (m *Model) runTwoStage(in Input, g Guidance, rng *rand.Rand) *Result {
+// newRunRand builds the per-frame RNG. Both Run and RunWarped seed it
+// identically, so the two paths draw the same random stream and differ only
+// in cost accounting and the IoU scale.
+func newRunRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// runTwoStage simulates the RPN + RoI-head pipeline. A non-nil warpSpec
+// switches the backbone charge to the skip-compute cost and applies its IoU
+// scale to emitted detections; it must not change any RNG draw.
+func (m *Model) runTwoStage(in Input, g Guidance, rng *rand.Rand, w *warpSpec) *Result {
 	p := m.Profile
 	res := &Result{FullGridAnchors: FullGridAnchors(in.Width, in.Height)}
 
@@ -165,7 +183,7 @@ func (m *Model) runTwoStage(in Input, g Guidance, rng *rand.Rand) *Result {
 	res.RoIsProcessed = len(kept)
 
 	// --- Stage 2: one detection per distinct object among the kept RoIs.
-	res.Detections = m.emitDetections(in, kept, rng)
+	res.Detections = m.emitDetections(in, kept, rng, warpIoUScale(w))
 
 	// --- Latency from op counts.
 	anchorFrac := float64(res.AnchorsEvaluated) / float64(res.FullGridAnchors)
@@ -173,11 +191,33 @@ func (m *Model) runTwoStage(in Input, g Guidance, rng *rand.Rand) *Result {
 	res.RPNMs = p.RPNFixedMs + p.RPNAnchorMs*anchorFrac
 	res.SelectionMs = 0.002 * float64(res.RoIsProposed)
 	res.HeadMs = p.RoIMs * float64(res.RoIsProcessed)
+	applyWarp(res, w)
 	return res
 }
 
+// warpIoUScale returns the detection-quality scale of a warp spec (1 on the
+// vanilla path).
+func warpIoUScale(w *warpSpec) float64 {
+	if w == nil {
+		return 1
+	}
+	return w.iouScale
+}
+
+// applyWarp overwrites the backbone charge with the skip-compute cost and
+// records the warp provenance on the result.
+func applyWarp(res *Result, w *warpSpec) {
+	if w == nil {
+		return
+	}
+	res.BackboneMs = w.backboneMs
+	res.Warped = true
+	res.CacheAge = w.age
+	res.ChangedTiles = w.changed
+}
+
 // runOneStage simulates YOLACT/YOLOv3-style dense prediction.
-func (m *Model) runOneStage(in Input, rng *rand.Rand) *Result {
+func (m *Model) runOneStage(in Input, rng *rand.Rand, w *warpSpec) *Result {
 	p := m.Profile
 	res := &Result{
 		FullGridAnchors:  FullGridAnchors(in.Width, in.Height),
@@ -187,10 +227,11 @@ func (m *Model) runOneStage(in Input, rng *rand.Rand) *Result {
 	res.RoIsProposed = len(props)
 	kept := DefaultNMS(props, 0.7, 100)
 	res.RoIsProcessed = len(kept)
-	res.Detections = m.emitDetections(in, kept, rng)
+	res.Detections = m.emitDetections(in, kept, rng, warpIoUScale(w))
 	res.BackboneMs = p.BackboneMs
 	res.HeadMs = p.HeadFixedMs
 	res.SelectionMs = 0.002 * float64(res.RoIsProposed)
+	applyWarp(res, w)
 	return res
 }
 
@@ -295,8 +336,11 @@ func (m *Model) generateProposals(in Input, g Guidance, anchors int, rng *rand.R
 }
 
 // emitDetections converts surviving RoIs into at most one detection per
-// ground-truth object, applying the miss and mask-quality models.
-func (m *Model) emitDetections(in Input, kept []Proposal, rng *rand.Rand) []Detection {
+// ground-truth object, applying the miss and mask-quality models. iouScale
+// degrades detection quality on warped (non-keyframe) runs; 1 is the
+// vanilla path and must be a perfect identity — same RNG draws, same
+// output.
+func (m *Model) emitDetections(in Input, kept []Proposal, rng *rand.Rand, iouScale float64) []Detection {
 	p := m.Profile
 	best := make(map[int]Proposal, len(in.Objects))
 	for _, pr := range kept {
@@ -319,7 +363,7 @@ func (m *Model) emitDetections(in Input, kept []Proposal, rng *rand.Rand) []Dete
 		if rng.Float64() < pMiss {
 			continue
 		}
-		targetIoU := p.BaseMaskIoU * (0.72 + 0.28*q)
+		targetIoU := p.BaseMaskIoU * (0.72 + 0.28*q) * iouScale
 		det := Detection{
 			ObjectID: obj.ObjectID,
 			Label:    pr.Label,
@@ -328,8 +372,10 @@ func (m *Model) emitDetections(in Input, kept []Proposal, rng *rand.Rand) []Dete
 		}
 		if p.BoxOnly {
 			// Box-only models regress the final box directly; their output
-			// quality is BoxJitter, not the proposal jitter.
-			det.Box = jitterBox(obj.Box, p.BoxJitter, in.Width, in.Height, rng)
+			// quality is BoxJitter, not the proposal jitter. The warp
+			// penalty widens the jitter instead of lowering a mask target
+			// (2 - iouScale is 1 at scale 1, growing as quality drops).
+			det.Box = jitterBox(obj.Box, p.BoxJitter*(2-iouScale), in.Width, in.Height, rng)
 			det.TrueIoU = det.Box.IoU(obj.Box)
 		} else {
 			det.Mask = obj.Visible.BoundaryNoisePooled(targetIoU, rng.Float64, m.pool)

@@ -95,6 +95,22 @@ type Profile struct {
 	// BoxJitter is the relative corner noise of final detection boxes for
 	// box-only models (their regression head quality).
 	BoxJitter float64
+
+	// Skip-compute (temporal-redundancy) cost model, see skip.go.
+	//
+	// WarpMs is the fixed cost of warping the cached keyframe pyramid onto
+	// the current frame (YolactEdge's partial feature transform).
+	WarpMs float64
+	// TileRecomputeMs is the partial-backbone recompute cost per changed
+	// 64 px tile, calibrated against the 640x480 reference grid (80 tiles:
+	// a fully-changed frame costs at least the full backbone, so
+	// WarpCostMs clamps at BackboneMs).
+	TileRecomputeMs float64
+	// WarpPenaltyPerFrame is the per-frame-of-cache-age IoU penalty on
+	// warped-feature detections; WarpPenaltyMax bounds the total penalty
+	// so accuracy degrades predictably between keyframes.
+	WarpPenaltyPerFrame float64
+	WarpPenaltyMax      float64
 }
 
 // DefaultProfile returns the calibrated profile for a model kind.
@@ -108,6 +124,13 @@ type Profile struct {
 // The Mask R-CNN split makes Fig. 14's ablation arithmetic come out: DAP
 // removes ~92% of anchor cost (-46% RPN) and ~21% of RoIs; pruning removes
 // a further ~43% of second-stage cost; together -48% end to end.
+//
+// Skip-compute calibration (see skip.go): WarpMs is ~1/6 of BackboneMs
+// (YolactEdge reports the partial feature transform at a small fraction of
+// backbone cost), and TileRecomputeMs is set so a fully-changed 640x480
+// frame (80 tiles) meets or exceeds BackboneMs and therefore clamps — a
+// warp never beats a recompute on a scene that changed everywhere. The IoU
+// penalty is bounded at 4-8% of detection quality at maximum cache age.
 func DefaultProfile(k Kind) Profile {
 	switch k {
 	case MaskRCNN:
@@ -121,6 +144,11 @@ func DefaultProfile(k Kind) Profile {
 			BaseMaskIoU:  0.96,
 			MissScale:    900,
 			BaseMissRate: 0.01,
+
+			WarpMs:              6,
+			TileRecomputeMs:     0.45,
+			WarpPenaltyPerFrame: 0.015,
+			WarpPenaltyMax:      0.06,
 		}
 	case YOLACT:
 		return Profile{
@@ -130,6 +158,11 @@ func DefaultProfile(k Kind) Profile {
 			BaseMaskIoU:  0.80,
 			MissScale:    1400,
 			BaseMissRate: 0.04,
+
+			WarpMs:              14,
+			TileRecomputeMs:     1.0,
+			WarpPenaltyPerFrame: 0.02,
+			WarpPenaltyMax:      0.08,
 		}
 	case YOLOv3:
 		return Profile{
@@ -141,6 +174,11 @@ func DefaultProfile(k Kind) Profile {
 			MissScale:    700,
 			BaseMissRate: 0.005,
 			BoxJitter:    0.008,
+
+			WarpMs:              4,
+			TileRecomputeMs:     0.28,
+			WarpPenaltyPerFrame: 0.01,
+			WarpPenaltyMax:      0.04,
 		}
 	default:
 		panic(fmt.Sprintf("segmodel: unknown kind %d", int(k)))

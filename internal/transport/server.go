@@ -42,6 +42,9 @@ type Server struct {
 	// historical reject-when-full / single-dequeue defaults.
 	admission edge.AdmissionPolicy
 	dequeue   edge.DequeuePolicy
+	// keyframe enables temporal-redundancy skip-compute per session; the
+	// zero policy (the default) is byte-identical to no cache at all.
+	keyframe segmodel.KeyframePolicy
 	// connPipeline bounds a connection's outstanding frames. 1 (the
 	// default) is the historical serial loop: read, infer, write, repeat.
 	// Higher values let a connection keep several frames in flight, which
@@ -133,6 +136,14 @@ func WithDequeuePolicy(p edge.DequeuePolicy) ServerOption {
 	return func(s *Server) { s.dequeue = p }
 }
 
+// WithKeyframePolicy enables temporal-redundancy skip-compute: each session
+// keeps a feature cache of its last keyframe and non-keyframe frames are
+// served at the partial warp cost instead of the full backbone (see
+// segmodel.KeyframePolicy). The zero policy disables it.
+func WithKeyframePolicy(p segmodel.KeyframePolicy) ServerOption {
+	return func(s *Server) { s.keyframe = p }
+}
+
 // WithConnPipeline lets each connection keep up to n frames in flight
 // instead of the serial read-infer-write loop. Values below 2 keep the
 // serial loop. Latest-wins shedding over TCP needs n >= 2: a serial
@@ -194,6 +205,34 @@ func (a *modelAccelerator) RunBatch(ins []segmodel.Input, gs []segmodel.Guidance
 	return outs, launchMs
 }
 
+// RunWarped serves one non-keyframe frame from cached features (edge.
+// WarpAccelerator): the partial warp cost replaces the backbone charge, so
+// with wall occupancy the accelerator is held for proportionally less time
+// — that is where skip-compute buys serving throughput.
+func (a *modelAccelerator) RunWarped(in segmodel.Input, g segmodel.Guidance, d segmodel.KeyframeDecision) (*segmodel.Result, float64) {
+	out := a.model.RunWarped(in, g, d)
+	inferMs := out.TotalMs() * a.scale
+	if a.occupancy > 0 {
+		time.Sleep(time.Duration(inferMs * a.occupancy * float64(time.Millisecond)))
+	}
+	return out, inferMs
+}
+
+// RunWarpedBatch is the amortized-launch counterpart of RunWarped.
+func (a *modelAccelerator) RunWarpedBatch(ins []segmodel.Input, gs []segmodel.Guidance, ds []segmodel.KeyframeDecision) ([]*segmodel.Result, float64) {
+	outs := make([]*segmodel.Result, len(ins))
+	solos := make([]float64, len(ins))
+	for i, in := range ins {
+		outs[i] = a.model.RunWarped(in, gs[i], ds[i])
+		solos[i] = outs[i].TotalMs() * a.scale
+	}
+	launchMs := segmodel.BatchMs(solos)
+	if a.occupancy > 0 {
+		time.Sleep(time.Duration(launchMs * a.occupancy * float64(time.Millisecond)))
+	}
+	return outs, launchMs
+}
+
 // NewServer builds an edge server around the given model.
 func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 	s := &Server{
@@ -219,6 +258,7 @@ func NewServer(model *segmodel.Model, opts ...ServerOption) *Server {
 		GuidanceContinuity: s.continuity,
 		Admission:          s.admission,
 		Dequeue:            s.dequeue,
+		Keyframe:           s.keyframe,
 		NewAccelerator: func(int) edge.Accelerator {
 			return &modelAccelerator{
 				model:     model.Clone(),

@@ -27,6 +27,13 @@ func FormatServerStats(st ServerStats, sessions []edge.SessionStats) string {
 			st.Scheduler.Batches, st.Scheduler.MeanBatchSize,
 			metrics.SizeHistogram(st.Scheduler.BatchSizeCounts))
 	}
+	// Skip-compute line only when the feature cache actually served
+	// something, so the default (policy off) output stays byte-identical
+	// for the golden test.
+	if kf, warped := st.Scheduler.KeyframesServed, st.Scheduler.WarpedServed; kf+warped > 0 {
+		fmt.Fprintf(&b, "\nkeyframes %d, warped %d (cache hit rate %.0f%%)",
+			kf, warped, 100*float64(warped)/float64(kf+warped))
+	}
 	if len(sessions) == 0 {
 		b.WriteByte('\n')
 		return b.String()
