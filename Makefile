@@ -33,9 +33,10 @@ bench: kernelbench ## Per-figure benchmarks plus the packed-kernel sweep.
 kernelbench: ## Packed-vs-scalar mask kernel sweep; refreshes BENCH_kernels.json.
 	$(GO) run ./cmd/edgeis-kernelbench -benchtime $(BENCHTIME) -out BENCH_kernels.json
 
-loadgen: ## Deterministic serving smoke: ci-smoke and its skip-compute twin on the simulator, each run twice and compared (the CI gate).
+loadgen: ## Deterministic serving smoke: ci-smoke, its skip-compute twin and the sharded fleet arm on the simulator, each run twice and compared (the CI gate).
 	$(GO) run ./cmd/edgeis-loadgen -profile ci-smoke -check -out -
 	$(GO) run ./cmd/edgeis-loadgen -profile ci-smoke-skip -check -out -
+	$(GO) run ./cmd/edgeis-loadgen -profile ci-smoke-fleet -check -out -
 
 servingbench: ## Full serving SLO suite (all simulator profiles + tcp-smoke over sockets); refreshes BENCH_serving.json.
 	$(GO) run ./cmd/edgeis-loadgen -suite -check -out BENCH_serving.json

@@ -19,6 +19,13 @@
 // (or `make servingbench`). `-check` replays each simulator run twice and
 // fails on any byte difference — the determinism gate CI runs. See
 // DESIGN.md §14 for how to read the reports.
+//
+// Sharded profiles (ci-smoke-fleet, fleet-3x, fleet-3x-kill1) run the edge
+// as a fleet of replicas with rendezvous session placement; every target
+// honours the shard count and the replica failure schedule. -replicas and
+// -kill-at (replica@ms, comma-separated) override both on any profile, so
+// one command can answer "what does this workload look like on 3 replicas
+// if one dies mid-run". See DESIGN.md §18 for the fleet semantics.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"edgeis/internal/loadgen"
@@ -64,8 +73,15 @@ func run() error {
 		shedPol   = flag.String("shed-policy", "", "override the profile's admission policy: reject or latest-wins (empty = profile value)")
 		keyframe  = flag.Int("keyframe-interval", 0, "override the profile's keyframe interval; N > 1 enables the skip-compute feature cache (0 = profile value)")
 		skip      = flag.Bool("skip-compute", false, "shorthand for -keyframe-interval 4 on profiles that leave it unset")
+		replicas  = flag.Int("replicas", 0, "override the profile's edge replica count; N > 1 shards the edge into a fleet (0 = profile value)")
+		killAt    = flag.String("kill-at", "", "replica failure schedule as replica@ms[,replica@ms...], e.g. 1@7500 (replaces the profile's; needs a sharded profile or -replicas)")
 	)
 	flag.Parse()
+
+	kills, err := parseKills(*killAt)
+	if err != nil {
+		return err
+	}
 
 	// Policy overrides let one command A/B a profile against the batch
 	// former, latest-wins or the skip-compute feature cache without
@@ -85,14 +101,27 @@ func run() error {
 		} else if *skip && p.KeyframeInterval == 0 {
 			p.KeyframeInterval = 4
 		}
+		if *replicas > 0 {
+			p.Replicas = *replicas
+		}
+		if kills != nil {
+			p.Kills = kills
+		}
 		return p
 	}
 
 	if *list {
 		for _, p := range loadgen.Profiles() {
 			p = p.Normalized()
-			fmt.Printf("%-20s %5d sessions %2d accel queue %3d  %6.1fs @ %.1f fps  %s\n",
-				p.Name, p.Sessions, p.Accelerators, p.QueueDepth, p.DurationMs/1000, p.FPS, p.Arrival)
+			fleet := ""
+			if p.Sharded() {
+				fleet = fmt.Sprintf("  x%d replicas", p.Replicas)
+				if len(p.Kills) > 0 {
+					fleet += fmt.Sprintf(", %d kill(s)", len(p.Kills))
+				}
+			}
+			fmt.Printf("%-20s %5d sessions %2d accel queue %3d  %6.1fs @ %.1f fps  %s%s\n",
+				p.Name, p.Sessions, p.Accelerators, p.QueueDepth, p.DurationMs/1000, p.FPS, p.Arrival, fleet)
 		}
 		return nil
 	}
@@ -152,6 +181,32 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, buf, 0o644)
+}
+
+// parseKills decodes the -kill-at schedule: comma-separated replica@ms
+// entries. An empty flag returns nil, which keeps the profile's own
+// schedule; a non-empty flag replaces it wholesale.
+func parseKills(spec string) ([]loadgen.ReplicaKill, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var kills []loadgen.ReplicaKill
+	for _, entry := range strings.Split(spec, ",") {
+		replica, at, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok {
+			return nil, fmt.Errorf("edgeis-loadgen: -kill-at entry %q: want replica@ms", entry)
+		}
+		r, err := strconv.Atoi(replica)
+		if err != nil {
+			return nil, fmt.Errorf("edgeis-loadgen: -kill-at entry %q: bad replica: %v", entry, err)
+		}
+		ms, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("edgeis-loadgen: -kill-at entry %q: bad time: %v", entry, err)
+		}
+		kills = append(kills, loadgen.ReplicaKill{Replica: r, AtMs: ms})
+	}
+	return kills, nil
 }
 
 // runOne executes one profile on one target; with check set, simulator runs

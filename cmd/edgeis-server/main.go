@@ -13,12 +13,18 @@
 // one frame in every N recomputes the full backbone, the rest warp the
 // session's cached keyframe features at partial cost.
 //
+// When the server is one replica of a fleet, repeatable -fleet-peer flags
+// name its siblings; the list is advertised to clients in session-resume
+// acks so a client that loses this server knows where to fail over. The
+// server never dials its peers — placement and failover are client-side
+// (internal/fleet).
+//
 // Usage:
 //
 //	edgeis-server [-addr :7465] [-model mask-rcnn|yolact|yolov3] [-device tx2|xavier]
 //	              [-accelerators 1] [-queue-depth 32] [-occupancy 0] [-continuity]
 //	              [-shed-policy reject|latest-wins] [-max-batch 1] [-batch-window 0]
-//	              [-keyframe-interval 1]
+//	              [-keyframe-interval 1] [-fleet-peer host:port ...]
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +47,19 @@ func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// peerList collects repeatable -fleet-peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("-fleet-peer needs an address")
+	}
+	*p = append(*p, v)
+	return nil
 }
 
 func run() error {
@@ -56,7 +76,9 @@ func run() error {
 		batchWin  = flag.Duration("batch-window", 0, "how long an underfull batch waits for compatible frames (needs -max-batch > 1)")
 		keyframe  = flag.Int("keyframe-interval", 1, "force a full-backbone keyframe every N frames per session; N > 1 enables the skip-compute feature cache")
 		statsSecs = flag.Int("stats", 10, "stats print interval in seconds (0 = off)")
+		peers     peerList
 	)
+	flag.Var(&peers, "fleet-peer", "address of a sibling replica, repeatable; advertised to clients in resume acks so they can fail over (the server itself never dials peers)")
 	flag.Parse()
 
 	var kind segmodel.Kind
@@ -110,6 +132,9 @@ func run() error {
 		opts = append(opts, transport.WithKeyframePolicy(segmodel.KeyframePolicy{Interval: *keyframe}))
 	} else if *keyframe < 1 {
 		return fmt.Errorf("-keyframe-interval must be >= 1")
+	}
+	if len(peers) > 0 {
+		opts = append(opts, transport.WithFleetPeers(peers))
 	}
 	srv := transport.NewServer(segmodel.New(kind), opts...)
 	bound, err := srv.Listen(*addr)

@@ -1,0 +1,142 @@
+package edge
+
+import (
+	"testing"
+	"time"
+
+	"edgeis/internal/segmodel"
+)
+
+// TestResumeSessionAdoption: a session adopted through the resume
+// handshake carries its cross-replica key, counts in ResumedSessions, and
+// starts with a cold feature cache — so its first frame is a forced
+// keyframe even under a policy whose interval would otherwise allow
+// warping. This is the migration invariant: the pyramid the session warped
+// from died with the old replica.
+func TestResumeSessionAdoption(t *testing.T) {
+	acc := &warpCountAccel{}
+	s := NewScheduler(Config{Workers: 1,
+		Keyframe:       segmodel.KeyframePolicy{Interval: 8},
+		NewAccelerator: func(int) Accelerator { return acc }})
+	defer func() { _ = s.Close() }()
+
+	// The pre-migration life of the session (the same scheduler stands in
+	// for the replica that will die): cache warmed, frames warping.
+	orig := s.NewSession("10.0.0.1:1111")
+	in := segmodel.Input{Width: 640, Height: 480}
+	for i := 0; i < 4; i++ {
+		in.Seed = int64(i)
+		if _, _, err := orig.Infer(in, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullBefore, warpBefore := acc.counts()
+	if fullBefore != 1 || warpBefore != 3 {
+		t.Fatalf("warm-up saw %d full / %d warped, want 1/3", fullBefore, warpBefore)
+	}
+	orig.Close()
+
+	// Migration: the target replica adopts the identity.
+	sess := s.ResumeSession("fleet-42", "10.0.0.2:2222")
+	defer sess.Close()
+	if sess.Key() != "fleet-42" {
+		t.Errorf("adopted session key = %q", sess.Key())
+	}
+	if sess.ID() == orig.ID() {
+		t.Error("adopted session must get its own local ID")
+	}
+	if got := s.Stats().ResumedSessions; got != 1 {
+		t.Errorf("ResumedSessions = %d, want 1", got)
+	}
+
+	// First post-migration frame: forced keyframe (cold cache), not a warp,
+	// even though only 4 frames have passed under an interval-8 policy.
+	in.Seed = 100
+	out, _, err := sess.Infer(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Warped {
+		t.Fatal("first frame after migration warped from a pyramid that died with the old replica")
+	}
+	full, warp := acc.counts()
+	if full != fullBefore+1 || warp != warpBefore {
+		t.Fatalf("post-migration launch: %d full / %d warped, want %d/%d",
+			full, warp, fullBefore+1, warpBefore)
+	}
+
+	// Subsequent frames warp again from the rebuilt cache.
+	in.Seed = 101
+	out, _, err = sess.Infer(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Warped {
+		t.Error("second frame after migration should warp from the rebuilt cache")
+	}
+
+	// The adopted identity is visible in the session table.
+	found := false
+	for _, row := range s.Sessions() {
+		if row.Key == "fleet-42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("adopted session key missing from Sessions()")
+	}
+}
+
+// TestResumeSessionPlainSessionsUnkeyed: plain connections stay keyless and
+// never count as resumed, so a single-replica deployment is byte-identical
+// to the pre-fleet stack.
+func TestResumeSessionPlainSessionsUnkeyed(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1,
+		NewAccelerator: func(int) Accelerator { return sleepAccel{0} }})
+	defer func() { _ = s.Close() }()
+	sess := s.NewSession("c")
+	defer sess.Close()
+	if sess.Key() != "" {
+		t.Errorf("plain session key = %q, want empty", sess.Key())
+	}
+	if got := s.Stats().ResumedSessions; got != 0 {
+		t.Errorf("ResumedSessions = %d, want 0", got)
+	}
+}
+
+// TestQueueSnapshotLoadSignal: the placement layer's load probe reflects
+// queued and in-flight work and costs no allocation to sample.
+func TestQueueSnapshotLoadSignal(t *testing.T) {
+	s := NewScheduler(Config{Workers: 1, QueueDepth: 8,
+		NewAccelerator: func(int) Accelerator { return sleepAccel{5 * time.Millisecond} }})
+	defer func() { _ = s.Close() }()
+
+	q0 := s.QueueSnapshot()
+	if q0.Backlog() != 0 || q0.Depth != 8 || q0.Sessions != 0 {
+		t.Fatalf("idle snapshot = %+v", q0)
+	}
+
+	sess := s.NewSession("c")
+	defer sess.Close()
+	in := segmodel.Input{Width: 64, Height: 48}
+	const n = 4
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		frame := in
+		frame.Seed = int64(i)
+		go func() {
+			_, _, err := sess.Infer(frame, nil)
+			done <- err
+		}()
+	}
+	waitFor(t, "backlog visible", func() bool {
+		q := s.QueueSnapshot()
+		return q.Backlog() >= 1 && q.Sessions == 1
+	})
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "backlog drained", func() bool { return s.QueueSnapshot().Backlog() == 0 })
+}

@@ -97,6 +97,7 @@ type Scheduler struct {
 
 	sessions map[*Session]struct{}
 	nextID   int
+	resumed  int
 
 	served      int
 	rejected    int
@@ -158,9 +159,11 @@ type Stats struct {
 	// zero with the policy off.
 	KeyframesServed int
 	WarpedServed    int
-	// Session population.
-	ActiveSessions int
-	PeakSessions   int
+	// Session population. ResumedSessions counts sessions adopted from
+	// another replica through the resume handshake (0 outside a fleet).
+	ActiveSessions  int
+	PeakSessions    int
+	ResumedSessions int
 }
 
 // NewScheduler starts the worker pool.
@@ -215,6 +218,64 @@ func (s *Scheduler) NewSession(remote string) *Session {
 		s.peakSess = len(s.sessions)
 	}
 	return sess
+}
+
+// ResumeSession adopts a session migrating in from another replica: the
+// session carries its stable cross-replica key (so fleet-wide accounting
+// keeps one identity across replicas) but starts with an empty feature
+// cache and no retained guidance plan — that state died with the replica
+// that owned it. The first keyframe decision on an adopted session
+// therefore comes from a cold cache and is forced to be a keyframe: the
+// same lost-keyframe invalidation rule that guards against warping from a
+// pyramid that was never computed also covers a pyramid that is simply on
+// the wrong machine.
+func (s *Scheduler) ResumeSession(key, remote string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.resumed++
+	sess := &Session{
+		sched:      s,
+		id:         s.nextID,
+		remote:     remote,
+		key:        key,
+		started:    time.Now(),
+		continuity: s.continuity,
+	}
+	s.sessions[sess] = struct{}{}
+	if len(s.sessions) > s.peakSess {
+		s.peakSess = len(s.sessions)
+	}
+	return sess
+}
+
+// QueueSnapshot is the scheduler's instantaneous load signal, cheap enough
+// for a placement layer to poll per decision.
+type QueueSnapshot struct {
+	// Queued counts admitted requests not yet taken by a worker; InFlight
+	// those on an accelerator right now. Their sum is the backlog a new
+	// request lands behind.
+	Queued   int
+	InFlight int
+	// Depth is the admission bound, Sessions the live session count.
+	Depth    int
+	Sessions int
+}
+
+// Backlog is the work ahead of a newly admitted request.
+func (q QueueSnapshot) Backlog() int { return q.Queued + q.InFlight }
+
+// QueueSnapshot samples the load signal the load-aware placement policy
+// feeds on. It takes the scheduler lock briefly; no allocation.
+func (s *Scheduler) QueueSnapshot() QueueSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return QueueSnapshot{
+		Queued:   s.queued,
+		InFlight: s.inflight,
+		Depth:    s.depth,
+		Sessions: len(s.sessions),
+	}
 }
 
 // The outcome counters below move only through these mutators, so every
@@ -539,6 +600,7 @@ func (s *Scheduler) Stats() Stats {
 		WarpedServed:    s.warped,
 		ActiveSessions:  len(s.sessions),
 		PeakSessions:    s.peakSess,
+		ResumedSessions: s.resumed,
 	}
 	if s.served > 0 {
 		st.MeanInferMs = s.inferSum / float64(s.served)

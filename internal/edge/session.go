@@ -16,6 +16,12 @@ type Session struct {
 	id      int
 	remote  string
 	started time.Time
+	// key is the session's stable cross-replica identity, set when the
+	// session was adopted through a resume handshake (empty for plain
+	// connections). A fleet client keeps the same key as it migrates
+	// between replicas, so per-session accounting lines up fleet-wide even
+	// though each replica assigns its own local ID.
+	key string
 
 	// pending and closed are guarded by the scheduler's mutex: they are part
 	// of the admission queue, not of the session's private counters.
@@ -52,6 +58,8 @@ type SessionStats struct {
 	// ID is the server-unique session number; Remote the peer address.
 	ID     int
 	Remote string
+	// Key is the cross-replica session identity ("" unless resumed).
+	Key string
 	// UptimeMs is wall-clock time since the session was created.
 	UptimeMs float64
 	// Served, Rejected and Shed count this session's answered requests,
@@ -77,6 +85,10 @@ func (sess *Session) ID() int { return sess.id }
 
 // Remote returns the peer address the session was created with.
 func (sess *Session) Remote() string { return sess.remote }
+
+// Key returns the session's cross-replica identity, or "" for a session
+// that was never resumed.
+func (sess *Session) Key() string { return sess.key }
 
 // Guide resolves the guidance for one request and maintains the session's
 // CIIA context: a non-nil g refreshes the retained plan; a nil g reuses the
@@ -116,6 +128,7 @@ func (sess *Session) Stats() SessionStats {
 	st := SessionStats{
 		ID:           sess.id,
 		Remote:       sess.remote,
+		Key:          sess.key,
 		UptimeMs:     float64(time.Since(sess.started)) / float64(time.Millisecond),
 		Served:       sess.served,
 		Rejected:     sess.rejected,

@@ -24,5 +24,5 @@ func TestWgAdd(t *testing.T) {
 }
 
 func TestConservation(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), lint.Conservation, "loadgen", "metrics")
+	analysistest.Run(t, analysistest.TestData(), lint.Conservation, "loadgen", "metrics", "fleet")
 }

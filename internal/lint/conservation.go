@@ -16,6 +16,7 @@ var conservationPkgs = map[string]bool{
 	"live":      true,
 	"loadgen":   true,
 	"drive":     true,
+	"fleet":     true,
 }
 
 // counterFields are the accounting counter field names (matched
@@ -36,6 +37,13 @@ var counterFields = map[string]bool{
 	// the two classes, so their writes must be auditable too.
 	"keyframes": true,
 	"warped":    true,
+	// The fleet-failover loss classes: frames lost in flight to a replica
+	// kill (migrated) and frames unresolved when the last connection died
+	// (connlost). Both sit on the loss side of the extended law
+	// offered == served + rejected + shed + dropped + migrated.
+	"migrated":         true,
+	"connlost":         true,
+	"migratedoffloads": true,
 }
 
 // counterMutators is the audited mutator set, keyed by package base then
@@ -58,10 +66,12 @@ var counterMutators = map[string]map[string]bool{
 	"transport": {
 		"Client.noteRejected": true,
 		"Client.noteShed":     true,
+		"Client.noteConnLost": true,
 	},
 	"pipeline": {
 		"BackendStats.CountDropped":   true,
 		"BackendStats.CountDiscarded": true,
+		"BackendStats.CountMigrated":  true,
 	},
 	"loadgen": {
 		"sim.countOffered":   true,
@@ -71,13 +81,23 @@ var counterMutators = map[string]map[string]bool{
 		"sim.countServed":    true,
 		"sim.countKeyframes": true,
 		"sim.countWarped":    true,
+		"sim.countMigrated":  true,
 	},
 	"drive": {
 		"agg.noteServed":   true,
 		"agg.noteRejected": true,
 		"agg.noteShed":     true,
 		"agg.noteDropped":  true,
+		"agg.noteMigrated": true,
 		"agg.absorb":       true,
+	},
+	"fleet": {
+		// foldLocked is the single place a retired connection's counters
+		// settle into the client-lifetime tallies (classifying unresolved
+		// frames as migrated or connlost); Stats overlays the live
+		// connection's counters onto a snapshot of those tallies.
+		"FleetClient.foldLocked": true,
+		"FleetClient.Stats":      true,
 	},
 }
 

@@ -1,0 +1,52 @@
+// Fixture: package "fleet" joined the conservation scope with the
+// multi-edge sharding work — the client-side identity
+// sent == delivered + rejected + shed + migrated + connLost is only
+// auditable if the loss classes move through FleetClient's registered
+// mutators (foldLocked settles a retired connection, Stats overlays the
+// live one).
+package fleet
+
+type FleetClient struct {
+	rejected int
+	shed     int
+	migrated int
+	connLost int
+}
+
+type Stats struct {
+	Rejected int
+	Migrated int
+	ConnLost int
+}
+
+// foldLocked is registered: the one place unresolved frames are classified.
+func (fc *FleetClient) foldLocked(migrated bool) {
+	if migrated {
+		fc.migrated += 2
+	} else {
+		fc.connLost += 2
+	}
+	fc.rejected++
+	fc.shed++
+}
+
+// Stats is registered: it overlays live-connection counters on a snapshot.
+func (fc *FleetClient) Stats() Stats {
+	st := Stats{Rejected: fc.rejected, Migrated: fc.migrated, ConnLost: fc.connLost}
+	st.Rejected += fc.liveRejected()
+	return st
+}
+
+func (fc *FleetClient) liveRejected() int { return 0 }
+
+// Flagged: a failover path classifying losses outside the mutators.
+func (fc *FleetClient) retire() {
+	fc.migrated++ // want "write to accounting counter migrated"
+	fc.connLost++ // want "write to accounting counter connLost"
+}
+
+// Guard: same-name aggregation between snapshots stays exempt.
+func merge(dst, src *Stats) {
+	dst.Migrated += src.Migrated
+	dst.ConnLost = src.ConnLost
+}

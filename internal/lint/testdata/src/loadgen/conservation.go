@@ -9,6 +9,8 @@ type sim struct {
 	// keyframes/warped are the skip-compute partition of served.
 	keyframes int
 	warped    int
+	// migrated is the fleet-failover loss class.
+	migrated int
 	// dropped here is a per-frame flag, not a counter: bools are exempt.
 	dropped bool
 }
@@ -27,6 +29,9 @@ func (s *sim) countOffered() { s.offered++ }
 
 // countKeyframes is a registered mutator for the skip-compute partition.
 func (s *sim) countKeyframes(n int) { s.keyframes += n }
+
+// countMigrated is the registered mutator for the fleet-failover loss class.
+func (s *sim) countMigrated(n int) { s.migrated += n }
 
 // Flagged: a counter write outside the mutator set.
 func admit(s *sim) {
@@ -75,4 +80,15 @@ func tally(xs []int) int {
 // Guard: boolean flags sharing a counter name are not counters.
 func mark(s *sim) {
 	s.dropped = true
+}
+
+// Flagged: migration losses (the fleet extension of the law) must route
+// through the audited mutator too.
+func loseToKill(s *sim) {
+	s.migrated++ // want "write to accounting counter migrated"
+}
+
+// Guard: the sanctioned migration path.
+func migrate(s *sim) {
+	s.countMigrated(3)
 }

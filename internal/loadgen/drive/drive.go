@@ -71,8 +71,11 @@ func (o Options) withDefaults() Options {
 type agg struct {
 	mu                                       sync.Mutex
 	offered, served, rejected, shed, dropped int
-	servedBy                                 []int
-	lat                                      metrics.Dist
+	// migrated counts frames lost in flight to a replica kill under a
+	// sharded profile; zero on the single-edge targets.
+	migrated int
+	servedBy []int
+	lat      metrics.Dist
 }
 
 // noteServed, noteRejected, noteShed, noteDropped and absorb are the
@@ -105,6 +108,12 @@ func (a *agg) noteShed() {
 func (a *agg) noteDropped() {
 	a.mu.Lock()
 	a.dropped++
+	a.mu.Unlock()
+}
+
+func (a *agg) noteMigrated(n int) {
+	a.mu.Lock()
+	a.migrated += n
 	a.mu.Unlock()
 }
 
@@ -233,6 +242,9 @@ func policies(p loadgen.Profile, o Options) (edge.AdmissionPolicy, edge.DequeueP
 func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	p = p.Normalized()
 	o := opts.withDefaults()
+	if p.Sharded() {
+		return runSchedulerFleet(p, o)
+	}
 	admission, dequeue, err := policies(p, o)
 	if err != nil {
 		return nil, err
@@ -347,6 +359,9 @@ func RunScheduler(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	p = p.Normalized()
 	o := opts.withDefaults()
+	if p.Sharded() {
+		return runTCPFleet(p, o)
+	}
 
 	admission, dequeue, err := policies(p, o)
 	if err != nil {
@@ -517,10 +532,11 @@ func RunTCP(p loadgen.Profile, opts Options) (*loadgen.SLO, error) {
 	return slo, nil
 }
 
-// newSLO fills the accounting and latency half of the report.
+// newSLO fills the accounting and latency half of the report. Replicas is
+// only set under a sharded profile, matching the simulator's report schema.
 func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadgen.SLO {
 	min, max := a.fairness()
-	return &loadgen.SLO{
+	slo := &loadgen.SLO{
 		Profile:        p.Name,
 		Target:         target,
 		Seed:           p.Seed,
@@ -532,7 +548,8 @@ func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadge
 		Rejected:       a.rejected,
 		Shed:           a.shed,
 		Dropped:        a.dropped,
-		ConservationOK: a.offered == a.served+a.rejected+a.shed+a.dropped,
+		Migrated:       a.migrated,
+		ConservationOK: a.offered == a.served+a.rejected+a.shed+a.dropped+a.migrated,
 		LatMeanMs:      round3(a.lat.Mean()),
 		LatP50Ms:       round3(a.lat.Quantile(0.50)),
 		LatP95Ms:       round3(a.lat.Quantile(0.95)),
@@ -543,6 +560,10 @@ func newSLO(p loadgen.Profile, target string, a *agg, horizonMs float64) *loadge
 		FairnessSpread: max - min,
 		HorizonMs:      round3(horizonMs),
 	}
+	if p.Sharded() {
+		slo.Replicas = p.Replicas
+	}
+	return slo
 }
 
 // round3 matches the simulator's report quantization.

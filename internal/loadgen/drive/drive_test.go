@@ -175,6 +175,66 @@ func TestRunTCPConservation(t *testing.T) {
 	checkConservation(t, slo)
 }
 
+// TestRunSchedulerFleetKill drives a sharded scheduler fleet through a
+// mid-run replica kill: the killed replica's frames must land in the
+// migrated bucket (RunScheduler errors if any frame goes missing from the
+// reconciliation), sessions must resume on survivors, and the keyframe
+// partition law must hold fleet-wide despite the forced post-migration
+// keyframes.
+func TestRunSchedulerFleetKill(t *testing.T) {
+	p := loadgen.Profile{
+		Name: "sched-fleet", Sessions: 24, Accelerators: 1, QueueDepth: 8,
+		MaxOutstanding: 8, DurationMs: 2500, FPS: 8,
+		Arrival: loadgen.Steady, Seed: 17,
+		Links:            []loadgen.LinkShape{loadgen.Fast},
+		Clips:            []loadgen.ClipClass{loadgen.ClipIndustrial},
+		KeyframeInterval: 4, Replicas: 3,
+		Kills: []loadgen.ReplicaKill{{Replica: 1, AtMs: 1200}},
+	}
+	slo, err := RunScheduler(raceProfile(p), Options{TimeScale: 0.25, Occupancy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Replicas != 3 {
+		t.Fatalf("replicas = %d, want 3", slo.Replicas)
+	}
+	if !raceEnabled && slo.Migrated == 0 {
+		t.Error("replica kill migrated nothing on the scheduler target")
+	}
+}
+
+// TestRunTCPFleetFailover is the socket counterpart: one server per
+// replica, fleet clients per session, a mid-run server kill. The clients
+// must observe the socket loss, fail over with the resume handshake
+// (RunTCP errors if migrated frames appear without any replica adopting a
+// session) and keep the client-side conservation identity closed.
+func TestRunTCPFleetFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket run skipped in -short")
+	}
+	p := loadgen.Profile{
+		Name: "tcp-fleet", Sessions: 12, Accelerators: 1, QueueDepth: 8,
+		MaxOutstanding: 4, DurationMs: 2000, FPS: 8,
+		Arrival: loadgen.Steady, Seed: 19,
+		Links:            []loadgen.LinkShape{loadgen.Fast},
+		Clips:            []loadgen.ClipClass{loadgen.ClipStreet},
+		KeyframeInterval: 4, Replicas: 3,
+		Kills: []loadgen.ReplicaKill{{Replica: 0, AtMs: 1000}},
+	}
+	slo, err := RunTCP(raceProfile(p), Options{TimeScale: 0.2, Occupancy: 2, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, slo)
+	if slo.Replicas != 3 {
+		t.Fatalf("replicas = %d, want 3", slo.Replicas)
+	}
+	if !raceEnabled && slo.Migrated == 0 {
+		t.Error("server kill migrated nothing through the fleet clients")
+	}
+}
+
 // TestOfferedScheduleMatchesSimulator pins the cross-target contract: the
 // wall-clock drivers replay Profile.SessionArrivals, so their offered count
 // equals the simulator's for the same profile.

@@ -1,0 +1,484 @@
+package drive
+
+// Fleet drive targets: the wall-clock counterparts of the simulator's
+// sharded mode. runSchedulerFleet replays a sharded profile against one
+// edge.Scheduler per replica with driver-side failover (ResumeSession on a
+// survivor after a kill); runTCPFleet runs one transport.Server per replica
+// and one fleet.FleetClient per session, so the real failover path — socket
+// loss, re-placement, resume handshake, forced keyframe — carries the run.
+// Both extend the conservation law with the migrated bucket and reconcile
+// the driver's accounting against the summed per-replica scheduler counters.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"edgeis/internal/edge"
+	"edgeis/internal/fleet"
+	"edgeis/internal/loadgen"
+	"edgeis/internal/netsim"
+	"edgeis/internal/segmodel"
+	"edgeis/internal/transport"
+)
+
+// fleetState tracks which replicas have been killed, shared by the kill
+// timers and the sessions re-placing after a failure.
+type fleetState struct {
+	mu   sync.Mutex
+	dead []bool
+}
+
+func newFleetState(n int) *fleetState { return &fleetState{dead: make([]bool, n)} }
+
+// alive returns the replica indices not yet killed, in index order.
+func (f *fleetState) alive() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, 0, len(f.dead))
+	for r, d := range f.dead {
+		if !d {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// kill marks replica r dead; false means it already was. The mark lands
+// before the replica is actually torn down, so a session re-placing
+// concurrently never picks a replica the killer has claimed.
+func (f *fleetState) kill(r int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[r] {
+		return false
+	}
+	f.dead[r] = true
+	return true
+}
+
+// startKillers arms one timer per configured kill and returns a WaitGroup
+// the caller waits on after the generation horizon.
+func startKillers(p loadgen.Profile, o Options, start time.Time, fs *fleetState, kill func(r int)) *sync.WaitGroup {
+	var killers sync.WaitGroup
+	for _, k := range p.Kills {
+		if k.Replica < 0 || k.Replica >= p.Replicas {
+			continue
+		}
+		killers.Add(1)
+		go func(k loadgen.ReplicaKill) {
+			defer killers.Done()
+			sleepUntil(start, k.AtMs, o.TimeScale)
+			if fs.kill(k.Replica) {
+				kill(k.Replica)
+			}
+		}(k)
+	}
+	return &killers
+}
+
+// sessHandle is one session's live placement on the scheduler target: the
+// serving replica and session handle, plus a generation counter so that
+// when several in-flight frames hit the same dead replica, only the first
+// failure re-places the session.
+type sessHandle struct {
+	mu   sync.Mutex
+	r    int
+	sess *edge.Session
+	gen  int
+}
+
+// current snapshots the serving handle; sess is nil once the whole fleet is
+// dead.
+func (h *sessHandle) current() (*edge.Session, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sess, h.gen
+}
+
+// foldSchedStats aggregates per-replica scheduler telemetry into the SLO:
+// sums for counters, maxes for peaks, served-weighted means for the wait
+// and depth averages (an idle replica should not drag the fleet mean down).
+func foldSchedStats(slo *loadgen.SLO, sts []edge.Stats) {
+	var served, batches int
+	var waitMean, waitP95, depthMean, batchJobs float64
+	for _, st := range sts {
+		w := float64(st.Served)
+		served += st.Served
+		waitMean += st.MeanWaitMs * w
+		waitP95 += st.P95WaitMs * w
+		depthMean += st.MeanQueueDepth * w
+		if st.MaxWaitMs > slo.WaitMaxMs {
+			slo.WaitMaxMs = st.MaxWaitMs
+		}
+		if st.PeakQueueDepth > slo.QueuePeakDepth {
+			slo.QueuePeakDepth = st.PeakQueueDepth
+		}
+		batches += st.Batches
+		batchJobs += st.MeanBatchSize * float64(st.Batches)
+		slo.KeyframesServed += st.KeyframesServed
+		slo.WarpedServed += st.WarpedServed
+	}
+	if served > 0 {
+		slo.WaitMeanMs = round3(waitMean / float64(served))
+		slo.WaitP95Ms = round3(waitP95 / float64(served))
+		slo.QueueMeanDepth = round3(depthMean / float64(served))
+	}
+	slo.WaitMaxMs = round3(slo.WaitMaxMs)
+	slo.Batches = batches
+	if batches > 0 {
+		slo.MeanBatchSize = round3(batchJobs / float64(batches))
+	}
+	slo.KeyframeRate = keyframeRate(slo.KeyframesServed, slo.WarpedServed)
+}
+
+// runSchedulerFleet is RunScheduler's sharded mode: one scheduler per
+// replica, sessions rendezvous-placed exactly as the simulator places them.
+// A kill closes the replica's scheduler (admitted frames drain, new ones
+// fail), and a session discovers the death when a frame comes back
+// ErrClosed: that frame is counted migrated — never resent — and the
+// session resumes on a survivor via ResumeSession, cold cache and all, so
+// its next keyframe decision is forced. Once the whole fleet is dead,
+// remaining frames drop client-side.
+func runSchedulerFleet(p loadgen.Profile, o Options) (*loadgen.SLO, error) {
+	admission, dequeue, err := policies(p, o)
+	if err != nil {
+		return nil, err
+	}
+	scheds := make([]*edge.Scheduler, p.Replicas)
+	for r := range scheds {
+		scheds[r] = edge.NewScheduler(edge.Config{
+			Workers:    p.Accelerators,
+			QueueDepth: p.QueueDepth,
+			Admission:  admission,
+			Dequeue:    dequeue,
+			Keyframe:   p.KeyframePolicy(),
+			NewAccelerator: func(int) edge.Accelerator {
+				return &clipAccelerator{p: p, scale: o.TimeScale, frac: o.Occupancy}
+			},
+		})
+	}
+	fs := newFleetState(p.Replicas)
+	a := &agg{servedBy: make([]int, p.Sessions)}
+	start := time.Now()
+	killers := startKillers(p, o, start, fs, func(r int) { _ = scheds[r].Close() })
+
+	var fleetWg sync.WaitGroup
+	for i := 0; i < p.Sessions; i++ {
+		fleetWg.Add(1)
+		go func(i int) {
+			defer fleetWg.Done()
+			key := p.SessionKey(i)
+			h := &sessHandle{r: p.PlaceSession(i, fs.alive())}
+			h.sess = scheds[h.r].NewSession(key)
+			// failover re-places the session after frame gen observed its
+			// replica dead; the generation guard keeps a burst of in-flight
+			// failures from hopping replicas once per frame.
+			failover := func(failedGen int) {
+				// Snapshot before taking h.mu (fs has its own lock). A stale
+				// snapshot is harmless: re-placing onto a replica that died
+				// a beat ago just triggers one more failover.
+				alive := fs.alive()
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				if h.gen != failedGen {
+					return
+				}
+				h.gen++
+				if len(alive) == 0 {
+					h.r, h.sess = -1, nil
+					return
+				}
+				h.r = p.PlaceSession(i, alive)
+				h.sess = scheds[h.r].ResumeSession(key, key)
+			}
+			clip := p.ClipFor(i)
+			up := netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+1)
+			var outstanding, dropped, offered int
+			var reqs sync.WaitGroup
+			var mu sync.Mutex // outstanding, decremented from request goroutines
+			for _, genAt := range p.SessionArrivals(i) {
+				sleepUntil(start, genAt, o.TimeScale)
+				offered++
+				// Placement is resolved at generation time, like picking the
+				// socket to uplink into: a frame bound for a replica that
+				// dies mid-flight migrates, it does not retroactively reroute.
+				sess, gen := h.current()
+				if sess == nil {
+					dropped++ // whole fleet dead: nowhere to connect
+					continue
+				}
+				mu.Lock()
+				atCap := outstanding >= p.MaxOutstanding
+				if !atCap {
+					outstanding++
+				}
+				mu.Unlock()
+				if atCap {
+					dropped++
+					continue
+				}
+				upMs := up.TransferMs(genAt, clip.PayloadBytes)
+				reqs.Add(1)
+				go func(genAt, upMs float64, sess *edge.Session, gen int) {
+					defer reqs.Done()
+					sleepUntil(start, genAt+upMs, o.TimeScale)
+					in := segmodel.Input{Width: 64 + 16*(i%len(p.Clips)), Height: 48, Seed: int64(i)}
+					_, _, err := sess.Infer(in, nil)
+					doneMs := msSince(start)
+					switch {
+					case err == nil:
+						a.noteServed(i, doneMs-genAt*o.TimeScale)
+					case errors.Is(err, edge.ErrQueueFull):
+						a.noteRejected()
+					case errors.Is(err, edge.ErrShed):
+						a.noteShed()
+					case errors.Is(err, edge.ErrClosed):
+						// The replica died under this frame: the frame is
+						// lost to the migration window, the session moves on.
+						a.noteMigrated(1)
+						failover(gen)
+					default:
+						a.noteDropped()
+					}
+					mu.Lock()
+					outstanding--
+					mu.Unlock()
+				}(genAt, upMs, sess, gen)
+			}
+			reqs.Wait()
+			if sess, _ := h.current(); sess != nil {
+				sess.Close()
+			}
+			a.absorb(offered, 0, 0, dropped)
+		}(i)
+	}
+	fleetWg.Wait()
+	horizon := msSince(start)
+	killers.Wait()
+
+	sts := make([]edge.Stats, p.Replicas)
+	var served, rejected, shed, cancelled, kf, warped int
+	for r, sched := range scheds {
+		sts[r] = sched.Stats()
+		if err := sched.Close(); err != nil {
+			return nil, err
+		}
+		served += sts[r].Served
+		rejected += sts[r].Rejected
+		shed += sts[r].Shed
+		cancelled += sts[r].Cancelled
+		kf += sts[r].KeyframesServed
+		warped += sts[r].WarpedServed
+	}
+	if served != a.served || rejected != a.rejected || shed != a.shed || cancelled != 0 {
+		return nil, fmt.Errorf("drive scheduler-fleet: accounting mismatch: driver served/rejected/shed %d/%d/%d, replicas served/rejected/shed/cancelled %d/%d/%d/%d",
+			a.served, a.rejected, a.shed, served, rejected, shed, cancelled)
+	}
+	if p.SkipCompute() && kf+warped != served {
+		return nil, fmt.Errorf("drive scheduler-fleet: keyframe partition violated: keyframes %d + warped %d != served %d",
+			kf, warped, served)
+	}
+	slo := newSLO(p, "scheduler", a, horizon)
+	foldSchedStats(slo, sts)
+	return slo, nil
+}
+
+// runTCPFleet is RunTCP's sharded mode: one in-process transport.Server per
+// replica on its own loopback socket, one fleet.FleetClient per session. A
+// kill force-closes the replica's server; the fleet clients observe the
+// socket loss, re-place, and replay the resume handshake — the exact
+// production failover path. Client-side accounting folds the fleet client's
+// settled conservation identity into the run's: connection losses with a
+// completed migration count migrated, terminal/teardown losses count
+// dropped.
+func runTCPFleet(p loadgen.Profile, o Options) (*loadgen.SLO, error) {
+	if o.Addr != "" {
+		return nil, fmt.Errorf("drive tcp: sharded profile %s runs its own in-process replicas; -addr is single-edge only", p.Name)
+	}
+	admission, dequeue, err := policies(p, o)
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*transport.Server, p.Replicas)
+	addrs := make([]string, p.Replicas)
+	closeOnce := make([]sync.Once, p.Replicas)
+	closeSrv := func(r int) {
+		closeOnce[r].Do(func() { _ = servers[r].Close() })
+	}
+	defer func() {
+		for r := range servers {
+			if servers[r] != nil {
+				closeSrv(r)
+			}
+		}
+	}()
+	for r := range servers {
+		srvOpts := []transport.ServerOption{
+			transport.WithAccelerators(p.Accelerators),
+			transport.WithQueueDepth(p.QueueDepth),
+			transport.WithWallOccupancy(o.Occupancy * o.TimeScale),
+			transport.WithAdmissionPolicy(admission),
+		}
+		if dequeue != nil {
+			srvOpts = append(srvOpts, transport.WithDequeuePolicy(dequeue))
+		}
+		if p.SkipCompute() {
+			srvOpts = append(srvOpts, transport.WithKeyframePolicy(p.KeyframePolicy()))
+		}
+		srv := transport.NewServer(segmodel.New(segmodel.YOLOv3), srvOpts...)
+		bound, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		servers[r] = srv
+		addrs[r] = bound.String()
+	}
+	fs := newFleetState(p.Replicas)
+	a := &agg{servedBy: make([]int, p.Sessions)}
+	start := time.Now()
+	killers := startKillers(p, o, start, fs, closeSrv)
+
+	var fleetWg sync.WaitGroup
+	sessErrs := make([]error, p.Sessions)
+	for i := 0; i < p.Sessions; i++ {
+		fleetWg.Add(1)
+		go func(i int) {
+			defer fleetWg.Done()
+			fc, err := fleet.DialFleet(fleet.Config{
+				Addrs:        addrs,
+				SessionKey:   p.SessionKey(i),
+				DialTimeout:  2 * time.Second,
+				DialAttempts: 5,
+				DialBackoff:  20 * time.Millisecond,
+			})
+			if err != nil {
+				sessErrs[i] = err
+				return
+			}
+			defer fc.Close()
+			clip := p.ClipFor(i)
+
+			var mu sync.Mutex
+			sendAt := make(map[int32]float64)
+			served := 0
+			var readers sync.WaitGroup
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for res := range fc.Results() {
+					mu.Lock()
+					at, ok := sendAt[res.FrameIndex]
+					if ok {
+						delete(sendAt, res.FrameIndex)
+						served++
+					}
+					mu.Unlock()
+					if ok {
+						a.noteServed(i, msSince(start)-at)
+					}
+				}
+			}()
+
+			outstandingNow := func() int {
+				st := fc.Stats()
+				return st.Sent - st.Delivered - st.Rejected - st.Shed - st.Migrated - st.ConnLost
+			}
+			sent, dropped, offered := 0, 0, 0
+			for k, genAt := range p.SessionArrivals(i) {
+				sleepUntil(start, genAt, o.TimeScale)
+				offered++
+				if outstandingNow() >= p.MaxOutstanding {
+					dropped++
+					continue
+				}
+				idx := int32(k)
+				mu.Lock()
+				sendAt[idx] = msSince(start)
+				mu.Unlock()
+				ok := fc.Send(&transport.FrameMsg{
+					FrameIndex:   idx,
+					Width:        int32(64 + 16*(i%len(p.Clips))),
+					Height:       48,
+					Seed:         int64(i)*1_000_003 + int64(k),
+					PaddingBytes: int32(clip.PayloadBytes),
+				})
+				if !ok {
+					// Send queue full, mid-failover, or fleet exhausted: the
+					// frame never left the client.
+					mu.Lock()
+					delete(sendAt, idx)
+					mu.Unlock()
+					dropped++
+					continue
+				}
+				sent++
+			}
+
+			// Drain: every sent frame resolves into a result, a wire-level
+			// reject/shed, or a migration/connection loss; Close settles the
+			// stragglers into ConnLost.
+			deadline := time.Now().Add(o.DrainTimeout)
+			for time.Now().Before(deadline) {
+				st := fc.Stats()
+				if st.Delivered+st.Rejected+st.Shed+st.Migrated+st.ConnLost >= st.Sent {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			fc.Close()
+			readers.Wait()
+
+			st := fc.Stats()
+			if !st.Conserved() || st.Sent != sent || st.Delivered != served {
+				sessErrs[i] = fmt.Errorf("drive tcp-fleet: session %d accounting leak: driver sent/served %d/%d, client %+v",
+					i, sent, served, st)
+				return
+			}
+			a.noteMigrated(st.Migrated)
+			a.absorb(offered, st.Rejected, st.Shed, dropped+st.ConnLost)
+		}(i)
+	}
+	fleetWg.Wait()
+	horizon := msSince(start)
+	killers.Wait()
+	for _, err := range sessErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sts := make([]edge.Stats, p.Replicas)
+	var served, rejected, shed, cancelled, kf, warped, resumed int
+	for r := range servers {
+		closeSrv(r)
+		sts[r] = servers[r].Scheduler().Stats()
+		served += sts[r].Served
+		rejected += sts[r].Rejected
+		shed += sts[r].Shed
+		cancelled += sts[r].Cancelled
+		kf += sts[r].KeyframesServed
+		warped += sts[r].WarpedServed
+		resumed += sts[r].ResumedSessions
+	}
+	// The replicas must have resolved at least what the clients saw; a
+	// killed replica legitimately served frames whose results died with its
+	// sockets (the clients count those migrated).
+	if served+rejected+shed+cancelled < a.served+a.rejected+a.shed {
+		return nil, fmt.Errorf("drive tcp-fleet: accounting mismatch: clients saw served/rejected/shed %d/%d/%d, replicas served/rejected/shed/cancelled %d/%d/%d/%d",
+			a.served, a.rejected, a.shed, served, rejected, shed, cancelled)
+	}
+	if p.SkipCompute() && kf+warped != served {
+		return nil, fmt.Errorf("drive tcp-fleet: keyframe partition violated: keyframes %d + warped %d != served %d",
+			kf, warped, served)
+	}
+	// Migrated frames imply completed failovers, and every completed
+	// failover lands a resume handshake on a survivor.
+	if a.migrated > 0 && resumed == 0 && len(fs.alive()) > 0 {
+		return nil, fmt.Errorf("drive tcp-fleet: %d frames migrated but no replica adopted a session", a.migrated)
+	}
+	slo := newSLO(p, "tcp", a, horizon)
+	foldSchedStats(slo, sts)
+	return slo, nil
+}

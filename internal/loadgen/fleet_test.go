@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFleetSimDeterministic: the sharded simulator with a mid-run replica
+// kill is still a pure function of (profile, seed) — the failover golden
+// property BENCH_serving.json relies on for the fleet rows.
+func TestFleetSimDeterministic(t *testing.T) {
+	p, err := ProfileByName("ci-smoke-fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Run(p), Run(p)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("two runs of %s differ:\n%s\n%s", p.Name, ja, jb)
+	}
+	if a.Replicas != 3 {
+		t.Errorf("replicas = %d, want 3", a.Replicas)
+	}
+	if a.Migrated == 0 {
+		t.Error("a mid-run replica kill migrated no frames; the kill never bit")
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetSingleReplicaByteIdentical: Replicas=1 (failover structurally
+// impossible) must byte-reproduce the pre-fleet single-edge report,
+// including the absence of every fleet field from the JSON — the
+// acceptance gate that sharding cost nothing when unused.
+func TestFleetSingleReplicaByteIdentical(t *testing.T) {
+	base, err := ProfileByName("ci-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := base
+	solo.Replicas = 1
+	ja, _ := json.Marshal(Run(base))
+	jb, _ := json.Marshal(Run(solo))
+	if string(ja) != string(jb) {
+		t.Fatalf("Replicas=1 diverged from the single-edge simulator:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestFleetKillLosesNoFrameSilently reads the kill arm against its healthy
+// twin: the kill must cost real frames — all accounted in Migrated — and
+// must raise the keyframe rate (every migrated session's first frame on
+// its new replica is a forced keyframe, the cache having died with the old
+// one).
+func TestFleetKillLosesNoFrameSilently(t *testing.T) {
+	healthy, err := ProfileByName("fleet-3x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed, err := ProfileByName("fleet-3x-kill1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed.Seed != healthy.Seed || len(killed.Kills) != 1 {
+		t.Fatalf("fleet pair misconfigured: %+v vs %+v", healthy, killed)
+	}
+	a, b := Run(healthy), Run(killed)
+	t.Logf("healthy: %s", a)
+	t.Logf("killed:  %s", b)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Migrated != 0 {
+		t.Errorf("healthy fleet migrated %d frames", a.Migrated)
+	}
+	if b.Migrated == 0 {
+		t.Error("killed fleet migrated nothing; the kill never bit")
+	}
+	if b.Served >= a.Served {
+		t.Errorf("losing a third of the fleet did not cost served throughput: %d -> %d",
+			a.Served, b.Served)
+	}
+	if b.KeyframeRate <= a.KeyframeRate {
+		t.Errorf("migration did not force keyframes: rate %.3f -> %.3f",
+			a.KeyframeRate, b.KeyframeRate)
+	}
+}
+
+// TestPlaceSessionMinimalDisruption: the profile-level placement helper
+// inherits rendezvous hashing's property that a replica death only remaps
+// the sessions it owned.
+func TestPlaceSessionMinimalDisruption(t *testing.T) {
+	p := Profile{Name: "place", Sessions: 60, Replicas: 3}
+	all := []int{0, 1, 2}
+	survivors := []int{0, 2}
+	moved := 0
+	for i := 0; i < p.Sessions; i++ {
+		before := p.PlaceSession(i, all)
+		after := p.PlaceSession(i, survivors)
+		if before != 1 {
+			if after != before {
+				t.Fatalf("session %d moved %d -> %d though its replica survived", i, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == 1 {
+			t.Fatalf("session %d placed on the dead replica", i)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no session was owned by the killed replica; test proves nothing")
+	}
+	if p.PlaceSession(0, nil) != -1 {
+		t.Error("placement with no alive replicas must return -1")
+	}
+}
+
+// TestFleetTotalLossDropsClientSide: killing every replica leaves the
+// surviving frames with nowhere to go; they must drain into the dropped
+// (client-side) bucket with conservation intact, not hang or vanish.
+func TestFleetTotalLossDropsClientSide(t *testing.T) {
+	p := Profile{
+		Name: "apocalypse", Sessions: 8, Accelerators: 1, QueueDepth: 8,
+		DurationMs: 2000, FPS: 4, Arrival: Steady, Seed: 13, Replicas: 2,
+		Kills: []ReplicaKill{{Replica: 0, AtMs: 900}, {Replica: 1, AtMs: 900}},
+	}
+	slo := Run(p)
+	if err := slo.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if slo.Served == 0 {
+		t.Error("nothing served before the fleet died")
+	}
+	if slo.Dropped == 0 {
+		t.Error("post-apocalypse frames must drop client-side")
+	}
+	if slo.Migrated == 0 {
+		t.Error("frames in flight at the kill must migrate-lose")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"edgeis/internal/edge"
+	"edgeis/internal/fleet"
 	"edgeis/internal/netsim"
 	"edgeis/internal/segmodel"
 )
@@ -172,8 +173,31 @@ type Profile struct {
 	// next frame to be a keyframe. Zero or one disables the cache and keeps
 	// runs byte-identical to the committed baselines.
 	KeyframeInterval int `json:"keyframe_interval,omitempty"`
+	// Replicas shards the edge into N independent replicas, each with its
+	// own Accelerators-wide worker pool, QueueDepth-bounded admission queue
+	// and round-robin ring. Sessions are placed by rendezvous hashing on
+	// the session key (fleet.Rendezvous), so the simulator, the drivers and
+	// a real fleet client agree on ownership from the address list alone.
+	// Zero or one is the single-edge mode, byte-identical to the committed
+	// baselines.
+	Replicas int `json:"replicas,omitempty"`
+	// Kills schedules mid-run replica failures (only meaningful with
+	// Replicas > 1). A killed replica loses every frame it holds — queued,
+	// staged, or on an accelerator — to the Migrated bucket, its sessions
+	// re-place among the survivors with invalidated feature caches (the
+	// next frame is a forced keyframe), and frames already in uplink
+	// flight arrive at a dead socket and migrate too. Results already
+	// launched on the downlink still deliver: they left the edge before it
+	// died.
+	Kills []ReplicaKill `json:"kills,omitempty"`
 	// Seed pins every random draw in the run.
 	Seed int64 `json:"seed"`
+}
+
+// ReplicaKill schedules the death of one replica at a virtual instant.
+type ReplicaKill struct {
+	Replica int     `json:"replica"`
+	AtMs    float64 `json:"at_ms"`
 }
 
 // Normalized returns the profile with zero fields filled by the standard
@@ -216,6 +240,35 @@ func (p Profile) SessionArrivals(i int) []float64 {
 // SkipCompute reports whether the profile enables the keyframe feature
 // cache.
 func (p Profile) SkipCompute() bool { return p.KeyframeInterval > 1 }
+
+// Sharded reports whether the profile runs a multi-replica edge fleet.
+func (p Profile) Sharded() bool { return p.Replicas > 1 }
+
+// SessionKey is session i's cross-replica identity — the key placement
+// hashes and the resume handshake carries.
+func (p Profile) SessionKey(i int) string { return fmt.Sprintf("sess-%d", i) }
+
+// ReplicaName names replica r for placement hashing. The virtual fleet has
+// no socket addresses, so placement hashes these stable names; a real
+// deployment hashes its address list the same way.
+func ReplicaName(r int) string { return fmt.Sprintf("replica-%d", r) }
+
+// PlaceSession returns the replica index serving session i given the alive
+// replica indices, using the same rendezvous placement as a fleet client so
+// every execution target agrees on ownership. It returns -1 when no
+// replica is alive.
+func (p Profile) PlaceSession(i int, alive []int) int {
+	if len(alive) == 0 {
+		return -1
+	}
+	names := make([]string, len(alive))
+	byName := make(map[string]int, len(alive))
+	for j, r := range alive {
+		names[j] = ReplicaName(r)
+		byName[names[j]] = r
+	}
+	return byName[fleet.Rendezvous{}.Pick(p.SessionKey(i), names)]
+}
 
 // KeyframePolicy maps the profile onto the serving stack's skip-compute
 // policy (loadgen workloads carry no contours, so the policy is purely

@@ -28,6 +28,19 @@ import "fmt"
 //   - ci-smoke-skip: ci-smoke with the feature cache enabled, so the CI
 //     smoke also pins skip-compute determinism and the keyframe partition
 //     law (keyframes + warped == served).
+//   - ci-smoke-fleet: the ci-smoke fleet sharded over 3 contended
+//     replicas (FPS raised so each shard runs saturated) with one killed
+//     mid-run, so the blocking CI also pins failover determinism and the
+//     fleet conservation law (offered == served + rejected + shed +
+//     dropped + migrated — a replica death loses zero frames silently).
+//   - fleet-3x / fleet-3x-kill1 / fleet-solo-x6: the sharding arm. A
+//     near-saturated steady street fleet on 3 replicas of 2 accelerators
+//     (healthy, then with replica 1 killed at half-run) against one edge
+//     with the equal aggregate worker pool (6 accelerators, 3x the
+//     queue). Read kill1 against fleet-3x for the cost of a failure
+//     (migrated frames, forced keyframes, survivors pushed into
+//     overload) and fleet-3x against fleet-solo-x6 for the cost of
+//     sharding itself (no cross-replica work stealing).
 //   - tcp-smoke: a small wall-clock-friendly profile for the live targets
 //     (scheduler, tcp); also run on sim for cross-target comparison.
 func Profiles() []Profile {
@@ -77,6 +90,28 @@ func Profiles() []Profile {
 			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 6,
 			Clips:            []ClipClass{ClipStreet},
 			KeyframeInterval: 4,
+		},
+		{
+			Name: "ci-smoke-fleet", Sessions: 32, Accelerators: 1, QueueDepth: 16,
+			DurationMs: 3000, FPS: 6, Arrival: Steady, Seed: 1,
+			KeyframeInterval: 4, Replicas: 3,
+			Kills: []ReplicaKill{{Replica: 1, AtMs: 1500}},
+		},
+		{
+			Name: "fleet-3x", Sessions: 240, Accelerators: 2, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 8,
+			Clips: []ClipClass{ClipStreet}, KeyframeInterval: 4, Replicas: 3,
+		},
+		{
+			Name: "fleet-3x-kill1", Sessions: 240, Accelerators: 2, QueueDepth: 32,
+			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 8,
+			Clips: []ClipClass{ClipStreet}, KeyframeInterval: 4, Replicas: 3,
+			Kills: []ReplicaKill{{Replica: 1, AtMs: 7500}},
+		},
+		{
+			Name: "fleet-solo-x6", Sessions: 240, Accelerators: 6, QueueDepth: 96,
+			DurationMs: 15000, FPS: 1, Arrival: Steady, Seed: 8,
+			Clips: []ClipClass{ClipStreet}, KeyframeInterval: 4,
 		},
 		{
 			Name: "tcp-smoke", Sessions: 12, Accelerators: 2, QueueDepth: 8,

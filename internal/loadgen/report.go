@@ -23,15 +23,25 @@ type SLO struct {
 	Sessions     int `json:"sessions"`
 	Accelerators int `json:"accelerators"`
 	QueueDepth   int `json:"queue_depth"`
+	// Replicas is the edge shard count under a fleet profile (absent from
+	// JSON for the single-edge profiles, whose reports predate sharding).
+	// Accelerators is per replica.
+	Replicas int `json:"replicas,omitempty"`
 
 	// Frame accounting (the no-silent-loss law). Shed counts latest-wins
 	// displacements; it stays zero (and absent from JSON) under the default
 	// reject policy, so pre-policy reports keep their exact schema.
+	// Migrated counts frames lost in flight to replica failure — accepted
+	// by the client but still queued, staged, on an accelerator or in
+	// uplink flight when their replica died; it stays zero (and absent)
+	// outside fleet profiles, and the law extends to
+	// offered == served + rejected + shed + dropped + migrated.
 	Offered        int  `json:"offered"`
 	Served         int  `json:"served"`
 	Rejected       int  `json:"rejected"`
 	Shed           int  `json:"shed,omitempty"`
 	Dropped        int  `json:"dropped"`
+	Migrated       int  `json:"migrated,omitempty"`
 	ConservationOK bool `json:"conservation_ok"`
 
 	// Batch telemetry (zero and absent from JSON under single dequeue):
@@ -97,15 +107,19 @@ func keyframeRate(keyframes, warped int) float64 {
 // Check verifies the conservation law and basic sanity; it returns a
 // descriptive error naming the violated invariant.
 func (s *SLO) Check() error {
-	if s.Offered != s.Served+s.Rejected+s.Shed+s.Dropped {
-		return fmt.Errorf("loadgen %s/%s: conservation violated: offered %d != served %d + rejected %d + shed %d + dropped %d",
-			s.Profile, s.Target, s.Offered, s.Served, s.Rejected, s.Shed, s.Dropped)
+	if s.Offered != s.Served+s.Rejected+s.Shed+s.Dropped+s.Migrated {
+		return fmt.Errorf("loadgen %s/%s: conservation violated: offered %d != served %d + rejected %d + shed %d + dropped %d + migrated %d",
+			s.Profile, s.Target, s.Offered, s.Served, s.Rejected, s.Shed, s.Dropped, s.Migrated)
 	}
 	if !s.ConservationOK {
 		return fmt.Errorf("loadgen %s/%s: run flagged conservation_ok=false", s.Profile, s.Target)
 	}
-	if s.Served < 0 || s.Rejected < 0 || s.Shed < 0 || s.Dropped < 0 {
+	if s.Served < 0 || s.Rejected < 0 || s.Shed < 0 || s.Dropped < 0 || s.Migrated < 0 {
 		return fmt.Errorf("loadgen %s/%s: negative accounting: %+v", s.Profile, s.Target, s)
+	}
+	if s.Migrated > 0 && s.Replicas <= 1 {
+		return fmt.Errorf("loadgen %s/%s: migrated %d frames with no replica fleet",
+			s.Profile, s.Target, s.Migrated)
 	}
 	if s.ServedMin > s.ServedMax || s.FairnessSpread != s.ServedMax-s.ServedMin {
 		return fmt.Errorf("loadgen %s/%s: fairness fields inconsistent: min %d max %d spread %d",
@@ -116,10 +130,16 @@ func (s *SLO) Check() error {
 			s.Profile, s.Target, s.KeyframesServed, s.WarpedServed)
 	}
 	// Skip-compute partition law: when the feature cache classified frames,
-	// every served frame is exactly one of keyframe or warped.
-	if s.KeyframesServed+s.WarpedServed > 0 && s.KeyframesServed+s.WarpedServed != s.Served {
-		return fmt.Errorf("loadgen %s/%s: keyframe partition violated: keyframes %d + warped %d != served %d",
-			s.Profile, s.Target, s.KeyframesServed, s.WarpedServed, s.Served)
+	// every served frame is exactly one of keyframe or warped. Under a
+	// fleet kill the partition is counted where the work happened (the
+	// edge), while Served counts deliveries: a killed replica may have
+	// computed frames whose results died with its sockets, so the partition
+	// may exceed Served by at most the migrated loss.
+	if part := s.KeyframesServed + s.WarpedServed; part > 0 {
+		if part < s.Served || part > s.Served+s.Migrated {
+			return fmt.Errorf("loadgen %s/%s: keyframe partition violated: keyframes %d + warped %d outside [served %d, served+migrated %d]",
+				s.Profile, s.Target, s.KeyframesServed, s.WarpedServed, s.Served, s.Served+s.Migrated)
+		}
 	}
 	return nil
 }
@@ -136,6 +156,9 @@ func (s *SLO) String() string {
 	}
 	if s.KeyframesServed+s.WarpedServed > 0 {
 		fmt.Fprintf(&b, " | keyframes %d warped %d (rate %.2f)", s.KeyframesServed, s.WarpedServed, s.KeyframeRate)
+	}
+	if s.Replicas > 1 {
+		fmt.Fprintf(&b, " | replicas %d migrated %d", s.Replicas, s.Migrated)
 	}
 	return b.String()
 }

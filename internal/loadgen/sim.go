@@ -35,18 +35,27 @@ const (
 	// evFlush: an underfull batch's gather window expires; the reserved
 	// accelerator tops the batch up and launches whatever it has.
 	evFlush
+	// evKill: a replica dies (Profile.Kills). Its queued/staged/in-flight
+	// frames migrate-lose, its sessions re-place among survivors.
+	evKill
 )
 
 // event is one scheduled simulator step. seq breaks time ties in push
-// order, so identical runs process events identically.
+// order, so identical runs process events identically. replica/gen address
+// the edge shard the event targets: a kill bumps the shard's generation,
+// so events scheduled against the pre-kill replica (an uplink in flight, a
+// running inference, a staged gather window) pop stale and resolve their
+// frames into the Migrated bucket instead of touching the dead edge.
 type event struct {
-	at    float64
-	seq   int64
-	kind  evKind
-	sess  int
-	accel int
-	job   *simJob
-	batch []*simJob
+	at      float64
+	seq     int64
+	kind    evKind
+	sess    int
+	replica int
+	gen     int
+	accel   int
+	job     *simJob
+	batch   []*simJob
 }
 
 // simJob is one offloaded frame in flight.
@@ -87,11 +96,33 @@ type simSession struct {
 	outstanding int
 	pending     []*simJob
 	served      int
+	// replica is the edge shard serving the session: rendezvous-placed at
+	// start, re-placed among survivors when its replica dies (-1 once the
+	// whole fleet is dead — further frames drop client-side, the mobile
+	// has nowhere to connect).
+	replica int
 	// kfValid/kfAge mirror the session's edge-side feature cache: valid
 	// after a keyframe decision, aged by each non-keyframe, invalidated when
-	// a decided keyframe is lost before serving (reject or shed).
+	// a decided keyframe is lost before serving (reject or shed) — or when
+	// the session migrates, because the cached pyramid died with the old
+	// replica and the first frame on the new one must be a keyframe.
 	kfValid bool
 	kfAge   int
+}
+
+// simEdge is one edge replica's state, mirroring edge.Scheduler: rotating
+// ring of sessions with pending work, queued count, per-accelerator busy
+// horizon. staged holds an underfull batch per reserved accelerator during
+// its gather window. gen is the failover generation: a kill bumps it so
+// events addressed to the old incarnation resolve stale.
+type simEdge struct {
+	ring      []int
+	queued    int
+	accelIdle []bool
+	busyMs    []float64
+	staged    [][]*simJob
+	dead      bool
+	gen       int
 }
 
 // sim is the run state.
@@ -102,39 +133,64 @@ type sim struct {
 	sess  []*simSession
 	maxAt float64
 
-	// Edge state, mirroring edge.Scheduler: rotating ring of sessions with
-	// pending work, queued count, per-accelerator busy horizon. staged holds
-	// an underfull batch per reserved accelerator during its gather window.
-	ring      []int
-	queued    int
-	accelIdle []bool
-	busyMs    []float64
-	staged    [][]*simJob
-	edgeRng   *rand.Rand
+	// edges are the replica shards (exactly one outside fleet mode; the
+	// single-replica event order and RNG draw order are byte-identical to
+	// the pre-fleet simulator). edgeRng is shared across replicas: virtual
+	// time serializes every draw deterministically, so per-replica streams
+	// would buy nothing.
+	edges   []*simEdge
+	edgeRng *rand.Rand
 
 	offered, served, rejected, shed, dropped int
-	batches, batchJobs                       int
+	// migrated counts frames lost in flight to replica failure: queued,
+	// staged or on an accelerator when their replica died, or uplinked
+	// into a dead socket. The fleet conservation law is
+	// offered == served + rejected + shed + dropped + migrated.
+	migrated           int
+	batches, batchJobs int
 	// keyframes/warped partition served when the profile enables
 	// skip-compute (both stay zero otherwise).
 	keyframes, warped  int
 	lat, waits, depths metrics.Dist
 }
 
+// alive returns the indices of the replicas still serving.
+func (s *sim) alive() []int {
+	out := make([]int, 0, len(s.edges))
+	for r, ed := range s.edges {
+		if !ed.dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Run executes the profile on the virtual-time simulator and returns its
 // SLO report. Two calls with the same profile return identical reports.
 func Run(p Profile) *SLO {
 	p = p.withDefaults()
+	replicas := p.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
 	s := &sim{
-		p:         p,
-		sess:      make([]*simSession, p.Sessions),
-		accelIdle: make([]bool, p.Accelerators),
-		busyMs:    make([]float64, p.Accelerators),
-		staged:    make([][]*simJob, p.Accelerators),
-		edgeRng:   rand.New(rand.NewSource(p.Seed*7_369_131 + 17)),
+		p:       p,
+		sess:    make([]*simSession, p.Sessions),
+		edges:   make([]*simEdge, replicas),
+		edgeRng: rand.New(rand.NewSource(p.Seed*7_369_131 + 17)),
 	}
-	for i := range s.accelIdle {
-		s.accelIdle[i] = true
+	for r := range s.edges {
+		ed := &simEdge{
+			accelIdle: make([]bool, p.Accelerators),
+			busyMs:    make([]float64, p.Accelerators),
+			staged:    make([][]*simJob, p.Accelerators),
+		}
+		for i := range ed.accelIdle {
+			ed.accelIdle[i] = true
+		}
+		s.edges[r] = ed
 	}
+	allAlive := s.alive()
 	for i := 0; i < p.Sessions; i++ {
 		s.sess[i] = &simSession{
 			clip:     p.ClipFor(i),
@@ -142,7 +198,17 @@ func Run(p Profile) *SLO {
 			up:       netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+1),
 			down:     netsim.NewLink(p.LinkFor(i).NetProfile(), p.Seed+int64(i)*2+2),
 		}
+		if p.Sharded() {
+			s.sess[i].replica = p.PlaceSession(i, allAlive)
+		}
 		s.push(event{at: s.sess[i].arrivals[0], kind: evGen, sess: i})
+	}
+	if p.Sharded() {
+		for _, k := range p.Kills {
+			if k.Replica >= 0 && k.Replica < replicas {
+				s.push(event{at: k.AtMs, kind: evKill, replica: k.Replica})
+			}
+		}
 	}
 
 	for len(s.heap) > 0 {
@@ -161,6 +227,8 @@ func Run(p Profile) *SLO {
 			s.deliver(e)
 		case evFlush:
 			s.flush(e)
+		case evKill:
+			s.kill(e)
 		}
 	}
 	return s.report()
@@ -182,6 +250,12 @@ func (s *sim) countOffered()  { s.offered++ }
 func (s *sim) countDropped()  { s.dropped++ }
 func (s *sim) countRejected() { s.rejected++ }
 func (s *sim) countShed()     { s.shed++ }
+
+// countMigrated moves n frames into the migrated class: accepted by the
+// client, lost with a replica. Every call site is one of the four ways a
+// replica death loses frames (queued, staged, on-accelerator, in uplink
+// flight).
+func (s *sim) countMigrated(n int) { s.migrated += n }
 
 // countServed moves one frame into the served class on both the fleet and
 // per-session tallies, keeping the fairness report consistent with the SLO.
@@ -235,7 +309,8 @@ func (s *sim) jobCost(j *simJob) float64 {
 }
 
 // generate handles one frame generation: client-side shed when the session
-// is at its outstanding cap, otherwise uplink pacing toward the edge.
+// is at its outstanding cap (or the whole fleet is dead), otherwise uplink
+// pacing toward the session's placed replica.
 func (s *sim) generate(e event) {
 	ss := s.sess[e.sess]
 	s.countOffered()
@@ -243,13 +318,14 @@ func (s *sim) generate(e event) {
 	if ss.nextGen < len(ss.arrivals) {
 		s.push(event{at: ss.arrivals[ss.nextGen], kind: evGen, sess: e.sess})
 	}
-	if ss.outstanding >= s.p.MaxOutstanding {
+	if ss.outstanding >= s.p.MaxOutstanding || ss.replica < 0 {
 		s.countDropped()
 		return
 	}
 	ss.outstanding++
 	upMs := ss.up.TransferMs(e.at, ss.clip.PayloadBytes)
 	s.push(event{at: e.at + upMs, kind: evArrive, sess: e.sess,
+		replica: ss.replica, gen: s.edges[ss.replica].gen,
 		job: &simJob{sess: e.sess, genAt: e.at, arriveAt: e.at + upMs}})
 }
 
@@ -260,6 +336,15 @@ func (s *sim) generate(e event) {
 // and the round-robin ring.
 func (s *sim) arrive(e event) {
 	ss := s.sess[e.sess]
+	ed := s.edges[e.replica]
+	if ed.dead || e.gen != ed.gen {
+		// The uplink delivered into a dead socket: the frame was accepted
+		// by the client before the kill, so it is migration loss, not a
+		// client-side drop. The session itself has already re-placed.
+		s.countMigrated(1)
+		ss.outstanding--
+		return
+	}
 	// Keyframe classification happens at admission in arrival order,
 	// mirroring edge.Scheduler's decide-before-admission: even a frame the
 	// queue then rejects has advanced the session's cache state.
@@ -268,14 +353,14 @@ func (s *sim) arrive(e event) {
 	// like edge.Scheduler: a latest-wins shed can momentarily empty the
 	// pending list without the session ever leaving the ring.
 	inRing := len(ss.pending) > 0
-	if s.queued >= s.p.QueueDepth {
+	if ed.queued >= s.p.QueueDepth {
 		if s.p.ShedPolicy == "latest-wins" && len(ss.pending) > 0 {
 			// The shed frame's result will never come back, so its
 			// outstanding slot frees immediately; if it was a decided
 			// keyframe, the cache it would have refreshed is gone too.
 			stale := ss.pending[0]
 			ss.pending = ss.pending[1:]
-			s.queued--
+			ed.queued--
 			s.countShed()
 			ss.outstanding--
 			s.dropKeyframeFor(ss, stale.keyframe)
@@ -287,12 +372,12 @@ func (s *sim) arrive(e event) {
 		}
 	}
 	if !inRing {
-		s.ring = append(s.ring, e.sess)
+		ed.ring = append(ed.ring, e.sess)
 	}
 	ss.pending = append(ss.pending, e.job)
-	s.queued++
-	s.depths.Add(float64(s.queued))
-	s.dispatch(e.at)
+	ed.queued++
+	s.depths.Add(float64(ed.queued))
+	s.dispatch(e.at, e.replica)
 }
 
 // dispatch feeds idle accelerators from the round-robin ring, exactly the
@@ -300,10 +385,11 @@ func (s *sim) arrive(e event) {
 // request and rotates to the back while it still has pending work, so a
 // backlogged session is served once per pass and can never be lapped by a
 // churn of fresh sessions.
-func (s *sim) dispatch(now float64) {
-	for s.queued > 0 {
+func (s *sim) dispatch(now float64, r int) {
+	ed := s.edges[r]
+	for ed.queued > 0 {
 		accel := -1
-		for i, idle := range s.accelIdle {
+		for i, idle := range ed.accelIdle {
 			if idle {
 				accel = i
 				break
@@ -315,32 +401,34 @@ func (s *sim) dispatch(now float64) {
 		if s.p.MaxBatch <= 1 {
 			// Single-dequeue path, kept verbatim: the committed baselines
 			// depend on the exact operation and RNG-draw order here.
-			si := s.ring[0]
-			s.ring = s.ring[1:]
+			si := ed.ring[0]
+			ed.ring = ed.ring[1:]
 			ss := s.sess[si]
 			j := ss.pending[0]
 			ss.pending = ss.pending[1:]
-			s.queued--
+			ed.queued--
 			if len(ss.pending) > 0 {
-				s.ring = append(s.ring, si)
+				ed.ring = append(ed.ring, si)
 			}
 			s.waits.Add(now - j.arriveAt)
 			inferMs := s.jobCost(j) * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
-			s.accelIdle[accel] = false
-			s.busyMs[accel] += inferMs
-			s.push(event{at: now + inferMs, kind: evInferDone, accel: accel, batch: []*simJob{j}})
+			ed.accelIdle[accel] = false
+			ed.busyMs[accel] += inferMs
+			s.push(event{at: now + inferMs, kind: evInferDone,
+				replica: r, gen: ed.gen, accel: accel, batch: []*simJob{j}})
 			continue
 		}
-		batch := s.gather(nil)
+		batch := s.gather(r, nil)
 		if len(batch) < s.p.MaxBatch && s.p.BatchWindowMs > 0 {
 			// Underfull: reserve the accelerator for one gather window;
 			// frames arriving meanwhile top the batch up at flush time.
-			s.accelIdle[accel] = false
-			s.staged[accel] = batch
-			s.push(event{at: now + s.p.BatchWindowMs, kind: evFlush, accel: accel})
+			ed.accelIdle[accel] = false
+			ed.staged[accel] = batch
+			s.push(event{at: now + s.p.BatchWindowMs, kind: evFlush,
+				replica: r, gen: ed.gen, accel: accel})
 			continue
 		}
-		s.launch(now, accel, batch)
+		s.launch(now, r, accel, batch)
 	}
 }
 
@@ -349,16 +437,17 @@ func (s *sim) dispatch(now float64) {
 // still has pending work), then one compatible job per ring session joins in
 // ring order, up to MaxBatch. A non-nil seed batch is topped up instead —
 // the flush path after a gather window.
-func (s *sim) gather(batch []*simJob) []*simJob {
+func (s *sim) gather(r int, batch []*simJob) []*simJob {
+	ed := s.edges[r]
 	if len(batch) == 0 {
-		si := s.ring[0]
-		s.ring = s.ring[1:]
+		si := ed.ring[0]
+		ed.ring = ed.ring[1:]
 		ss := s.sess[si]
 		batch = append(batch, ss.pending[0])
 		ss.pending = ss.pending[1:]
-		s.queued--
+		ed.queued--
 		if len(ss.pending) > 0 {
-			s.ring = append(s.ring, si)
+			ed.ring = append(ed.ring, si)
 		}
 	}
 	// The anchor fixes both compatibility keys: clip class and keyframe
@@ -367,8 +456,8 @@ func (s *sim) gather(batch []*simJob) []*simJob {
 	// reduces to the historical clip-only key).
 	class := s.sess[batch[0].sess].clip.Name
 	kf := batch[0].keyframe
-	for i := 0; i < len(s.ring) && len(batch) < s.p.MaxBatch; {
-		si := s.ring[i]
+	for i := 0; i < len(ed.ring) && len(batch) < s.p.MaxBatch; {
+		si := ed.ring[i]
 		ss := s.sess[si]
 		if ss.clip.Name != class || ss.pending[0].keyframe != kf {
 			i++
@@ -376,9 +465,9 @@ func (s *sim) gather(batch []*simJob) []*simJob {
 		}
 		batch = append(batch, ss.pending[0])
 		ss.pending = ss.pending[1:]
-		s.queued--
+		ed.queued--
 		if len(ss.pending) == 0 {
-			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			ed.ring = append(ed.ring[:i], ed.ring[i+1:]...)
 		} else {
 			i++
 		}
@@ -390,38 +479,94 @@ func (s *sim) gather(batch []*simJob) []*simJob {
 // draw in batch order, the launch holds the accelerator for the amortized
 // batch cost (segmodel.BatchMs), and every job in the batch completes
 // together when the launch does.
-func (s *sim) launch(now float64, accel int, batch []*simJob) {
+func (s *sim) launch(now float64, r, accel int, batch []*simJob) {
+	ed := s.edges[r]
 	solos := make([]float64, len(batch))
 	for i, j := range batch {
 		s.waits.Add(now - j.arriveAt)
 		solos[i] = s.jobCost(j) * (1 + 0.08*math.Abs(s.edgeRng.NormFloat64()))
 	}
 	batchMs := segmodel.BatchMs(solos)
-	s.accelIdle[accel] = false
-	s.busyMs[accel] += batchMs
+	ed.accelIdle[accel] = false
+	ed.busyMs[accel] += batchMs
 	s.batches++
 	s.batchJobs += len(batch)
-	s.push(event{at: now + batchMs, kind: evInferDone, accel: accel, batch: batch})
+	s.push(event{at: now + batchMs, kind: evInferDone,
+		replica: r, gen: ed.gen, accel: accel, batch: batch})
 }
 
 // flush fires when a staged batch's gather window expires: top it up with
-// whatever compatible work arrived during the window, then launch.
+// whatever compatible work arrived during the window, then launch. A stale
+// flush (the replica died during the window) resolves its staged frames
+// into the migrated bucket instead.
 func (s *sim) flush(e event) {
-	batch := s.staged[e.accel]
-	s.staged[e.accel] = nil
-	s.launch(e.at, e.accel, s.gather(batch))
+	ed := s.edges[e.replica]
+	if ed.dead || e.gen != ed.gen {
+		staged := ed.staged[e.accel]
+		ed.staged[e.accel] = nil
+		s.countMigrated(len(staged))
+		for _, j := range staged {
+			s.sess[j.sess].outstanding--
+		}
+		return
+	}
+	batch := ed.staged[e.accel]
+	ed.staged[e.accel] = nil
+	s.launch(e.at, e.replica, e.accel, s.gather(e.replica, batch))
 }
 
 // inferDone frees the accelerator, paces each completed result over its
-// session's downlink in batch order and pulls the next work.
+// session's downlink in batch order and pulls the next work. A stale
+// completion (the replica died mid-inference) never produces results: the
+// batch migrates.
 func (s *sim) inferDone(e event) {
-	s.accelIdle[e.accel] = true
+	ed := s.edges[e.replica]
+	if ed.dead || e.gen != ed.gen {
+		s.countMigrated(len(e.batch))
+		for _, j := range e.batch {
+			s.sess[j.sess].outstanding--
+		}
+		return
+	}
+	ed.accelIdle[e.accel] = true
 	for _, j := range e.batch {
 		ss := s.sess[j.sess]
 		downMs := ss.down.TransferMs(e.at, ss.clip.ResultBytes)
 		s.push(event{at: e.at + downMs, kind: evDeliver, sess: j.sess, job: j})
 	}
-	s.dispatch(e.at)
+	s.dispatch(e.at, e.replica)
+}
+
+// kill handles a scheduled replica death: queued frames migrate-lose, the
+// replica's sessions re-place among the survivors with invalidated feature
+// caches (the cached pyramid died with the replica, so their next frame is
+// a forced keyframe — the lost-keyframe invalidation rule applied to
+// migration). Frames staged or on an accelerator migrate when their now-
+// stale completion events pop; frames in uplink flight migrate on arrival.
+func (s *sim) kill(e event) {
+	ed := s.edges[e.replica]
+	if ed.dead {
+		return
+	}
+	ed.dead = true
+	ed.gen++
+	ed.ring = nil
+	ed.queued = 0
+	alive := s.alive()
+	for i, ss := range s.sess {
+		if ss.replica != e.replica {
+			continue
+		}
+		s.countMigrated(len(ss.pending))
+		ss.outstanding -= len(ss.pending)
+		ss.pending = nil
+		ss.kfValid = false
+		if len(alive) == 0 {
+			ss.replica = -1
+			continue
+		}
+		ss.replica = s.p.PlaceSession(i, alive)
+	}
 }
 
 // deliver records the served frame's end-to-end latency and its
@@ -451,12 +596,15 @@ func (s *sim) report() *SLO {
 			servedMax = ss.served
 		}
 	}
-	util := 0.0
+	util, accels := 0.0, 0
 	if s.maxAt > 0 {
-		for _, b := range s.busyMs {
-			util += b / s.maxAt
+		for _, ed := range s.edges {
+			for _, b := range ed.busyMs {
+				util += b / s.maxAt
+				accels++
+			}
 		}
-		util /= float64(len(s.busyMs))
+		util /= float64(accels)
 	}
 	meanBatch := 0.0
 	if s.batches > 0 {
@@ -474,7 +622,8 @@ func (s *sim) report() *SLO {
 		Rejected:        s.rejected,
 		Shed:            s.shed,
 		Dropped:         s.dropped,
-		ConservationOK:  s.offered == s.served+s.rejected+s.shed+s.dropped,
+		Migrated:        s.migrated,
+		ConservationOK:  s.offered == s.served+s.rejected+s.shed+s.dropped+s.migrated,
 		Batches:         s.batches,
 		MeanBatchSize:   round3(meanBatch),
 		KeyframesServed: s.keyframes,
@@ -495,6 +644,12 @@ func (s *sim) report() *SLO {
 		ServedMax:       servedMax,
 		FairnessSpread:  servedMax - servedMin,
 		HorizonMs:       round3(s.maxAt),
+	}
+	// The replica count is reported only for sharded profiles: an explicit
+	// Replicas=1 run is the single-edge simulator, byte-identical to the
+	// pre-fleet reports (which carry no replicas field at all).
+	if s.p.Sharded() {
+		slo.Replicas = s.p.Replicas
 	}
 	return slo
 }

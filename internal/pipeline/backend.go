@@ -30,6 +30,10 @@ type BackendStats struct {
 	// DiscardedResults counts results thrown away because their frame index
 	// was out of range for the running clip.
 	DiscardedResults int
+	// MigratedOffloads counts offloads lost in flight to a replica kill
+	// under a sharded backend (FleetSimBackend): accepted by the edge but
+	// still waiting when it died. Always zero on single-edge backends.
+	MigratedOffloads int
 	// Results counts inference results produced (sim) or received (live).
 	Results int
 	// InferMsSum accumulates edge inference latency across Results.
@@ -47,6 +51,8 @@ type BackendStats struct {
 func (s *BackendStats) CountDropped(n int) { s.DroppedOffloads += n }
 
 func (s *BackendStats) CountDiscarded() { s.DiscardedResults++ }
+
+func (s *BackendStats) CountMigrated(n int) { s.MigratedOffloads += n }
 
 // ScheduledResult is an edge result with its simulated delivery time. Live
 // backends stamp results with the poll time — the earliest simulated instant

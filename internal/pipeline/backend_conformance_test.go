@@ -29,6 +29,24 @@ func TestBackendConformance(t *testing.T) {
 			Drop: &dropOldest,
 		},
 		{
+			// A kill-free fleet must meet the same contract as a single edge:
+			// placement only picks where work runs, never changes what the
+			// mobile observes.
+			Name: "sim-fleet",
+			New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
+				b := pipeline.NewFleetSimBackend(pipeline.FleetSimConfig{
+					Base: pipeline.SimBackendConfig{
+						Profile: netsim.DefaultProfile(netsim.WiFi5),
+						Seed:    5,
+					},
+					Replicas: 3,
+				})
+				b.Bind(frames, queueDepth)
+				return b
+			},
+			Drop: &dropOldest,
+		},
+		{
 			Name: "loopback",
 			New: func(t *testing.T, frames []*scene.Frame, queueDepth int) pipeline.EdgeBackend {
 				b := pipeline.NewLoopbackBackend(nil, 1, 5)

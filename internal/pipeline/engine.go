@@ -103,6 +103,14 @@ type Config struct {
 	// backbone pyramid at partial cost. The zero policy keeps every frame a
 	// keyframe and the run byte-identical to a cache-free build.
 	EdgeKeyframe segmodel.KeyframePolicy
+	// EdgeReplicas shards the default simulated edge into a fleet of
+	// replicas (FleetSimBackend): the run's session is rendezvous-placed on
+	// one of them and fails over if it dies. Zero or one keeps the
+	// single-edge backend, byte-identical to the pre-fleet engine.
+	EdgeReplicas int
+	// EdgeKills schedules replica failures for the sharded edge (ignored
+	// when EdgeReplicas <= 1).
+	EdgeKills []EdgeKill
 	// Seed drives all stochastic components.
 	Seed int64
 	// Backend overrides the edge serving the run. Nil builds the default
@@ -147,6 +155,10 @@ type RunStats struct {
 	// DiscardedResults counts edge results thrown away because their frame
 	// index was out of range for the clip.
 	DiscardedResults int
+	// MigratedOffloads counts offloads lost in flight to a replica kill when
+	// the run is served by a sharded edge fleet (EdgeReplicas > 1); zero on
+	// single-edge runs.
+	MigratedOffloads int
 }
 
 // Add accumulates another run's accounting into s.
@@ -161,6 +173,7 @@ func (s *RunStats) Add(o RunStats) {
 	s.MobileBusyMsSum += o.MobileBusyMsSum
 	s.DroppedOffloads += o.DroppedOffloads
 	s.DiscardedResults += o.DiscardedResults
+	s.MigratedOffloads += o.MigratedOffloads
 }
 
 // Engine runs one strategy through one scenario.
@@ -191,7 +204,7 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 		if cfg.NetworkProfile != nil {
 			profile = *cfg.NetworkProfile
 		}
-		backend = NewSimBackend(SimBackendConfig{
+		simCfg := SimBackendConfig{
 			Model:        cfg.EdgeModel,
 			InferScale:   cfg.EdgeInferScale,
 			Profile:      profile,
@@ -199,7 +212,16 @@ func NewEngine(cfg Config, strategy Strategy) *Engine {
 			Accelerators: cfg.EdgeAccelerators,
 			MaxBatch:     cfg.EdgeMaxBatch,
 			Keyframe:     cfg.EdgeKeyframe,
-		})
+		}
+		if cfg.EdgeReplicas > 1 {
+			backend = NewFleetSimBackend(FleetSimConfig{
+				Base:     simCfg,
+				Replicas: cfg.EdgeReplicas,
+				Kills:    cfg.EdgeKills,
+			})
+		} else {
+			backend = NewSimBackend(simCfg)
+		}
 	}
 	e := &Engine{
 		cfg:       cfg,
@@ -402,6 +424,7 @@ func (e *Engine) Run() ([]FrameEval, RunStats) {
 	stats.EdgeResultCount = bs.Results
 	stats.DroppedOffloads = bs.DroppedOffloads
 	stats.DiscardedResults = bs.DiscardedResults
+	stats.MigratedOffloads = bs.MigratedOffloads
 	return evals, stats
 }
 

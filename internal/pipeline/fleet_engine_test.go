@@ -1,0 +1,57 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"edgeis/internal/pipeline"
+)
+
+// TestEngineSingleReplicaFleetMatchesSingleEdge pins the engine-level
+// compatibility bar: EdgeReplicas=1 routes through the fleet backend but
+// must reproduce the default single-edge run's accounting exactly.
+func TestEngineSingleReplicaFleetMatchesSingleEdge(t *testing.T) {
+	s1 := &stubStrategy{payload: 10_000, queuePref: 4, computeMs: 5}
+	_, base := pipeline.NewEngine(stubConfig(60), s1).Run()
+
+	cfg := stubConfig(60)
+	cfg.EdgeReplicas = 1
+	s2 := &stubStrategy{payload: 10_000, queuePref: 4, computeMs: 5}
+	_, fleet := pipeline.NewEngine(cfg, s2).Run()
+
+	if base != fleet {
+		t.Errorf("one-replica fleet diverges from single edge:\n base  %+v\n fleet %+v", base, fleet)
+	}
+	if len(s1.received) != len(s2.received) {
+		t.Errorf("deliveries diverge: %d vs %d", len(s1.received), len(s2.received))
+	}
+}
+
+// TestEngineFleetReplicaKillMigrates runs a full engine pass over a sharded
+// edge whose serving replica dies mid-clip with a backlog: the lost frames
+// must surface in RunStats.MigratedOffloads and results must keep flowing
+// from the survivor after failover.
+func TestEngineFleetReplicaKillMigrates(t *testing.T) {
+	// A deep queue against ~400 ms inference builds a standing backlog, so
+	// the kill always catches frames in flight.
+	serving := pipeline.NewFleetSimBackend(pipeline.FleetSimConfig{Replicas: 3}).ServingReplica()
+	cfg := stubConfig(90)
+	cfg.EdgeReplicas = 3
+	cfg.EdgeKills = []pipeline.EdgeKill{{Replica: serving, AtMs: 1500}}
+	s := &stubStrategy{payload: 10_000, queuePref: 24, computeMs: 5}
+	_, stats := pipeline.NewEngine(cfg, s).Run()
+
+	if stats.Offloads != 90 {
+		t.Fatalf("offloads = %d", stats.Offloads)
+	}
+	if stats.MigratedOffloads == 0 {
+		t.Error("replica kill caught no backlog; MigratedOffloads stayed 0")
+	}
+	if stats.EdgeResultCount == 0 {
+		t.Error("no results after failover")
+	}
+	// The engine-side conservation view: every offload the fleet accepted is
+	// a result, a queue drop, or a migration loss (no silent loss).
+	if last := s.received; len(last) == 0 || last[len(last)-1] < 45 {
+		t.Errorf("survivor served nothing from the second half of the clip: %v", last)
+	}
+}

@@ -200,6 +200,41 @@ func TestInvalidateForcesColdKeyframe(t *testing.T) {
 	}
 }
 
+// TestMigrationForcesKeyframe pins the session-migration rule at the
+// decision layer: when a session fails over to another replica, its warm
+// feature cache stays behind on the dead edge — the adopting replica starts
+// from a fresh cache, so the first post-migration frame must be a cold
+// keyframe no matter where the session was in its interval. Warping against
+// a pyramid the new replica never computed is exactly the lost-keyframe
+// hazard Invalidate guards against.
+func TestMigrationForcesKeyframe(t *testing.T) {
+	in := testInput(1)
+	g := guidanceFor(in, 0, 0)
+	p := KeyframePolicy{Interval: 8}
+
+	// The original replica's stream: keyframe then two warps — mid-interval,
+	// nothing would force a keyframe for frames to come.
+	old := NewFeatureCache()
+	p.Decide(old, in, g)
+	p.Decide(old, in, g)
+	if d := p.Decide(old, in, g); d.Keyframe {
+		t.Fatalf("pre-migration stream not mid-interval: %+v", d)
+	}
+
+	// Failover: the adopting replica has never seen this session. Its cache
+	// is fresh, so the same next frame that would have warped is forced cold.
+	adopted := NewFeatureCache()
+	d := p.Decide(adopted, in, g)
+	if !d.Keyframe || d.Reason != KeyCold || d.Age != 0 {
+		t.Fatalf("first post-migration frame: got %+v, want keyframe/cold at age 0", d)
+	}
+	// And the forced keyframe re-primes the stream: the frame after it may
+	// warp again, interval counting restarted from the migration point.
+	if d := p.Decide(adopted, in, g); d.Keyframe {
+		t.Fatalf("frame after the forced keyframe: got %+v, want non-keyframe", d)
+	}
+}
+
 func TestRunWarpedKeyframeIdenticalToRun(t *testing.T) {
 	for _, kind := range []Kind{MaskRCNN, YOLACT, YOLOv3} {
 		in := testInput(7)

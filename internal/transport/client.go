@@ -23,15 +23,26 @@ type Client struct {
 	done         chan struct{}
 	wg           sync.WaitGroup
 	writeTimeout time.Duration
+	resume       *ResumeMsg
+	ack          *ResumeAckMsg
 
 	closeOnce sync.Once
 	closeErr  error
 
-	mu       sync.Mutex
-	lastErr  error
-	sent     int
-	rejected int
-	shed     int
+	mu        sync.Mutex
+	lastErr   error
+	sent      int
+	delivered int
+	rejected  int
+	shed      int
+	// connLost is the settled count of frames accepted for sending but
+	// never resolved (no result, reject, or shed) when the connection
+	// ended. Before PR 10 these frames were neither dropped nor rejected —
+	// an unclassified leak in the conservation law; now every sent frame
+	// lands in exactly one bucket: sent == delivered + rejected + shed +
+	// connLost once lostSettled.
+	connLost    int
+	lostSettled bool
 }
 
 // ClientOption customizes a client connection.
@@ -54,6 +65,19 @@ func WithWriteTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.writeTimeout = d }
 }
 
+// WithResume opens the connection with a session-resume handshake: Dial
+// sends TypeResume carrying the session key and the last keyframe epoch
+// the client holds, then blocks until the server's TypeResumeAck (bounded
+// by the dial timeout). The ack — adoption verdict plus the server's fleet
+// peer list — is available via ResumeAck. A fleet client migrating a
+// session to a new replica dials with this option so the target adopts the
+// session identity before any frame flows.
+func WithResume(sessionKey string, lastKeyframeEpoch int64) ClientOption {
+	return func(c *Client) {
+		c.resume = &ResumeMsg{SessionKey: sessionKey, LastKeyframeEpoch: lastKeyframeEpoch}
+	}
+}
+
 // Dial connects to an edge server.
 func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
@@ -69,11 +93,54 @@ func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, er
 	for _, o := range opts {
 		o(c)
 	}
+	if c.resume != nil {
+		if err := c.handshake(timeout); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	c.wg.Add(2)
 	go c.writeLoop()
 	go c.readLoop()
 	return c, nil
 }
+
+// handshake runs the synchronous resume exchange before the read/write
+// loops exist, so no frame can interleave with it. The dial timeout bounds
+// both halves; deadlines are cleared afterwards.
+func (c *Client) handshake(timeout time.Duration) error {
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("transport: resume handshake: %w", err)
+		}
+	}
+	if err := WriteMessage(c.conn, MarshalResume(c.resume)); err != nil {
+		return fmt.Errorf("transport: resume handshake: %w", err)
+	}
+	payload, err := ReadMessage(c.conn)
+	if err != nil {
+		return fmt.Errorf("transport: resume handshake: %w", err)
+	}
+	ack, err := UnmarshalResumeAck(payload)
+	if err != nil {
+		return fmt.Errorf("transport: resume handshake: %w", err)
+	}
+	if ack.SessionKey != c.resume.SessionKey {
+		return fmt.Errorf("transport: resume handshake: server echoed session %q, want %q",
+			ack.SessionKey, c.resume.SessionKey)
+	}
+	if timeout > 0 {
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			return fmt.Errorf("transport: resume handshake: %w", err)
+		}
+	}
+	c.ack = ack
+	return nil
+}
+
+// ResumeAck returns the server's resume acknowledgement, or nil when the
+// connection was not opened with WithResume. Immutable once Dial returns.
+func (c *Client) ResumeAck() *ResumeAckMsg { return c.ack }
 
 // DialRetry dials an edge server with bounded exponential backoff: up to
 // attempts tries, sleeping backoff, 2*backoff, ... between them. Transient
@@ -115,11 +182,16 @@ func (c *Client) Send(f *FrameMsg) bool {
 		return false // closed connections never accept frames
 	default:
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lostSettled {
+		// The connection-loss accounting has been settled: admitting more
+		// frames now would leak them past the ConnLost tally.
+		return false
+	}
 	select {
 	case c.sendq <- f:
-		c.mu.Lock()
 		c.sent++
-		c.mu.Unlock()
 		return true
 	default:
 		return false
@@ -152,9 +224,29 @@ func (c *Client) Shed() int {
 	return c.shed
 }
 
-// noteRejected and noteShed are the audited counter mutators the
-// conservation analyzer admits: the read loop's wire-reply accounting moves
-// through them so every path that loses a frame is greppable.
+// Delivered returns the number of results received from the edge.
+func (c *Client) Delivered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
+
+// ConnLost returns the number of frames accepted for sending that were
+// never resolved — no result, reject, or shed reply — by the time the
+// connection ended, whether it died under the client or was closed by it.
+// Zero until the read loop exits (the moment no further replies can
+// arrive); after that sent == delivered + rejected + shed + connLost, the
+// leak-free form of the client-side conservation law a fleet reconciles
+// when it fails a session over to another replica.
+func (c *Client) ConnLost() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connLost
+}
+
+// noteRejected, noteShed and noteConnLost are the audited counter mutators
+// the conservation analyzer admits: the read loop's wire-reply accounting
+// moves through them so every path that loses a frame is greppable.
 
 func (c *Client) noteRejected() {
 	c.mu.Lock()
@@ -165,6 +257,20 @@ func (c *Client) noteRejected() {
 func (c *Client) noteShed() {
 	c.mu.Lock()
 	c.shed++
+	c.mu.Unlock()
+}
+
+// noteConnLost settles the connection-loss bucket exactly once, when the
+// read loop exits and no further replies can resolve outstanding frames.
+// Everything sent but unresolved at that instant is classified ConnLost;
+// Send refuses new frames afterwards so the settlement cannot be leaked
+// past.
+func (c *Client) noteConnLost() {
+	c.mu.Lock()
+	if !c.lostSettled {
+		c.lostSettled = true
+		c.connLost = c.sent - c.delivered - c.rejected - c.shed
+	}
 	c.mu.Unlock()
 }
 
@@ -210,6 +316,7 @@ func (c *Client) writeLoop() {
 func (c *Client) readLoop() {
 	defer c.wg.Done()
 	defer close(c.results)
+	defer c.noteConnLost()
 	for {
 		payload, err := ReadMessage(c.conn)
 		if err != nil {
@@ -244,6 +351,9 @@ func (c *Client) readLoop() {
 			c.setErr(err)
 			return
 		}
+		c.mu.Lock()
+		c.delivered++
+		c.mu.Unlock()
 		select {
 		case c.results <- res:
 		case <-c.done:

@@ -48,6 +48,18 @@ const (
 	// a fresher frame from the same session (latest-wins admission). It
 	// carries a reason code; like TypeReject it is per-frame and non-fatal.
 	TypeShed
+	// TypeResume opens a connection by claiming a session identity
+	// (client -> server, first message only). A fleet client migrating off a
+	// dead replica sends it so the target replica adopts the session —
+	// carrying the accounting identity over while knowing the feature cache
+	// and guidance continuity died with the old replica and must be rebuilt
+	// (the first post-migration frame is forced to be a keyframe).
+	TypeResume
+	// TypeResumeAck answers TypeResume (server -> client). It echoes the
+	// session key, reports whether the session was adopted, and advertises
+	// the server's known fleet peers so a client dialed at one address
+	// discovers the replica set it can fail over to.
+	TypeResumeAck
 )
 
 // Shed reason codes carried by TypeShed.
@@ -557,6 +569,110 @@ func UnmarshalShed(b []byte) (int32, uint8, error) {
 		return 0, 0, r.err
 	}
 	return idx, reason, nil
+}
+
+// Resume-handshake limits: a session key is an identity token, not a
+// payload, and a peer list is a handful of host:port strings.
+const (
+	maxSessionKeyBytes = 256
+	maxFleetPeers      = 256
+)
+
+// ResumeMsg is the session-resume handshake a fleet client sends as the
+// first message on a new connection. SessionKey is the stable cross-replica
+// session identity; LastKeyframeEpoch is the frame index of the last
+// keyframe result the client holds (-1 when it has none), which tells the
+// adopting replica how stale the client's world is — the replica's own
+// feature cache for this session starts cold either way, so the first
+// frame after migration is served as a forced keyframe.
+type ResumeMsg struct {
+	SessionKey        string
+	LastKeyframeEpoch int64
+}
+
+// ResumeAckMsg answers a ResumeMsg. Adopted reports whether the server
+// attached the connection to the claimed session identity; Peers is the
+// server's fleet peer list (its own address first when configured) so the
+// client learns the replica set for failover.
+type ResumeAckMsg struct {
+	SessionKey string
+	Adopted    bool
+	Peers      []string
+}
+
+// MarshalResume encodes a TypeResume handshake.
+func MarshalResume(m *ResumeMsg) []byte {
+	var w writer
+	w.u8(protocolVersion)
+	w.u8(TypeResume)
+	w.bytes([]byte(m.SessionKey))
+	w.i64(m.LastKeyframeEpoch)
+	return w.buf
+}
+
+// UnmarshalResume decodes a TypeResume handshake.
+func UnmarshalResume(b []byte) (*ResumeMsg, error) {
+	r := reader{buf: b}
+	if r.u8() != protocolVersion || r.u8() != TypeResume {
+		return nil, ErrBadMessage
+	}
+	key := r.bytes()
+	if r.err != nil || len(key) == 0 || len(key) > maxSessionKeyBytes {
+		return nil, ErrBadMessage
+	}
+	m := &ResumeMsg{SessionKey: string(key), LastKeyframeEpoch: r.i64()}
+	if !r.done() {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// MarshalResumeAck encodes a TypeResumeAck reply.
+func MarshalResumeAck(m *ResumeAckMsg) []byte {
+	var w writer
+	w.u8(protocolVersion)
+	w.u8(TypeResumeAck)
+	w.bytes([]byte(m.SessionKey))
+	adopted := uint8(0)
+	if m.Adopted {
+		adopted = 1
+	}
+	w.u8(adopted)
+	w.i32(int32(len(m.Peers)))
+	for _, p := range m.Peers {
+		w.bytes([]byte(p))
+	}
+	return w.buf
+}
+
+// UnmarshalResumeAck decodes a TypeResumeAck reply.
+func UnmarshalResumeAck(b []byte) (*ResumeAckMsg, error) {
+	r := reader{buf: b}
+	if r.u8() != protocolVersion || r.u8() != TypeResumeAck {
+		return nil, ErrBadMessage
+	}
+	key := r.bytes()
+	if r.err != nil || len(key) == 0 || len(key) > maxSessionKeyBytes {
+		return nil, ErrBadMessage
+	}
+	m := &ResumeAckMsg{SessionKey: string(key), Adopted: r.u8() == 1}
+	n := int(r.i32())
+	// Each peer needs at least its 4-byte length prefix.
+	if r.err != nil || n < 0 || n > maxFleetPeers || 4*n > r.remaining() {
+		return nil, ErrBadMessage
+	}
+	m.Peers = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p := r.bytes()
+		if r.err != nil || len(p) > maxSessionKeyBytes {
+			return nil, ErrBadMessage
+		}
+		m.Peers = append(m.Peers, string(p))
+	}
+	if !r.done() {
+		return nil, r.err
+	}
+	return m, nil
 }
 
 // MessageType peeks a payload's type tag without decoding the body.

@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"edgeis/internal/segmodel"
+)
+
+func TestResumeRoundTrip(t *testing.T) {
+	cases := []ResumeMsg{
+		{SessionKey: "fleet-7", LastKeyframeEpoch: 41},
+		{SessionKey: "s", LastKeyframeEpoch: -1},
+		{SessionKey: "client-00042/cam0", LastKeyframeEpoch: 0},
+	}
+	for _, want := range cases {
+		b := MarshalResume(&want)
+		if typ, err := MessageType(b); err != nil || typ != TypeResume {
+			t.Fatalf("MessageType = %d, %v", typ, err)
+		}
+		got, err := UnmarshalResume(b)
+		if err != nil {
+			t.Fatalf("UnmarshalResume(%+v): %v", want, err)
+		}
+		if *got != want {
+			t.Errorf("round trip %+v -> %+v", want, *got)
+		}
+	}
+}
+
+func TestResumeAckRoundTrip(t *testing.T) {
+	cases := []ResumeAckMsg{
+		{SessionKey: "fleet-7", Adopted: true, Peers: []string{"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"}},
+		{SessionKey: "fresh", Adopted: false, Peers: []string{}},
+		{SessionKey: "solo", Adopted: true, Peers: []string{"localhost:7000"}},
+	}
+	for _, want := range cases {
+		b := MarshalResumeAck(&want)
+		if typ, err := MessageType(b); err != nil || typ != TypeResumeAck {
+			t.Fatalf("MessageType = %d, %v", typ, err)
+		}
+		got, err := UnmarshalResumeAck(b)
+		if err != nil {
+			t.Fatalf("UnmarshalResumeAck(%+v): %v", want, err)
+		}
+		if got.SessionKey != want.SessionKey || got.Adopted != want.Adopted {
+			t.Errorf("round trip %+v -> %+v", want, *got)
+		}
+		if len(got.Peers) != len(want.Peers) {
+			t.Fatalf("peers %v -> %v", want.Peers, got.Peers)
+		}
+		for i := range want.Peers {
+			if got.Peers[i] != want.Peers[i] {
+				t.Errorf("peer[%d] = %q, want %q", i, got.Peers[i], want.Peers[i])
+			}
+		}
+	}
+}
+
+// TestServerAdoptsResumedSession drives the resume handshake over real
+// sockets: a client dialing with WithResume gets an ack carrying the
+// adoption verdict and the fleet peer list, its session carries the
+// cross-replica key, and its first frame is served as a forced keyframe
+// (cold cache on the adopting replica) even under a long keyframe
+// interval.
+func TestServerAdoptsResumedSession(t *testing.T) {
+	peers := []string{"10.0.0.1:7000", "10.0.0.2:7000"}
+	srv := NewServer(segmodel.New(segmodel.MaskRCNN),
+		WithKeyframePolicy(segmodel.KeyframePolicy{Interval: 100}),
+		WithFleetPeers(peers))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	c, err := Dial(addr.String(), time.Second, WithResume("fleet-sess-9", 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ack := c.ResumeAck()
+	if ack == nil {
+		t.Fatal("no resume ack recorded")
+	}
+	if !ack.Adopted || ack.SessionKey != "fleet-sess-9" {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if len(ack.Peers) != len(peers) || ack.Peers[0] != peers[0] || ack.Peers[1] != peers[1] {
+		t.Fatalf("ack peers = %v, want %v", ack.Peers, peers)
+	}
+
+	// Frames flow normally after the handshake.
+	const frames = 3
+	for i := 0; i < frames; i++ {
+		f := sampleFrame()
+		f.FrameIndex = int32(i)
+		f.Seed = int64(i)
+		if !c.Send(f) {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		select {
+		case _, ok := <-c.Results():
+			if !ok {
+				t.Fatalf("results closed after %d of %d", i, frames)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for result")
+		}
+	}
+
+	st := srv.Stats()
+	if st.Scheduler.ResumedSessions != 1 {
+		t.Errorf("ResumedSessions = %d, want 1", st.Scheduler.ResumedSessions)
+	}
+	if st.Served != frames {
+		t.Errorf("served = %d, want %d", st.Served, frames)
+	}
+	// Forced keyframe on the first post-migration frame, warps after.
+	if st.Scheduler.KeyframesServed != 1 || st.Scheduler.WarpedServed != frames-1 {
+		t.Errorf("keyframes/warped = %d/%d, want 1/%d",
+			st.Scheduler.KeyframesServed, st.Scheduler.WarpedServed, frames-1)
+	}
+	// The adopted identity shows up in the session table.
+	found := false
+	for _, row := range srv.SessionStats() {
+		if row.Key == "fleet-sess-9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("session key missing from SessionStats")
+	}
+}
+
+// TestServerWithoutResumeUnchanged: a plain connection against a
+// fleet-configured server behaves exactly as before the handshake existed.
+func TestServerWithoutResumeUnchanged(t *testing.T) {
+	srv := NewServer(segmodel.New(segmodel.MaskRCNN),
+		WithFleetPeers([]string{"10.0.0.1:7000"}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	c, err := Dial(addr.String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.ResumeAck() != nil {
+		t.Error("plain dial produced a resume ack")
+	}
+	if !c.Send(sampleFrame()) {
+		t.Fatal("send rejected")
+	}
+	select {
+	case res := <-c.Results():
+		if res.FrameIndex != 42 {
+			t.Errorf("frame index = %d", res.FrameIndex)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	if got := srv.Stats().Scheduler.ResumedSessions; got != 0 {
+		t.Errorf("ResumedSessions = %d, want 0", got)
+	}
+}
+
+// TestResumeMalformedRejected exercises the decoder's bounds checks: empty
+// and oversized keys, truncation at every length, trailing garbage, huge
+// claimed peer counts, and cross-type confusion all fail cleanly.
+func TestResumeMalformedRejected(t *testing.T) {
+	if _, err := UnmarshalResume(MarshalResume(&ResumeMsg{SessionKey: ""})); err == nil {
+		t.Error("empty session key accepted")
+	}
+	long := string(bytes.Repeat([]byte("k"), maxSessionKeyBytes+1))
+	if _, err := UnmarshalResume(MarshalResume(&ResumeMsg{SessionKey: long})); err == nil {
+		t.Error("oversized session key accepted")
+	}
+	good := MarshalResume(&ResumeMsg{SessionKey: "abc", LastKeyframeEpoch: 7})
+	for i := 0; i < len(good); i++ {
+		if _, err := UnmarshalResume(good[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := UnmarshalResume(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// A resume payload is not an ack and vice versa.
+	if _, err := UnmarshalResumeAck(good); err == nil {
+		t.Error("resume payload decoded as ack")
+	}
+	ack := MarshalResumeAck(&ResumeAckMsg{SessionKey: "abc", Peers: []string{"p:1"}})
+	if _, err := UnmarshalResume(ack); err == nil {
+		t.Error("ack payload decoded as resume")
+	}
+	for i := 0; i < len(ack); i++ {
+		if _, err := UnmarshalResumeAck(ack[:i]); err == nil {
+			t.Errorf("ack truncation at %d accepted", i)
+		}
+	}
+	// A tiny message claiming a huge peer count must be rejected before any
+	// allocation, the same defence the frame decoder applies to counts.
+	var w writer
+	w.u8(protocolVersion)
+	w.u8(TypeResumeAck)
+	w.bytes([]byte("abc"))
+	w.u8(1)
+	w.i32(1 << 30)
+	if _, err := UnmarshalResumeAck(w.buf); err == nil {
+		t.Error("huge claimed peer count accepted")
+	}
+}

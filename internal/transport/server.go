@@ -54,6 +54,10 @@ type Server struct {
 	// Per-message socket deadlines; zero means none.
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	// fleetPeers is the replica set this server advertises in TypeResumeAck
+	// replies, so a client that dialed one address learns where it can fail
+	// over to. Empty outside a fleet deployment.
+	fleetPeers []string
 
 	sched *edge.Scheduler
 
@@ -152,6 +156,20 @@ func WithConnPipeline(n int) ServerOption {
 	return func(s *Server) {
 		if n > 1 {
 			s.connPipeline = n
+		}
+	}
+}
+
+// WithFleetPeers advertises the fleet's replica addresses (this server's
+// own address included, by convention first) in every resume
+// acknowledgement, so fleet clients discover the failover set from
+// whichever replica they reach first. Order is preserved — placement
+// policies hash over it, so every replica should be configured with the
+// same list.
+func WithFleetPeers(addrs []string) ServerOption {
+	return func(s *Server) {
+		if len(addrs) > 0 {
+			s.fleetPeers = append([]string(nil), addrs...)
 		}
 	}
 }
@@ -363,27 +381,86 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("close conn: %v", err)
 		}
 	}()
-	sess := s.sched.NewSession(conn.RemoteAddr().String())
-	defer sess.Close()
-	if s.connPipeline > 1 {
-		s.servePipelined(conn, sess)
+	first, sess, ok := s.openSession(conn)
+	if !ok {
 		return
 	}
+	defer sess.Close()
+	if s.connPipeline > 1 {
+		s.servePipelined(conn, sess, first)
+		return
+	}
+	s.serveSerial(conn, sess, first)
+}
+
+// openSession reads the connection's first message and resolves its
+// session identity. A TypeResume handshake adopts the carried session key
+// (the session's feature cache and guidance plan start empty — they died
+// with whichever replica held them — so the first frame is a forced
+// keyframe) and answers with TypeResumeAck carrying the fleet peer list;
+// no payload remains for the serve loop. Any other message opens a plain
+// session exactly as before the handshake existed, and the message itself
+// is returned as the loop's first payload.
+func (s *Server) openSession(conn net.Conn) (first []byte, sess *edge.Session, ok bool) {
+	if s.readTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
+			s.logf("set read deadline: %v", err)
+			return nil, nil, false
+		}
+	}
+	payload, err := ReadMessage(conn)
+	if err != nil {
+		if timeoutError(err) {
+			s.logf("idle connection dropped: %v", err)
+		} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.logf("read: %v", err)
+		}
+		return nil, nil, false
+	}
+	if t, terr := MessageType(payload); terr == nil && t == TypeResume {
+		resume, rerr := UnmarshalResume(payload)
+		if rerr != nil {
+			s.logf("decode resume: %v", rerr)
+			if werr := s.write(conn, MarshalError(rerr.Error())); werr != nil {
+				s.logf("write error report: %v", werr)
+			}
+			return nil, nil, false
+		}
+		sess = s.sched.ResumeSession(resume.SessionKey, conn.RemoteAddr().String())
+		ack := &ResumeAckMsg{SessionKey: resume.SessionKey, Adopted: true, Peers: s.fleetPeers}
+		if werr := s.write(conn, MarshalResumeAck(ack)); werr != nil {
+			s.logf("write resume ack: %v", werr)
+			sess.Close()
+			return nil, nil, false
+		}
+		return nil, sess, true
+	}
+	return payload, s.sched.NewSession(conn.RemoteAddr().String()), true
+}
+
+// serveSerial is the historical read-infer-write loop. first, when
+// non-nil, is a payload openSession already read off the socket.
+func (s *Server) serveSerial(conn net.Conn, sess *edge.Session, first []byte) {
 	for {
-		if s.readTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
-				s.logf("set read deadline: %v", err)
+		payload := first
+		first = nil
+		if payload == nil {
+			if s.readTimeout > 0 {
+				if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
+					s.logf("set read deadline: %v", err)
+					return
+				}
+			}
+			var err error
+			payload, err = ReadMessage(conn)
+			if err != nil {
+				if timeoutError(err) {
+					s.logf("idle connection dropped: %v", err)
+				} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					s.logf("read: %v", err)
+				}
 				return
 			}
-		}
-		payload, err := ReadMessage(conn)
-		if err != nil {
-			if timeoutError(err) {
-				s.logf("idle connection dropped: %v", err)
-			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("read: %v", err)
-			}
-			return
 		}
 		frame, err := UnmarshalFrame(payload)
 		if err != nil {
@@ -438,8 +515,9 @@ func (s *Server) serveConn(conn net.Conn) {
 // shared write lock. Outcomes may interleave out of frame order — the
 // client correlates by FrameIndex. When the read loop exits, closing the
 // session unblocks queued frames (ErrClosed, nothing written) so the drain
-// cannot hang on a dead peer.
-func (s *Server) servePipelined(conn net.Conn, sess *edge.Session) {
+// cannot hang on a dead peer. first, when non-nil, is a payload
+// openSession already read off the socket.
+func (s *Server) servePipelined(conn net.Conn, sess *edge.Session, first []byte) {
 	var wmu sync.Mutex
 	write := func(payload []byte) error {
 		wmu.Lock()
@@ -454,20 +532,25 @@ func (s *Server) servePipelined(conn net.Conn, sess *edge.Session) {
 	defer inflight.Wait()
 	defer sess.Close()
 	for {
-		if s.readTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
-				s.logf("set read deadline: %v", err)
+		payload := first
+		first = nil
+		if payload == nil {
+			if s.readTimeout > 0 {
+				if err := conn.SetReadDeadline(time.Now().Add(s.readTimeout)); err != nil {
+					s.logf("set read deadline: %v", err)
+					return
+				}
+			}
+			var err error
+			payload, err = ReadMessage(conn)
+			if err != nil {
+				if timeoutError(err) {
+					s.logf("idle connection dropped: %v", err)
+				} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					s.logf("read: %v", err)
+				}
 				return
 			}
-		}
-		payload, err := ReadMessage(conn)
-		if err != nil {
-			if timeoutError(err) {
-				s.logf("idle connection dropped: %v", err)
-			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("read: %v", err)
-			}
-			return
 		}
 		frame, err := UnmarshalFrame(payload)
 		if err != nil {

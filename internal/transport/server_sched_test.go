@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -361,6 +362,84 @@ func TestDialRetryBoundedFailure(t *testing.T) {
 	// connection refusals.
 	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
 		t.Errorf("backoff too short: %v", elapsed)
+	}
+}
+
+// TestDialRetryFlappingListener drives DialRetry against a replica that
+// flaps: the listener accepts a connection and immediately hangs up
+// (killing the resume handshake mid-flight), dies, rebinds, dies again,
+// and only then comes up healthy. Every failure mode — refused connection,
+// accepted-then-reset handshake — must be absorbed by the retry budget,
+// and the eventual connection must complete the resume handshake against
+// the healthy listener.
+func TestDialRetryFlappingListener(t *testing.T) {
+	// Reserve an address, then free it so ownership can flap on it.
+	tmp := NewServer(segmodel.New(segmodel.YOLACT))
+	addr, err := tmp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(segmodel.New(segmodel.YOLACT),
+		WithFleetPeers([]string{addr.String()}))
+	defer func() { _ = srv.Close() }()
+	bound := make(chan error, 1)
+	go func() {
+		// Flap twice: bind, slam the door on whoever connects, unbind.
+		// Between flaps the port is closed, so the dialer sees both
+		// connection refusals and mid-handshake resets.
+		for i := 0; i < 2; i++ {
+			ln, err := net.Listen("tcp", addr.String())
+			if err != nil {
+				bound <- err
+				return
+			}
+			slam := make(chan struct{})
+			go func() {
+				for {
+					c, err := ln.Accept()
+					if err != nil {
+						close(slam)
+						return
+					}
+					_ = c.Close()
+				}
+			}()
+			time.Sleep(40 * time.Millisecond)
+			_ = ln.Close()
+			<-slam
+			time.Sleep(40 * time.Millisecond)
+		}
+		_, err := srv.Listen(addr.String())
+		bound <- err
+	}()
+
+	cl, err := DialRetry(addr.String(), time.Second, 12, 20*time.Millisecond,
+		WithResume("flap-sess", -1))
+	if err != nil {
+		t.Fatalf("DialRetry never survived the flapping (bind err: %v): %v", <-bound, err)
+	}
+	defer func() { _ = cl.Close() }()
+	ack := cl.ResumeAck()
+	if ack == nil || !ack.Adopted || ack.SessionKey != "flap-sess" {
+		t.Fatalf("resume ack after flapping = %+v", ack)
+	}
+	if !cl.Send(sampleFrame()) {
+		t.Fatal("send failed")
+	}
+	select {
+	case res, ok := <-cl.Results():
+		if !ok || res == nil {
+			t.Fatalf("no result: %v", cl.Err())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout")
+	}
+	if got := srv.Stats().Scheduler.ResumedSessions; got != 1 {
+		t.Errorf("ResumedSessions = %d, want 1", got)
 	}
 }
 

@@ -34,6 +34,11 @@ func FormatServerStats(st ServerStats, sessions []edge.SessionStats) string {
 		fmt.Fprintf(&b, "\nkeyframes %d, warped %d (cache hit rate %.0f%%)",
 			kf, warped, 100*float64(warped)/float64(kf+warped))
 	}
+	// Fleet line only when sessions were actually adopted from another
+	// replica, so a single-edge deployment's output stays byte-identical.
+	if st.Scheduler.ResumedSessions > 0 {
+		fmt.Fprintf(&b, "\nresumed sessions %d", st.Scheduler.ResumedSessions)
+	}
 	if len(sessions) == 0 {
 		b.WriteByte('\n')
 		return b.String()
